@@ -1,0 +1,67 @@
+// Ablation: the Sec. 4.1 design argument — clustering the raw traffic (or
+// max-normalized traffic, or unbounded RCA) instead of RSCA degrades the
+// recovered structure. Reports silhouette at k = 9 and archetype recovery
+// (ARI) per feature transform.
+#include <iostream>
+
+#include "common.h"
+#include "core/clustering.h"
+#include "core/rca.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace icn;
+  bench::print_header("Ablation", "Feature transform (raw vs norm vs RCA vs RSCA)");
+  const auto& result = bench::shared_pipeline();
+  const auto& traffic = result.scenario.demand().traffic_matrix();
+  const auto& truth = result.scenario.demand().archetype_labels();
+
+  // Candidate feature matrices.
+  ml::Matrix raw = traffic;
+  ml::Matrix norm = traffic;  // normalize by the global max
+  {
+    double max_v = 0.0;
+    for (const double v : norm.data()) max_v = std::max(max_v, v);
+    for (auto& v : norm.data()) v /= max_v;
+  }
+  const ml::Matrix rca = core::compute_rca(traffic);
+  const ml::Matrix& rsca = result.rsca;
+
+  struct Candidate {
+    const char* name;
+    const ml::Matrix* features;
+  };
+  const Candidate candidates[] = {
+      {"raw traffic (MB)", &raw},
+      {"max-normalized traffic", &norm},
+      {"RCA (Eq. 1)", &rca},
+      {"RSCA (Eq. 2)", &rsca},
+  };
+
+  util::TextTable table(
+      {"features", "silhouette@9", "dunn@9", "ARI vs archetypes"});
+  for (const auto& candidate : candidates) {
+    std::cerr << "[bench] clustering on " << candidate.name << "...\n";
+    core::ClusterAnalysisParams params;
+    params.chosen_k = 9;
+    params.k_min = 9;
+    params.k_max = 9;
+    const auto analysis = core::analyze_clusters(*candidate.features, params);
+    table.add_row({candidate.name,
+                   util::fmt_double(analysis.sweep.front().silhouette, 4),
+                   util::fmt_double(analysis.sweep.front().dunn, 4),
+                   util::fmt_double(icn::util::adjusted_rand_index(
+                                        analysis.labels, truth),
+                                    4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n";
+  bench::print_claim(
+      "clustering raw volumes groups antennas by popularity, not usage",
+      "overall traffic would bias the clustering; RSCA removes volume and "
+      "popularity effects (Sec. 4.1)",
+      "see ARI column: RSCA recovers the archetypes, raw/normalized do not");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation: Ward's criterion (the paper's choice) vs complete / average /
+// single linkage on the same RSCA features.
+#include <iostream>
+
+#include "common.h"
+#include "core/clustering.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace icn;
+  bench::print_header("Ablation", "Linkage criterion (Ward vs alternatives)");
+  const auto& result = bench::shared_pipeline();
+  const auto& truth = result.scenario.demand().archetype_labels();
+
+  util::TextTable table(
+      {"linkage", "silhouette@9", "dunn@9", "ARI vs archetypes"});
+  for (const auto linkage :
+       {ml::Linkage::kWard, ml::Linkage::kComplete, ml::Linkage::kAverage,
+        ml::Linkage::kSingle}) {
+    std::cerr << "[bench] linkage " << ml::linkage_name(linkage) << "...\n";
+    core::ClusterAnalysisParams params;
+    params.linkage = linkage;
+    params.chosen_k = 9;
+    params.k_min = 9;
+    params.k_max = 9;
+    const auto analysis = core::analyze_clusters(result.rsca, params);
+    table.add_row({ml::linkage_name(linkage),
+                   util::fmt_double(analysis.sweep.front().silhouette, 4),
+                   util::fmt_double(analysis.sweep.front().dunn, 4),
+                   util::fmt_double(icn::util::adjusted_rand_index(
+                                        analysis.labels, truth),
+                                    4)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  bench::print_claim(
+      "Ward minimizes intra-cluster variance and suits the RSCA geometry",
+      "the paper selects agglomerative clustering with Ward's criterion",
+      "see table: Ward matches or beats the alternatives on ARI/silhouette");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: surrogate forest capacity vs fidelity to the clustering labels
+// (the paper fixes 100 trees; this sweep shows what that choice buys).
+#include <iostream>
+
+#include "common.h"
+#include "core/surrogate.h"
+#include "util/table.h"
+
+int main() {
+  using namespace icn;
+  bench::print_header("Ablation", "Surrogate forest capacity vs fidelity");
+  const auto& result = bench::shared_pipeline();
+
+  std::cout << "\nForest size sweep (depth 24):\n";
+  util::TextTable trees({"trees", "fidelity", "OOB accuracy"});
+  for (const std::size_t n : {1u, 5u, 20u, 50u, 100u, 200u}) {
+    core::SurrogateParams params;
+    params.num_trees = n;
+    std::cerr << "[bench] " << n << " trees...\n";
+    const core::SurrogateExplainer surrogate(
+        result.rsca, result.clusters.labels,
+        static_cast<int>(result.clusters.chosen_k), params);
+    trees.add_row({std::to_string(n),
+                   util::fmt_double(surrogate.fidelity(), 4),
+                   util::fmt_double(surrogate.oob_accuracy(), 4)});
+  }
+  trees.print(std::cout);
+
+  std::cout << "\nDepth sweep (100 trees):\n";
+  util::TextTable depth({"max depth", "fidelity", "OOB accuracy"});
+  for (const std::size_t d : {2u, 4u, 8u, 16u, 24u}) {
+    core::SurrogateParams params;
+    params.max_depth = d;
+    std::cerr << "[bench] depth " << d << "...\n";
+    const core::SurrogateExplainer surrogate(
+        result.rsca, result.clusters.labels,
+        static_cast<int>(result.clusters.chosen_k), params);
+    depth.add_row({std::to_string(d),
+                   util::fmt_double(surrogate.fidelity(), 4),
+                   util::fmt_double(surrogate.oob_accuracy(), 4)});
+  }
+  depth.print(std::cout);
+
+  std::cout << "\n";
+  bench::print_claim(
+      "a 100-tree forest is a faithful surrogate of the clustering",
+      "the paper trains a random forest classifier with 100 trees",
+      "see sweep: fidelity saturates well before 100 trees");
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "common.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+namespace icn::bench {
+
+double bench_scale() {
+  if (const char* env = std::getenv("ICN_BENCH_SCALE")) {
+    const double scale = std::atof(env);
+    if (scale > 0.0) return scale;
+  }
+  return 1.0;
+}
+
+core::PipelineParams default_params() {
+  core::PipelineParams params;
+  params.scenario.seed = 2023;
+  params.scenario.scale = bench_scale();
+  return params;
+}
+
+const core::PipelineResult& shared_pipeline() {
+  static const std::unique_ptr<core::PipelineResult> result = [] {
+    std::cerr << "[bench] running pipeline at scale " << bench_scale()
+              << " (set ICN_BENCH_SCALE to change)...\n";
+    auto r = std::make_unique<core::PipelineResult>(
+        core::run_pipeline(default_params()));
+    std::cerr << "[bench] N=" << r->scenario.num_antennas()
+              << " antennas, k=" << r->clusters.chosen_k
+              << ", archetype ARI=" << r->ari_vs_archetypes << "\n";
+    return r;
+  }();
+  return *result;
+}
+
+void print_header(const std::string& experiment, const std::string& title) {
+  std::cout << "==========================================================\n"
+            << experiment << " — " << title << "\n"
+            << "(Bakirtzis et al., IMC'23; synthetic reproduction, scale "
+            << bench_scale() << ")\n"
+            << "==========================================================\n";
+}
+
+void print_claim(const std::string& claim, const std::string& paper,
+                 const std::string& measured) {
+  std::cout << "[claim] " << claim << "\n"
+            << "        paper:    " << paper << "\n"
+            << "        measured: " << measured << "\n";
+}
+
+}  // namespace icn::bench

@@ -1,0 +1,123 @@
+// Extension — the paper's Sec. 7 roadmap: "with the emergence of
+// applications such as the industrial Internet of Things, augmented
+// reality, and intelligent self-orchestrated environments, we believe that
+// additional clusters may emerge within ICN traffic".
+//
+// This bench simulates that future: four new service types (IIoT telemetry,
+// AR streaming, cloud gaming, robot control) are adopted by a quarter of the
+// workspace/industrial deployments. Re-running the unmodified pipeline on
+// the extended service matrix must surface a tenth cluster containing
+// exactly the adopter antennas — evidence that the methodology keeps working
+// as the service mix evolves.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common.h"
+#include "core/clustering.h"
+#include "core/rca.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace icn;
+  bench::print_header("Extension",
+                      "Sec. 7 roadmap: a 10th cluster from future services");
+  const auto& result = bench::shared_pipeline();
+  const auto& traffic = result.scenario.demand().traffic_matrix();
+  const auto& indoor = result.scenario.topology().indoor();
+  const std::size_t n = traffic.rows();
+  const std::size_t m = traffic.cols();
+
+  // Future services adopted by 25% of the workspace deployments.
+  struct FutureService {
+    const char* name;
+    double share_of_total;  // adopter traffic share for this service
+  };
+  const FutureService kFuture[] = {
+      {"IIoT Telemetry", 0.22},
+      {"AR Streaming", 0.14},
+      {"Cloud Gaming", 0.08},
+      {"Robot Control", 0.05},
+  };
+  const std::size_t extra = std::size(kFuture);
+
+  icn::util::Rng rng(4242);
+  std::vector<bool> adopter(n, false);
+  std::size_t num_adopters = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indoor[i].environment == net::Environment::kWorkspace &&
+        rng.bernoulli(0.25)) {
+      adopter[i] = true;
+      ++num_adopters;
+    }
+  }
+
+  ml::Matrix extended(n, m + extra);
+  for (std::size_t i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      extended(i, j) = traffic(i, j);
+      total += traffic(i, j);
+    }
+    for (std::size_t e = 0; e < extra; ++e) {
+      const double level = adopter[i] ? kFuture[e].share_of_total : 0.001;
+      extended(i, m + e) =
+          total * level * rng.lognormal(0.0, 0.3);
+    }
+  }
+
+  std::cout << "\nExtended study: " << n << " antennas x " << (m + extra)
+            << " services; " << num_adopters
+            << " workspace antennas adopted the future services.\n\n";
+
+  // The unmodified pipeline on the extended matrix.
+  const ml::Matrix rsca = core::compute_rsca(extended);
+  core::ClusterAnalysisParams params;
+  params.k_min = 2;
+  params.k_max = 14;
+  params.chosen_k = 0;  // let the knee criterion decide
+  const auto analysis = core::analyze_clusters(rsca, params);
+
+  util::TextTable sweep({"k", "silhouette", "dunn"});
+  for (const auto& p : analysis.sweep) {
+    sweep.add_row({std::to_string(p.k), util::fmt_double(p.silhouette, 4),
+                   util::fmt_double(p.dunn, 4)});
+  }
+  sweep.print(std::cout);
+
+  // Cut at 10 and measure how cleanly the adopters separate.
+  const auto labels10 = analysis.dendrogram.cut(10);
+  // Find the cluster holding the majority of adopters.
+  std::vector<std::size_t> adopters_per_cluster(10, 0), size_per_cluster(10,
+                                                                         0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::size_t>(labels10[i]);
+    ++size_per_cluster[c];
+    if (adopter[i]) ++adopters_per_cluster[c];
+  }
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < 10; ++c) {
+    if (adopters_per_cluster[c] > adopters_per_cluster[best]) best = c;
+  }
+  const double recall =
+      static_cast<double>(adopters_per_cluster[best]) /
+      static_cast<double>(std::max<std::size_t>(1, num_adopters));
+  const double precision =
+      static_cast<double>(adopters_per_cluster[best]) /
+      static_cast<double>(std::max<std::size_t>(1, size_per_cluster[best]));
+
+  std::cout << "\n";
+  bench::print_claim(
+      "new specialized applications create additional ICN clusters",
+      "additional clusters may emerge within ICN traffic, requiring further "
+      "provisioning by MNOs (Sec. 7)",
+      "knee criterion now suggests k = " +
+          std::to_string(core::suggest_k(analysis.sweep)) +
+          " (was 9 without the future services); cutting at k = 10 isolates "
+          "the adopters with precision " +
+          util::fmt_percent(precision) + " and recall " +
+          util::fmt_percent(recall));
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 1: histograms of (i) max-normalized traffic, (ii) RCA, (iii) RSCA
+// over the M = 73 service features of a set of sample antennas.
+//
+// Reproduced claims: the normalized traffic collapses into a spike at 0;
+// RCA spreads the samples but keeps a long over-utilization tail (the paper
+// observes a maximum of 75.88 on its sample); RSCA is balanced in [-1, 1].
+#include <algorithm>
+#include <iostream>
+
+#include "common.h"
+#include "core/rca.h"
+#include "util/ascii.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace icn;
+  bench::print_header("Figure 1",
+                      "Normalized traffic vs RCA vs RSCA histograms");
+  const auto& result = bench::shared_pipeline();
+  const auto& traffic = result.scenario.demand().traffic_matrix();
+  const ml::Matrix rca = core::compute_rca(traffic);
+  const ml::Matrix& rsca = result.rsca;
+
+  // The paper plots "some antennas": use the first 40 antennas (seeded
+  // generation makes this stable) and pool their per-service features.
+  const std::size_t sample = std::min<std::size_t>(40, traffic.rows());
+  std::vector<double> raw, rca_vals, rsca_vals;
+  double global_max = 0.0;
+  for (std::size_t i = 0; i < sample; ++i) {
+    for (std::size_t j = 0; j < traffic.cols(); ++j) {
+      global_max = std::max(global_max, traffic(i, j));
+    }
+  }
+  for (std::size_t i = 0; i < sample; ++i) {
+    for (std::size_t j = 0; j < traffic.cols(); ++j) {
+      raw.push_back(traffic(i, j) / global_max);
+      rca_vals.push_back(rca(i, j));
+      rsca_vals.push_back(rsca(i, j));
+    }
+  }
+
+  std::cout << "\n(i) Traffic normalized by the max application load ("
+            << sample << " antennas x 73 services):\n";
+  std::cout << util::render_histogram(
+      util::make_histogram(raw, 0.0, 1.0, 20));
+  const double frac_below_005 =
+      static_cast<double>(std::count_if(raw.begin(), raw.end(),
+                                        [](double v) { return v < 0.05; })) /
+      static_cast<double>(raw.size());
+
+  std::cout << "\n(ii) RCA (Eq. 1):\n";
+  std::cout << util::render_histogram(
+      util::make_histogram(rca_vals, 0.0, 5.0, 20));
+  std::cout << "RCA max over the sample: "
+            << util::fmt_double(util::max_value(rca_vals), 2) << "\n";
+
+  std::cout << "\n(iii) RSCA (Eq. 2):\n";
+  std::cout << util::render_histogram(
+      util::make_histogram(rsca_vals, -1.0, 1.0, 20));
+
+  std::cout << "\n";
+  bench::print_claim(
+      "max-normalization squeezes almost all features near 0",
+      "spike-like behavior with most applications close to 0",
+      util::fmt_percent(frac_below_005) + " of features below 0.05");
+  bench::print_claim(
+      "RCA keeps an unbounded over-utilization tail",
+      "values span beyond 5, max 75.88 in the paper's sample",
+      "max RCA " + util::fmt_double(util::max_value(rca_vals), 2) +
+          ", " +
+          util::fmt_percent(
+              static_cast<double>(std::count_if(
+                  rca_vals.begin(), rca_vals.end(),
+                  [](double v) { return v > 5.0; })) /
+              static_cast<double>(rca_vals.size())) +
+          " of features above 5");
+  bench::print_claim(
+      "RSCA balances under- and over-utilization",
+      "properly balanced distribution within [-1, 1]",
+      "RSCA mean " + util::fmt_double(util::mean(rsca_vals), 3) +
+          ", min " + util::fmt_double(util::min_value(rsca_vals), 3) +
+          ", max " + util::fmt_double(util::max_value(rsca_vals), 3));
+  return 0;
+}

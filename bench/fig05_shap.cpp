@@ -1,0 +1,124 @@
+// Figure 5 (a-i): SHAP beeswarm summaries per cluster — the 25 most
+// influential services ranked by mean |SHAP|, with the over-/under-
+// utilization direction (red/blue in the paper; here a signed direction
+// column derived from the value/SHAP correlation and the cluster-mean RSCA).
+#include <iostream>
+#include <string>
+
+#include "common.h"
+#include "traffic/archetypes.h"
+#include "util/ascii.h"
+#include "util/table.h"
+
+namespace {
+
+/// True when `name` appears in the cluster's top `depth` services with the
+/// given direction (+1 over-utilized, -1 under-utilized).
+bool ranked(const icn::core::ShapSummary& summary,
+            const icn::core::PipelineResult& result, int cluster,
+            const char* name, int direction, std::size_t depth = 40) {
+  const auto idx = result.scenario.catalog().index_of(name);
+  if (!idx) return false;
+  const auto& impacts = summary.per_cluster[static_cast<std::size_t>(cluster)];
+  for (std::size_t r = 0; r < std::min(depth, impacts.size()); ++r) {
+    if (impacts[r].service != *idx) continue;
+    const bool over = impacts[r].mean_value_in_cluster > 0.0;
+    return direction > 0 ? over : !over;
+  }
+  return false;
+}
+
+std::string yn(bool b) { return b ? "yes" : "NO"; }
+
+}  // namespace
+
+int main() {
+  using namespace icn;
+  bench::print_header("Figure 5",
+                      "SHAP beeswarm summaries for clusters 0..8");
+  const auto& result = bench::shared_pipeline();
+  std::cerr << "[bench] computing TreeSHAP summaries...\n";
+  const auto summary = result.surrogate->explain(
+      result.rsca, result.clusters.labels, /*max_per_cluster=*/120);
+  std::cout << "surrogate fidelity "
+            << util::fmt_double(result.surrogate->fidelity(), 4)
+            << ", OOB accuracy "
+            << util::fmt_double(result.surrogate->oob_accuracy(), 4)
+            << ", samples explained " << summary.samples_used << "\n";
+
+  const auto& catalog = result.scenario.catalog();
+  for (int c = 0; c < 9; ++c) {
+    std::cout << "\n--- Cluster " << c << " ("
+              << traffic::group_name(traffic::archetype_group(c))
+              << " group): top 25 services by mean |SHAP| ---\n";
+    util::TextTable table({"rank", "service", "mean|SHAP|", "corr(value,SHAP)",
+                           "cluster mean RSCA", "direction"});
+    const auto& impacts = summary.per_cluster[static_cast<std::size_t>(c)];
+    for (std::size_t r = 0; r < std::min<std::size_t>(25, impacts.size());
+         ++r) {
+      const auto& fi = impacts[r];
+      table.add_row(
+          {std::to_string(r + 1), std::string(catalog.at(fi.service).name),
+           util::fmt_double(fi.mean_abs_shap, 4),
+           util::fmt_double(fi.value_shap_correlation, 2),
+           util::fmt_double(fi.mean_value_in_cluster, 3),
+           fi.mean_value_in_cluster > 0 ? "over-utilized"
+                                        : "under-utilized"});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\n--- Paper claims (Sec. 5.1.2) ---\n";
+  bench::print_claim(
+      "orange group over-utilizes music apps",
+      "Spotify/SoundCloud/Deezer/Apple Music top clusters 0, 4, 7",
+      "Spotify over-utilized & ranked: c0=" +
+          yn(ranked(summary, result, 0, "Spotify", +1)) + " c4=" +
+          yn(ranked(summary, result, 4, "Spotify", +1)) + " c7=" +
+          yn(ranked(summary, result, 7, "Spotify", +1)));
+  bench::print_claim(
+      "navigation distinguishes clusters 0/4 from 7",
+      "Mappy & transportation websites over in 0/4, under in 7",
+      "Mappy: c0 over=" + yn(ranked(summary, result, 0, "Mappy", +1)) +
+          ", c4 over=" + yn(ranked(summary, result, 4, "Mappy", +1)) +
+          ", c7 under=" + yn(ranked(summary, result, 7, "Mappy", -1)));
+  bench::print_claim(
+      "cluster 4 lacks entertainment services",
+      "Yahoo / entertainment websites under-utilized in cluster 4",
+      "Yahoo under in c4: " + yn(ranked(summary, result, 4, "Yahoo", -1)) +
+          ", Entertainment Websites under in c4: " +
+          yn(ranked(summary, result, 4, "Entertainment Websites", -1)));
+  bench::print_claim(
+      "clusters 6 and 8 over-use Snapchat, Twitter, sports sites",
+      "Snapchat/Twitter/Sport websites over-utilized in 6 and 8",
+      "Snapchat: c6=" + yn(ranked(summary, result, 6, "Snapchat", +1)) +
+          " c8=" + yn(ranked(summary, result, 8, "Snapchat", +1)) +
+          "; Sports Websites: c6=" +
+          yn(ranked(summary, result, 6, "Sports Websites", +1)) + " c8=" +
+          yn(ranked(summary, result, 8, "Sports Websites", +1)));
+  bench::print_claim(
+      "cluster 8 is more diverse than 6",
+      "Giphy, WhatsApp, Canal+ present in 8, absent in 6",
+      "Giphy over in c8: " + yn(ranked(summary, result, 8, "Giphy", +1)) +
+          ", Canal+ over in c8: " +
+          yn(ranked(summary, result, 8, "Canal+", +1)));
+  bench::print_claim(
+      "cluster 3 is business-oriented",
+      "Microsoft Teams, LinkedIn, emailing services over-utilized",
+      "Teams: " + yn(ranked(summary, result, 3, "Microsoft Teams", +1)) +
+          ", LinkedIn: " + yn(ranked(summary, result, 3, "LinkedIn", +1)) +
+          ", Gmail: " + yn(ranked(summary, result, 3, "Gmail", +1)));
+  bench::print_claim(
+      "cluster 1 over-uses streaming, Waze, mail",
+      "Netflix/Disney+/Prime Video, Waze, mailing apps over-utilized",
+      "Netflix: " + yn(ranked(summary, result, 1, "Netflix", +1)) +
+          ", Waze: " + yn(ranked(summary, result, 1, "Waze", +1)));
+  bench::print_claim(
+      "cluster 2 over-uses app-store and shopping services",
+      "Google Play Store and shopping websites characterize cluster 2",
+      "Play Store: " +
+          yn(ranked(summary, result, 2, "Google Play Store", +1)) +
+          ", Shopping Websites: " +
+          yn(ranked(summary, result, 2, "Shopping Websites", +1)));
+  return 0;
+}

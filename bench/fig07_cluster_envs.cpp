@@ -1,0 +1,104 @@
+// Figure 7 (a-c): the environment composition of every cluster, by group —
+// orange clusters contain only metro/train antennas; the green group is
+// stadium-dominated; cluster 3 is >70% workspaces; plus the Paris-share
+// statistics the paper quotes per cluster.
+#include <algorithm>
+#include <iostream>
+
+#include "common.h"
+#include "core/environment_analysis.h"
+#include "traffic/archetypes.h"
+#include "util/table.h"
+
+int main() {
+  using namespace icn;
+  bench::print_header("Figure 7", "Indoor environment types per cluster");
+  const auto& result = bench::shared_pipeline();
+  const core::EnvironmentCorrelation env(
+      result.scenario, result.clusters.labels, result.clusters.chosen_k);
+
+  for (int group = 0; group < 3; ++group) {
+    std::cout << "\n("
+              << static_cast<char>('a' + group) << ") "
+              << traffic::group_name(static_cast<traffic::ClusterGroup>(group))
+              << " group:\n";
+    util::TextTable table({"cluster", "size", "Paris share",
+                           "top environments (share of cluster)"});
+    for (int c = 0; c < 9; ++c) {
+      if (static_cast<int>(traffic::archetype_group(c)) != group) continue;
+      // Collect environments above 2%.
+      std::vector<std::pair<double, net::Environment>> shares;
+      for (const net::Environment e : net::all_environments()) {
+        const double s = env.share_of_cluster(static_cast<std::size_t>(c), e);
+        if (s > 0.02) shares.emplace_back(s, e);
+      }
+      std::sort(shares.rbegin(), shares.rend());
+      std::string desc;
+      for (std::size_t i = 0; i < std::min<std::size_t>(4, shares.size());
+           ++i) {
+        if (i) desc += ", ";
+        desc += std::string(net::environment_name(shares[i].second)) + " " +
+                util::fmt_percent(shares[i].first, 0);
+      }
+      table.add_row(
+          {std::to_string(c),
+           std::to_string(env.cluster_size(static_cast<std::size_t>(c))),
+           util::fmt_percent(env.paris_share(static_cast<std::size_t>(c))),
+           desc});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\n";
+  auto transit_share = [&](int c) {
+    return env.share_of_cluster(static_cast<std::size_t>(c),
+                                net::Environment::kMetro) +
+           env.share_of_cluster(static_cast<std::size_t>(c),
+                                net::Environment::kTrain);
+  };
+  bench::print_claim(
+      "orange clusters comprise solely metro and train stations",
+      "clusters 0, 4, 7 contain only transit antennas",
+      "metro+train share: c0 " + util::fmt_percent(transit_share(0)) +
+          ", c4 " + util::fmt_percent(transit_share(4)) + ", c7 " +
+          util::fmt_percent(transit_share(7)));
+  bench::print_claim(
+      "clusters 0 and 4 are Parisian, cluster 7 is provincial",
+      ">92% of clusters 0/4 antennas in Paris; cluster 7 = Lille, Lyon, "
+      "Rennes, Toulouse metros",
+      "Paris share: c0 " + util::fmt_percent(env.paris_share(0)) + ", c4 " +
+          util::fmt_percent(env.paris_share(4)) + ", c7 " +
+          util::fmt_percent(env.paris_share(7)));
+  bench::print_claim(
+      "cluster 3 is dominated by workplaces",
+      "more than 70% of cluster 3 antennas are workplaces",
+      util::fmt_percent(env.share_of_cluster(
+          3, net::Environment::kWorkspace)) +
+          " of cluster 3 antennas are workspaces");
+  bench::print_claim(
+      "stadiums are ~35% of cluster 5 which mixes venue types",
+      "stadiums 35% of cluster 5, plus expo centers, offices, commerce",
+      util::fmt_percent(env.share_of_cluster(
+          5, net::Environment::kStadium)) +
+          " stadiums, " +
+          util::fmt_percent(env.share_of_cluster(5, net::Environment::kExpo)) +
+          " expo centers in cluster 5");
+  bench::print_claim(
+      "clusters 6/8 are stadium-dominated, split by geography",
+      ">75% of clusters 6/8 in stadiums; cluster 6 outside Paris, ~60% of "
+      "cluster 8 in Paris",
+      "stadium share: c6 " +
+          util::fmt_percent(
+              env.share_of_cluster(6, net::Environment::kStadium)) +
+          " (Paris " + util::fmt_percent(env.paris_share(6)) + "), c8 " +
+          util::fmt_percent(
+              env.share_of_cluster(8, net::Environment::kStadium)) +
+          " (Paris " + util::fmt_percent(env.paris_share(8)) + ")");
+  bench::print_claim(
+      "geography of the red group",
+      "~92% of cluster 2 outside Paris; ~70% of cluster 3 in Paris",
+      "outside-Paris share c2 " +
+          util::fmt_percent(1.0 - env.paris_share(2)) +
+          "; Paris share c3 " + util::fmt_percent(env.paris_share(3)));
+  return 0;
+}

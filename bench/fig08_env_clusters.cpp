@@ -1,0 +1,77 @@
+// Figure 8 (a-c): how each indoor environment distributes over the clusters
+// — airports/tunnels almost entirely in cluster 1, hotels/hospitals/public
+// buildings in cluster 2, expo centers >50% in cluster 3, stadium split
+// across 5/6/8, workplaces concentrated in cluster 3.
+#include <iostream>
+
+#include "common.h"
+#include "core/environment_analysis.h"
+#include "util/table.h"
+
+int main() {
+  using namespace icn;
+  bench::print_header("Figure 8", "Cluster distributions per environment");
+  const auto& result = bench::shared_pipeline();
+  const core::EnvironmentCorrelation env(
+      result.scenario, result.clusters.labels, result.clusters.chosen_k);
+
+  util::TextTable table({"environment", "N", "c0", "c1", "c2", "c3", "c4",
+                         "c5", "c6", "c7", "c8"});
+  for (const net::Environment e : net::all_environments()) {
+    std::vector<std::string> row = {
+        net::environment_name(e), std::to_string(env.environment_size(e))};
+    for (std::size_t c = 0; c < 9; ++c) {
+      row.push_back(util::fmt_percent(env.share_of_environment(e, c), 0));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  std::cout << "\n";
+  bench::print_claim(
+      "(a) airports, tunnels, commercial centers",
+      "cluster 1 contains almost all airport and tunnel antennas; cluster 2 "
+      "hosts 50% of the commercial centers",
+      "airports->c1 " +
+          util::fmt_percent(
+              env.share_of_environment(net::Environment::kAirport, 1)) +
+          ", tunnels->c1 " +
+          util::fmt_percent(
+              env.share_of_environment(net::Environment::kTunnel, 1)) +
+          ", commercial->c2 " +
+          util::fmt_percent(
+              env.share_of_environment(net::Environment::kCommercial, 2)));
+  bench::print_claim(
+      "(b) hotels, hospitals, public buildings",
+      "cluster 2 hosts most hotels and public buildings and almost all "
+      "hospitals",
+      "hotels->c2 " +
+          util::fmt_percent(
+              env.share_of_environment(net::Environment::kHotel, 2)) +
+          ", hospitals->c2 " +
+          util::fmt_percent(
+              env.share_of_environment(net::Environment::kHospital, 2)) +
+          ", public->c2 " +
+          util::fmt_percent(env.share_of_environment(
+              net::Environment::kPublicBuilding, 2)));
+  bench::print_claim(
+      "(c) stadiums, expo centers, workplaces",
+      "stadiums split over 5/6/8; expo centers >50% in cluster 3; "
+      "workplaces mostly cluster 3 (~5% in cluster 5)",
+      "stadiums->5/6/8 " +
+          util::fmt_percent(
+              env.share_of_environment(net::Environment::kStadium, 5) +
+              env.share_of_environment(net::Environment::kStadium, 6) +
+              env.share_of_environment(net::Environment::kStadium, 8)) +
+          ", expo->c3 " +
+          util::fmt_percent(
+              env.share_of_environment(net::Environment::kExpo, 3)) +
+          ", workspaces->c3 " +
+          util::fmt_percent(
+              env.share_of_environment(net::Environment::kWorkspace, 3)) +
+          " (c5 " +
+          util::fmt_percent(
+              env.share_of_environment(net::Environment::kWorkspace, 5)) +
+          ")");
+  return 0;
+}

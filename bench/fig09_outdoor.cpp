@@ -1,0 +1,52 @@
+// Figure 9: the ~22,000 outdoor macro antennas near the ICNs, measured with
+// the Eq. 5 RSCA against the indoor baseline and classified by the surrogate
+// forest — ~70% collapse into the general-use cluster 1, and the
+// indoor-specific clusters (transit, workplaces, stadiums) are nearly empty.
+#include <iostream>
+
+#include "common.h"
+#include "core/outdoor.h"
+#include "util/ascii.h"
+#include "util/table.h"
+
+int main() {
+  using namespace icn;
+  bench::print_header("Figure 9", "Outdoor antennas vs the indoor clusters");
+  const auto& result = bench::shared_pipeline();
+  std::cerr << "[bench] classifying outdoor antennas...\n";
+  const auto comparison = core::compare_outdoor(
+      result.scenario, *result.surrogate,
+      result.scenario.demand().traffic_matrix());
+
+  std::cout << "\nOutdoor antennas classified: "
+            << comparison.predicted.size() << "\n\n";
+  util::TextTable table({"cluster", "share", "bar"});
+  double max_share = 0.0;
+  for (const double v : comparison.distribution) {
+    max_share = std::max(max_share, v);
+  }
+  for (std::size_t c = 0; c < comparison.distribution.size(); ++c) {
+    table.add_row({std::to_string(c),
+                   util::fmt_percent(comparison.distribution[c]),
+                   util::render_bar(comparison.distribution[c], max_share,
+                                    30)});
+  }
+  table.print(std::cout);
+
+  const double indoor_specific =
+      comparison.distribution[0] + comparison.distribution[4] +
+      comparison.distribution[7] + comparison.distribution[3] +
+      comparison.distribution[6] + comparison.distribution[8];
+  std::cout << "\n";
+  bench::print_claim(
+      "outdoor traffic collapses into the general-use cluster",
+      "almost 70% of outdoor antennas appertain to cluster 1",
+      util::fmt_percent(comparison.distribution[1]) + " in cluster 1");
+  bench::print_claim(
+      "indoor-specific behaviors are absent outdoors",
+      "negligible share of outdoor antennas in the workplace, stadium, "
+      "metro and train clusters",
+      util::fmt_percent(indoor_specific) +
+          " total in clusters 0/3/4/6/7/8");
+  return 0;
+}

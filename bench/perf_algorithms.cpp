@@ -1,0 +1,165 @@
+// Performance microbenches (google-benchmark) for the core algorithms:
+// Ward NN-chain scaling, silhouette, RCA/RSCA transform throughput,
+// random-forest training, TreeSHAP vs KernelSHAP per explanation, and the
+// probe-path aggregation throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/rca.h"
+#include "core/scenario.h"
+#include "ml/forest.h"
+#include "ml/kernelshap.h"
+#include "ml/linkage.h"
+#include "ml/metrics.h"
+#include "ml/treeshap.h"
+#include "probe/aggregate.h"
+#include "probe/dpi.h"
+#include "probe/gtp.h"
+#include "probe/probe.h"
+#include "traffic/flows.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace icn;
+
+ml::Matrix random_features(std::size_t n, std::size_t m,
+                           std::uint64_t seed = 42) {
+  icn::util::Rng rng(seed);
+  ml::Matrix x(n, m);
+  for (auto& v : x.data()) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  return x;
+}
+
+std::vector<int> random_labels(std::size_t n, int k,
+                               std::uint64_t seed = 43) {
+  icn::util::Rng rng(seed);
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(k)));
+  }
+  return y;
+}
+
+void BM_WardNnChain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ml::Matrix x = random_features(n, 73);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::agglomerative_cluster(x, ml::Linkage::kWard));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WardNnChain)->Arg(250)->Arg(500)->Arg(1000)->Arg(2000)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+void BM_SilhouetteScore(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ml::Matrix x = random_features(n, 73);
+  const auto labels = random_labels(n, 9);
+  const ml::CondensedDistances dist(x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::silhouette_score(dist, labels));
+  }
+}
+BENCHMARK(BM_SilhouetteScore)->Arg(500)->Arg(1000)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RscaTransform(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ml::Matrix t = random_features(n, 73);
+  for (auto& v : t.data()) v = std::abs(v) + 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_rsca(t));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n) * 73);
+}
+BENCHMARK(BM_RscaTransform)->Arg(1000)->Arg(4762)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ForestTraining(benchmark::State& state) {
+  const auto trees = static_cast<std::size_t>(state.range(0));
+  const ml::Matrix x = random_features(1000, 73);
+  const auto y = random_labels(1000, 9);
+  for (auto _ : state) {
+    ml::RandomForest forest;
+    ml::RandomForest::Params params;
+    params.num_trees = trees;
+    forest.fit(x, y, 9, params);
+    benchmark::DoNotOptimize(forest);
+  }
+}
+BENCHMARK(BM_ForestTraining)->Arg(10)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+class ShapFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (forest.is_fitted()) return;
+    x = random_features(1000, 20);
+    const auto y = random_labels(1000, 4);
+    ml::RandomForest::Params params;
+    params.num_trees = 50;
+    params.max_depth = 10;
+    forest.fit(x, y, 4, params);
+  }
+  ml::Matrix x;
+  ml::RandomForest forest;
+};
+
+BENCHMARK_F(ShapFixture, BM_TreeShapPerSample)(benchmark::State& state) {
+  std::size_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::forest_shap(forest, x.row(row)));
+    row = (row + 1) % x.rows();
+  }
+}
+
+BENCHMARK_F(ShapFixture, BM_KernelShapPerSample)(benchmark::State& state) {
+  // Model-agnostic path, budgeted at 512 coalitions with a 16-row
+  // background; vastly slower than TreeSHAP — that gap is the point.
+  std::vector<std::size_t> bg_rows(16);
+  for (std::size_t i = 0; i < 16; ++i) bg_rows[i] = i * 7;
+  const ml::Matrix background = x.select_rows(bg_rows);
+  const ml::ModelFunction model = [&](std::span<const double> row) {
+    return forest.predict_proba(row);
+  };
+  ml::KernelShapParams params;
+  params.max_coalitions = 512;
+  std::size_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ml::kernel_shap(model, x.row(row), background, params));
+    row = (row + 1) % x.rows();
+  }
+}
+
+void BM_ProbeAggregation(benchmark::State& state) {
+  // Measurement-path throughput: flows -> ULI decode -> DPI -> aggregate.
+  core::ScenarioParams params;
+  params.scale = 0.01;
+  params.outdoor_ratio = 0.0;
+  static const core::Scenario scenario = core::Scenario::build(params);
+  const traffic::FlowGenerator generator(scenario.temporal(), 3);
+  probe::UliDecoder decoder;
+  decoder.register_range(generator.ecgi_of(0),
+                         static_cast<std::uint32_t>(scenario.num_antennas()));
+  const auto flows = generator.flows_for_antenna(0, 0, 24 * 7);
+  std::int64_t flows_done = 0;
+  for (auto _ : state) {
+    probe::DpiClassifier dpi(scenario.catalog());
+    probe::PassiveProbe probe(decoder, dpi);
+    const std::vector<std::uint32_t> ids = {0};
+    probe::HourlyAggregator agg(ids, scenario.num_services(), 24 * 7);
+    agg.add_all(probe.observe_all(flows));
+    benchmark::DoNotOptimize(agg);
+    flows_done += static_cast<std::int64_t>(flows.size());
+  }
+  state.SetItemsProcessed(flows_done);
+}
+BENCHMARK(BM_ProbeAggregation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

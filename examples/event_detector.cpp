@@ -1,0 +1,158 @@
+// Event detector — operational use of the temporal models (Sec. 6).
+//
+// Green-group venues (stadiums, expo centres) generate sporadic,
+// non-canonical bursts when events take place. This example watches the
+// hourly series of every green-cluster antenna, flags hours whose traffic
+// exceeds a robust baseline (median + k * IQR over the same hour-of-day),
+// groups the flags into events, and checks the detections against the
+// ground-truth venue calendars (including the 19 Jan NBA Paris Game and the
+// Sirha Lyon fair).
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "core/pipeline.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+struct Detection {
+  std::int64_t day = 0;
+  int first_hour = 0;
+  int last_hour = 0;
+  double peak_ratio = 0.0;
+};
+
+/// Flags bursts in one antenna's hourly series.
+std::vector<Detection> detect(const std::vector<double>& series,
+                              double threshold) {
+  // Baseline per hour-of-day: median and IQR across days.
+  const std::size_t days = series.size() / 24;
+  std::vector<Detection> events;
+  std::vector<double> baseline(24), spread(24);
+  std::vector<double> column;
+  for (int h = 0; h < 24; ++h) {
+    column.clear();
+    for (std::size_t d = 0; d < days; ++d) {
+      column.push_back(series[d * 24 + static_cast<std::size_t>(h)]);
+    }
+    baseline[static_cast<std::size_t>(h)] = icn::util::median(column);
+    spread[static_cast<std::size_t>(h)] =
+        icn::util::quantile(column, 0.75) - icn::util::quantile(column, 0.25);
+  }
+  // Scan for anomalous hours, merging consecutive ones into events.
+  Detection current;
+  bool open = false;
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    const int h = static_cast<int>(t % 24);
+    const auto d = static_cast<std::int64_t>(t / 24);
+    const double base = baseline[static_cast<std::size_t>(h)];
+    const double scale = std::max(spread[static_cast<std::size_t>(h)],
+                                  0.05 * std::max(base, 1e-9));
+    const double score = (series[t] - base) / scale;
+    const bool burst = score > threshold;
+    if (burst && open && current.day == d) {
+      current.last_hour = h;
+      current.peak_ratio = std::max(current.peak_ratio, score);
+    } else if (burst) {
+      if (open) events.push_back(current);
+      current = Detection{d, h, h, score};
+      open = true;
+    } else if (open && (current.day != d || h > current.last_hour + 1)) {
+      events.push_back(current);
+      open = false;
+    }
+  }
+  if (open) events.push_back(current);
+  return events;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace icn;
+  core::PipelineParams params;
+  params.scenario.scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+  params.scenario.seed = 2023;
+  std::cout << "Detecting venue events in the green clusters (scale "
+            << params.scenario.scale << ")...\n";
+  const auto result = core::run_pipeline(params);
+  const auto& temporal = result.scenario.temporal();
+  const auto& indoor = result.scenario.topology().indoor();
+  const auto& labels = result.clusters.labels;
+
+  std::size_t venues = 0, with_truth = 0;
+  std::size_t truth_events = 0, detected_truth = 0, false_alarms = 0;
+  std::map<std::string, std::size_t> by_label;
+  for (std::size_t i = 0; i < indoor.size(); ++i) {
+    const int c = labels[i];
+    if (traffic::archetype_group(c) != traffic::ClusterGroup::kGreen) {
+      continue;
+    }
+    if (indoor[i].environment != net::Environment::kStadium &&
+        indoor[i].environment != net::Environment::kExpo) {
+      continue;
+    }
+    ++venues;
+    const auto series = temporal.hourly_total_series(i);
+    const auto detections = detect(series, /*threshold=*/8.0);
+    const auto truth = temporal.site_events(i);
+    if (!truth.empty()) ++with_truth;
+    // Match: a truth event is detected when any detection overlaps its day
+    // and window (+-1h).
+    std::set<std::size_t> used;
+    for (const auto& ev : truth) {
+      ++truth_events;
+      bool hit = false;
+      for (std::size_t d = 0; d < detections.size(); ++d) {
+        if (detections[d].day != ev.day) continue;
+        if (detections[d].last_hour + 1 <
+            static_cast<int>(ev.start_hour) - 1) {
+          continue;
+        }
+        if (detections[d].first_hour >
+            static_cast<int>(ev.end_hour) + 1) {
+          continue;
+        }
+        hit = true;
+        used.insert(d);
+        break;
+      }
+      if (hit) {
+        ++detected_truth;
+        ++by_label[ev.label];
+      }
+    }
+    false_alarms += detections.size() - used.size();
+  }
+
+  util::TextTable table({"metric", "value"});
+  table.add_row({"green-cluster venues scanned", std::to_string(venues)});
+  table.add_row({"venues with scheduled events", std::to_string(with_truth)});
+  table.add_row({"ground-truth events", std::to_string(truth_events)});
+  table.add_row({"events detected",
+                 std::to_string(detected_truth) + " (" +
+                     util::fmt_percent(
+                         truth_events
+                             ? static_cast<double>(detected_truth) /
+                                   static_cast<double>(truth_events)
+                             : 0.0) +
+                     " recall)"});
+  table.add_row({"unmatched detections", std::to_string(false_alarms)});
+  std::cout << "\n";
+  table.print(std::cout);
+
+  std::cout << "\nDetections by event type:\n";
+  util::TextTable types({"event", "detected"});
+  for (const auto& [label, count] : by_label) {
+    types.add_row({label, std::to_string(count)});
+  }
+  types.print(std::cout);
+  std::cout << "\nThe NBA Paris Game (19 Jan) and Sirha Lyon (19-24 Jan)\n"
+               "special events of Sec. 6 are part of the calendar above\n"
+               "when the sampled topology includes their venues.\n";
+  return 0;
+}

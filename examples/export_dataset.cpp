@@ -1,0 +1,54 @@
+// Dataset export — the reproducibility deliverable of Sec. 1 ("we will make
+// publicly available the code and processed service consumption data").
+//
+// Writes two CSVs:
+//   icn_rsca.csv    — per-antenna metadata, cluster label, archetype, and the
+//                     73 RSCA features used throughout the paper's analysis;
+//   icn_traffic.csv — the raw two-month T matrix (MB per antenna x service).
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "core/export.h"
+#include "core/pipeline.h"
+
+int main(int argc, char** argv) {
+  using namespace icn;
+  core::PipelineParams params;
+  params.scenario.scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+  params.scenario.seed = 2023;
+  const std::string prefix = argc > 2 ? argv[2] : "icn";
+
+  std::cout << "Running the pipeline (scale " << params.scenario.scale
+            << ") and exporting the processed dataset...\n";
+  const auto result = core::run_pipeline(params);
+
+  const std::string rsca_path = prefix + "_rsca.csv";
+  {
+    std::ofstream out(rsca_path);
+    if (!out) {
+      std::cerr << "cannot open " << rsca_path << " for writing\n";
+      return 1;
+    }
+    core::export_rsca_csv(out, result.scenario, result.rsca,
+                          result.clusters.labels);
+  }
+  const std::string traffic_path = prefix + "_traffic.csv";
+  {
+    std::ofstream out(traffic_path);
+    if (!out) {
+      std::cerr << "cannot open " << traffic_path << " for writing\n";
+      return 1;
+    }
+    core::export_traffic_csv(out, result.scenario);
+  }
+
+  std::cout << "wrote " << rsca_path << " (" << result.scenario.num_antennas()
+            << " antennas x " << result.scenario.num_services()
+            << " RSCA features + metadata)\n"
+            << "wrote " << traffic_path << " (two-month MB totals)\n"
+            << "cluster labels use the paper's numbering (ARI vs generative "
+               "archetypes: "
+            << result.ari_vs_archetypes << ")\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Proactive traffic forecasting per cluster — the operational motivation the
+// paper opens with (Sec. 1: "understanding and forecasting traffic demands
+// enables the proactive configuration of the wireless network").
+//
+// Trains the hour-of-week seasonal-median baseline on the first weeks of the
+// study and evaluates on the last two weeks, per cluster. The periodic
+// clusters (commuters, offices, retail) forecast well; the event-driven
+// venue clusters do not — the quantitative version of the paper's argument
+// that venue provisioning needs event calendars, not just history.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/forecast.h"
+#include "core/pipeline.h"
+#include "traffic/archetypes.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace icn;
+  core::PipelineParams params;
+  params.scenario.scale = argc > 1 ? std::atof(argv[1]) : 0.15;
+  params.scenario.seed = 2023;
+  std::cout << "Forecasting per-cluster ICN traffic (scale "
+            << params.scenario.scale << ")...\n";
+  const auto result = core::run_pipeline(params);
+  const auto& temporal = result.scenario.temporal();
+  const auto& labels = result.clusters.labels;
+
+  const auto hours = static_cast<std::size_t>(temporal.period().num_hours());
+  const std::size_t test_hours = 168 * 2;       // last two weeks
+  const std::size_t train_hours = hours - test_hours;
+
+  util::TextTable table(
+      {"cluster", "group", "antennas", "sMAPE (seasonal)", "sMAPE (flat)",
+       "peak-hour sMAPE", "verdict"});
+  for (int c = 0; c < static_cast<int>(result.clusters.chosen_k); ++c) {
+    // Median traffic across (up to) 60 antennas of the cluster.
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == c) members.push_back(i);
+    }
+    if (members.empty()) continue;
+    if (members.size() > 60) members.resize(60);
+    // Forecast every antenna individually — that is the granularity an MNO
+    // provisions at — and report the median error over the cluster.
+    std::vector<double> seasonal_errors, flat_errors, peak_errors;
+    for (const std::size_t antenna : members) {
+      const auto series = temporal.hourly_total_series(antenna);
+      core::SeasonalForecaster forecaster;
+      forecaster.fit(std::span<const double>(series).first(train_hours),
+                     168);
+      const auto pred = forecaster.forecast(test_hours);
+      const std::span<const double> actual(series.data() + train_hours,
+                                           test_hours);
+      seasonal_errors.push_back(core::smape(actual, pred));
+      double mean = 0.0;
+      for (std::size_t t = 0; t < train_hours; ++t) {
+        mean += series[t] / static_cast<double>(train_hours);
+      }
+      const std::vector<double> flat(test_hours, mean);
+      flat_errors.push_back(core::smape(actual, flat));
+      // Peak-hour error: what capacity planning actually cares about.
+      // Evaluate only hours where the actual or the predicted series sits
+      // in its own top decile — missed bursts and phantom bursts both land
+      // here.
+      const double p90_actual = util::quantile(actual, 0.9);
+      const double p90_pred = util::quantile(pred, 0.9);
+      std::vector<double> peak_actual, peak_pred;
+      for (std::size_t t = 0; t < test_hours; ++t) {
+        if (actual[t] >= p90_actual || pred[t] >= p90_pred) {
+          peak_actual.push_back(actual[t]);
+          peak_pred.push_back(pred[t]);
+        }
+      }
+      if (!peak_actual.empty()) {
+        peak_errors.push_back(core::smape(peak_actual, peak_pred));
+      }
+    }
+    const double seasonal_error = util::median(seasonal_errors);
+    const double flat_error = util::median(flat_errors);
+    const double peak_error = util::median(peak_errors);
+
+    const char* verdict =
+        peak_error < 0.25
+            ? "predictable - proactive config viable"
+            : (peak_error < 0.5
+                   ? "partially predictable"
+                   : "event-driven - needs an event calendar");
+    table.add_row({std::to_string(c),
+                   traffic::group_name(traffic::archetype_group(c)),
+                   std::to_string(members.size()),
+                   util::fmt_percent(seasonal_error / 2.0),
+                   util::fmt_percent(flat_error / 2.0),
+                   util::fmt_percent(peak_error / 2.0), verdict});
+  }
+  std::cout << "\nHour-of-week seasonal-median forecast of the per-cluster "
+               "median traffic\n(trained on weeks 1-"
+            << train_hours / 168 << ", tested on the last two weeks; sMAPE "
+            << "normalized to [0,100%]):\n\n";
+  table.print(std::cout);
+  std::cout << "\nNote the test window contains the 19 Jan strike and the "
+               "NBA/Sirha events,\nwhich no history-based forecaster can "
+               "anticipate — exactly the paper's point\nabout environment-"
+               "aware, proactive ICN management.\n";
+  return 0;
+}

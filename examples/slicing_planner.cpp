@@ -1,0 +1,88 @@
+// Slicing planner — the Sec. 7 use case.
+//
+// "ICN resource orchestration should not target overall capacity, as in
+// outdoor environments, but must take into account the most important
+// application usage per indoor environment [...] where the indoor slices
+// will be tuned based on the characterizing applications for that specific
+// indoor environment."
+//
+// This example runs the pipeline, condenses each cluster into an operational
+// ClusterProfile (characterizing services, peak hour, weekend/night load,
+// burstiness), maps every environment to its dominant cluster, and prints a
+// per-environment slicing/caching plan.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/environment_analysis.h"
+#include "core/pipeline.h"
+#include "core/profiles.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace icn;
+  core::PipelineParams params;
+  params.scenario.scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+  params.scenario.seed = 2023;
+  std::cout << "Planning ICN slices from a scale-" << params.scenario.scale
+            << " synthetic study...\n";
+  const auto result = core::run_pipeline(params);
+  const auto& labels = result.clusters.labels;
+  const std::size_t k = result.clusters.chosen_k;
+
+  core::ProfileParams profile_params;
+  profile_params.top_n = 3;
+  profile_params.heatmap.max_antennas = 60;
+  const auto profiles = core::build_cluster_profiles(
+      result.scenario, result.rsca, labels, k, profile_params);
+
+  std::cout << "\nCluster profiles:\n";
+  for (const auto& profile : profiles) {
+    std::cout << "  " << core::describe_profile(result.scenario, profile)
+              << "\n";
+  }
+
+  const core::EnvironmentCorrelation env(result.scenario, labels, k);
+  util::TextTable plan({"environment", "dominant cluster", "slice services",
+                        "peak", "weekend", "night", "burst"});
+  for (const net::Environment e : net::all_environments()) {
+    std::size_t best_cluster = 0;
+    double best_share = -1.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double share = env.share_of_environment(e, c);
+      if (share > best_share) {
+        best_share = share;
+        best_cluster = c;
+      }
+    }
+    const auto& profile = profiles[best_cluster];
+    std::string services;
+    for (std::size_t i = 0; i < profile.top_services.size(); ++i) {
+      if (i) services += ", ";
+      services += result.scenario.catalog().at(profile.top_services[i]).name;
+    }
+    if (services.empty()) services = "(balanced mix - best effort)";
+    plan.add_row({net::environment_name(e),
+                  std::to_string(best_cluster) + " (" +
+                      util::fmt_percent(best_share, 0) + ")",
+                  services, "h" + std::to_string(profile.peak_hour),
+                  util::fmt_percent(profile.weekend_ratio, 0),
+                  util::fmt_percent(profile.night_share, 0),
+                  util::fmt_double(profile.burstiness, 1)});
+  }
+  std::cout << "\nPer-environment slicing plan (dominant cluster, "
+               "characterizing services, dimensioning hints):\n\n";
+  plan.print(std::cout);
+
+  std::cout
+      << "\nReading of the plan:\n"
+         "  * transit environments need music/navigation slices dimensioned\n"
+         "    for the commute peaks and can be powered down on weekends;\n"
+         "  * stadium/expo slices are event-driven (high burstiness): burst\n"
+         "    capacity plus social-media uplink provisioning;\n"
+         "  * workspace slices prioritize collaboration traffic and can\n"
+         "    reclaim capacity after office hours;\n"
+         "  * hotel/hospital slices carry nighttime streaming (high night\n"
+         "    share) and benefit from content caching.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Cluster analysis of ICN antennas (Sec. 4.2): Ward agglomerative clustering
+// on RSCA features, with the Silhouette / Dunn k-selection sweep of Fig. 2.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/linkage.h"
+#include "ml/matrix.h"
+
+namespace icn::core {
+
+/// One row of the k-selection sweep (Fig. 2).
+struct KSelectionPoint {
+  std::size_t k = 0;
+  double silhouette = 0.0;
+  double dunn = 0.0;
+};
+
+/// Cluster-analysis configuration.
+struct ClusterAnalysisParams {
+  std::size_t k_min = 2;
+  std::size_t k_max = 15;
+  /// The k to report labels for; the paper selects 9 (steepest post-peak
+  /// drop in both metrics). 0 means "use suggest_k on the sweep".
+  std::size_t chosen_k = 9;
+  ml::Linkage linkage = ml::Linkage::kWard;
+};
+
+/// Full cluster-analysis output.
+struct ClusterAnalysisResult {
+  ml::Dendrogram dendrogram{1, {}};
+  std::vector<KSelectionPoint> sweep;  ///< k = k_min .. k_max.
+  std::size_t chosen_k = 0;
+  std::vector<int> labels;  ///< Cut at chosen_k, deterministic ids.
+};
+
+/// Runs the hierarchical clustering, the validity sweep, and the cut.
+/// Requires features.rows() > k_max.
+[[nodiscard]] ClusterAnalysisResult analyze_clusters(
+    const ml::Matrix& features, const ClusterAnalysisParams& params = {});
+
+/// The paper's stopping criterion: a high metric value followed by an abrupt
+/// drop. Returns the k whose combined (normalized) silhouette+Dunn drop to
+/// k+1 is steepest. Requires a sweep with >= 2 points.
+[[nodiscard]] std::size_t suggest_k(const std::vector<KSelectionPoint>& sweep);
+
+}  // namespace icn::core

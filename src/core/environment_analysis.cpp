@@ -1,0 +1,88 @@
+#include "core/environment_analysis.h"
+
+#include <string>
+
+#include "util/error.h"
+
+namespace icn::core {
+
+EnvironmentCorrelation::EnvironmentCorrelation(const Scenario& scenario,
+                                               std::span<const int> labels,
+                                               std::size_t k)
+    : k_(k) {
+  const auto& indoor = scenario.topology().indoor();
+  ICN_REQUIRE(labels.size() == indoor.size(), "labels vs antennas");
+  ICN_REQUIRE(k >= 1, "cluster count");
+  counts_.assign(k, std::vector<std::size_t>(net::kNumEnvironments, 0));
+  cluster_sizes_.assign(k, 0);
+  paris_counts_.assign(k, 0);
+  for (std::size_t i = 0; i < indoor.size(); ++i) {
+    ICN_REQUIRE(labels[i] >= 0 && static_cast<std::size_t>(labels[i]) < k,
+                "label out of range");
+    const auto c = static_cast<std::size_t>(labels[i]);
+    const auto e = static_cast<std::size_t>(indoor[i].environment);
+    ++counts_[c][e];
+    ++cluster_sizes_[c];
+    if (net::is_paris(indoor[i].city)) ++paris_counts_[c];
+  }
+}
+
+std::size_t EnvironmentCorrelation::count(std::size_t cluster,
+                                          net::Environment env) const {
+  ICN_REQUIRE(cluster < k_, "cluster index");
+  return counts_[cluster][static_cast<std::size_t>(env)];
+}
+
+std::size_t EnvironmentCorrelation::cluster_size(std::size_t cluster) const {
+  ICN_REQUIRE(cluster < k_, "cluster index");
+  return cluster_sizes_[cluster];
+}
+
+std::size_t EnvironmentCorrelation::environment_size(
+    net::Environment env) const {
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < k_; ++c) {
+    total += counts_[c][static_cast<std::size_t>(env)];
+  }
+  return total;
+}
+
+double EnvironmentCorrelation::share_of_cluster(std::size_t cluster,
+                                                net::Environment env) const {
+  const std::size_t size = cluster_size(cluster);
+  if (size == 0) return 0.0;
+  return static_cast<double>(count(cluster, env)) /
+         static_cast<double>(size);
+}
+
+double EnvironmentCorrelation::share_of_environment(
+    net::Environment env, std::size_t cluster) const {
+  const std::size_t size = environment_size(env);
+  if (size == 0) return 0.0;
+  return static_cast<double>(count(cluster, env)) /
+         static_cast<double>(size);
+}
+
+double EnvironmentCorrelation::paris_share(std::size_t cluster) const {
+  const std::size_t size = cluster_size(cluster);
+  if (size == 0) return 0.0;
+  return static_cast<double>(paris_counts_[cluster]) /
+         static_cast<double>(size);
+}
+
+std::vector<icn::util::SankeyFlow> EnvironmentCorrelation::sankey_flows()
+    const {
+  std::vector<icn::util::SankeyFlow> flows;
+  for (std::size_t c = 0; c < k_; ++c) {
+    for (const net::Environment env : net::all_environments()) {
+      const std::size_t n = count(c, env);
+      if (n == 0) continue;
+      flows.push_back(icn::util::SankeyFlow{
+          "cluster " + std::to_string(c), net::environment_name(env),
+          static_cast<double>(n)});
+    }
+  }
+  return flows;
+}
+
+}  // namespace icn::core

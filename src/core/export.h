@@ -1,0 +1,43 @@
+// Dataset export (the paper's reproducibility deliverable: "we will make
+// publicly available the code and processed service consumption data").
+// Writes the processed per-antenna RSCA features, cluster labels and antenna
+// metadata as CSV.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+
+#include "core/scenario.h"
+#include "ml/matrix.h"
+
+namespace icn::core {
+
+/// Writes one row per indoor antenna: id, name, environment, city, site,
+/// cluster label, archetype, total MB, then one RSCA column per service.
+/// Requires rsca rows == indoor antennas == labels size.
+void export_rsca_csv(std::ostream& out, const Scenario& scenario,
+                     const ml::Matrix& rsca, std::span<const int> labels);
+
+/// Writes the raw two-month T matrix (MB): antenna id + one column per
+/// service.
+void export_traffic_csv(std::ostream& out, const Scenario& scenario);
+
+/// A dataset read back from an export_rsca_csv file — what a downstream
+/// user of the published data would load.
+struct ImportedDataset {
+  std::vector<std::uint32_t> antenna_ids;
+  std::vector<std::string> names;
+  std::vector<net::Environment> environments;
+  std::vector<net::City> cities;
+  std::vector<int> clusters;
+  std::vector<int> archetypes;
+  std::vector<double> total_mb;
+  ml::Matrix rsca;                      ///< N x M feature matrix.
+  std::vector<std::string> service_names;  ///< Column names (without prefix).
+};
+
+/// Parses a CSV produced by export_rsca_csv. Throws PreconditionError on a
+/// malformed header, unknown environment/city name, or ragged rows.
+[[nodiscard]] ImportedDataset import_rsca_csv(std::istream& in);
+
+}  // namespace icn::core

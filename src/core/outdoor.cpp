@@ -1,0 +1,27 @@
+#include "core/outdoor.h"
+
+#include "core/rca.h"
+#include "util/error.h"
+
+namespace icn::core {
+
+OutdoorComparison compare_outdoor(const Scenario& scenario,
+                                  const SurrogateExplainer& surrogate,
+                                  const ml::Matrix& indoor_traffic) {
+  const ml::Matrix& outdoor_traffic = scenario.demand().outdoor_traffic_matrix();
+  ICN_REQUIRE(outdoor_traffic.rows() > 0, "scenario has no outdoor antennas");
+  OutdoorComparison result;
+  result.rsca = compute_outdoor_rsca(outdoor_traffic, indoor_traffic);
+  result.predicted = surrogate.classify(result.rsca);
+  result.distribution.assign(
+      static_cast<std::size_t>(surrogate.num_clusters()), 0.0);
+  for (const int c : result.predicted) {
+    result.distribution[static_cast<std::size_t>(c)] += 1.0;
+  }
+  for (auto& v : result.distribution) {
+    v /= static_cast<double>(result.predicted.size());
+  }
+  return result;
+}
+
+}  // namespace icn::core

@@ -1,0 +1,30 @@
+// Outdoor comparison (Sec. 5.3): the ~22,000 outdoor macro antennas near the
+// ICN sites are measured against the *indoor* utilization baseline (Eq. 5),
+// and their cluster is inferred with the trained surrogate forest. The paper
+// finds ~70% of them collapse into the general-use cluster 1, with the
+// indoor-specific clusters nearly empty — the Fig. 9 distribution.
+#pragma once
+
+#include <vector>
+
+#include "core/scenario.h"
+#include "core/surrogate.h"
+#include "ml/matrix.h"
+
+namespace icn::core {
+
+/// Outdoor classification output.
+struct OutdoorComparison {
+  ml::Matrix rsca;                  ///< Outdoor RSCA vs indoor baseline.
+  std::vector<int> predicted;       ///< Cluster per outdoor antenna.
+  std::vector<double> distribution; ///< Fraction of outdoor antennas per cluster.
+};
+
+/// Computes the Eq. 5 RSCA of the scenario's outdoor antennas and classifies
+/// them with the surrogate. `indoor_traffic` must be the same T matrix the
+/// surrogate's clusters were derived from.
+[[nodiscard]] OutdoorComparison compare_outdoor(
+    const Scenario& scenario, const SurrogateExplainer& surrogate,
+    const ml::Matrix& indoor_traffic);
+
+}  // namespace icn::core

@@ -1,0 +1,37 @@
+#include "core/pipeline.h"
+
+#include <numeric>
+
+#include "core/rca.h"
+#include "ml/hungarian.h"
+#include "util/stats.h"
+
+namespace icn::core {
+
+PipelineResult run_pipeline(const PipelineParams& params) {
+  PipelineResult result{Scenario::build(params.scenario), {}, {}, {}, nullptr};
+  result.rsca = compute_rsca(result.scenario.demand().traffic_matrix());
+  result.clusters = analyze_clusters(result.rsca, params.clustering);
+
+  const auto& truth = result.scenario.demand().archetype_labels();
+  const std::size_t k = result.clusters.chosen_k;
+
+  // Identity map by default.
+  result.label_map.resize(k);
+  std::iota(result.label_map.begin(), result.label_map.end(), 0);
+  if (params.align_to_archetypes && k == traffic::kNumArchetypes) {
+    result.label_map = ml::align_labels(result.clusters.labels, truth,
+                                        static_cast<int>(k));
+    result.clusters.labels =
+        ml::apply_label_map(result.clusters.labels, result.label_map);
+  }
+  result.ari_vs_archetypes =
+      icn::util::adjusted_rand_index(result.clusters.labels, truth);
+
+  result.surrogate = std::make_unique<SurrogateExplainer>(
+      result.rsca, result.clusters.labels, static_cast<int>(k),
+      params.surrogate);
+  return result;
+}
+
+}  // namespace icn::core

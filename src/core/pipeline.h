@@ -1,0 +1,42 @@
+// One-call facade running the paper's full methodology:
+//   synthetic study -> T matrix -> RSCA -> Ward clustering + k sweep ->
+//   label alignment -> random-forest surrogate -> ready for SHAP /
+//   environment / temporal / outdoor analyses.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/clustering.h"
+#include "core/scenario.h"
+#include "core/surrogate.h"
+#include "ml/matrix.h"
+
+namespace icn::core {
+
+/// Pipeline configuration.
+struct PipelineParams {
+  ScenarioParams scenario;
+  ClusterAnalysisParams clustering;
+  SurrogateParams surrogate;
+  /// When the chosen k equals the number of generative archetypes, relabel
+  /// the clusters by Hungarian matching against the ground-truth archetypes
+  /// so cluster ids follow the paper's numbering (0..8). Purely cosmetic;
+  /// recorded in `label_map`.
+  bool align_to_archetypes = true;
+};
+
+/// Everything the analyses need, with stable ownership.
+struct PipelineResult {
+  Scenario scenario;
+  ml::Matrix rsca;                ///< N x M RSCA feature matrix.
+  ClusterAnalysisResult clusters; ///< Labels already aligned when requested.
+  std::vector<int> label_map;     ///< raw dendrogram label -> reported label.
+  std::unique_ptr<SurrogateExplainer> surrogate;  ///< Trained on the labels.
+  double ari_vs_archetypes = 0.0; ///< Recovery of the generative archetypes.
+};
+
+/// Runs the full pipeline. Deterministic for fixed params.
+[[nodiscard]] PipelineResult run_pipeline(const PipelineParams& params);
+
+}  // namespace icn::core

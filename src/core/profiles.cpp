@@ -1,0 +1,123 @@
+#include "core/profiles.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/calendar.h"
+#include "util/error.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace icn::core {
+
+std::vector<ClusterProfile> build_cluster_profiles(
+    const Scenario& scenario, const ml::Matrix& rsca,
+    std::span<const int> labels, std::size_t k, const ProfileParams& params) {
+  ICN_REQUIRE(rsca.rows() == labels.size(), "profiles input shape");
+  ICN_REQUIRE(labels.size() == scenario.num_antennas(),
+              "labels vs scenario");
+  ICN_REQUIRE(k >= 1, "profiles cluster count");
+  const std::size_t m = rsca.cols();
+
+  // Cluster-mean RSCA signatures.
+  std::vector<std::vector<double>> signature(k, std::vector<double>(m, 0.0));
+  std::vector<std::size_t> sizes(k, 0);
+  for (std::size_t i = 0; i < rsca.rows(); ++i) {
+    ICN_REQUIRE(labels[i] >= 0 && static_cast<std::size_t>(labels[i]) < k,
+                "label out of range");
+    const auto c = static_cast<std::size_t>(labels[i]);
+    ++sizes[c];
+    for (std::size_t j = 0; j < m; ++j) signature[c][j] += rsca(i, j);
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    ICN_REQUIRE(sizes[c] > 0, "empty cluster in profiles");
+    for (auto& v : signature[c]) v /= static_cast<double>(sizes[c]);
+  }
+
+  std::vector<ClusterProfile> profiles;
+  profiles.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    ClusterProfile profile;
+    profile.cluster = static_cast<int>(c);
+    profile.size = sizes[c];
+
+    // Rank services by the cluster-mean RSCA.
+    std::vector<std::size_t> order(m);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return signature[c][a] > signature[c][b];
+    });
+    for (std::size_t r = 0; r < std::min(params.top_n, m); ++r) {
+      if (signature[c][order[r]] > 0.0) {
+        profile.top_services.push_back(order[r]);
+      }
+    }
+    for (std::size_t r = 0; r < std::min(params.top_n, m); ++r) {
+      const std::size_t j = order[m - 1 - r];
+      if (signature[c][j] < 0.0) profile.suppressed_services.push_back(j);
+    }
+
+    // Temporal statistics from the cluster's median heatmap.
+    const auto map = cluster_total_heatmap(
+        scenario.temporal(), labels, static_cast<int>(c), params.heatmap);
+    const auto hours = hour_of_day_profile(map);
+    profile.peak_hour = static_cast<int>(
+        std::max_element(hours.begin(), hours.end()) - hours.begin());
+    double night = 0.0, total = 0.0;
+    for (int h = 0; h < 24; ++h) {
+      total += hours[static_cast<std::size_t>(h)];
+      if (h < 6) night += hours[static_cast<std::size_t>(h)];
+    }
+    profile.night_share = total > 0.0 ? night / total : 0.0;
+
+    const auto days = day_profile(map);
+    double weekend = 0.0, weekday = 0.0;
+    int wn = 0, dn = 0;
+    for (std::size_t d = 0; d < days.size(); ++d) {
+      const auto wd = map.window.weekday_at(static_cast<std::int64_t>(d));
+      if (icn::util::is_weekend(wd)) {
+        weekend += days[d];
+        ++wn;
+      } else {
+        weekday += days[d];
+        ++dn;
+      }
+    }
+    profile.weekend_ratio =
+        (wn > 0 && dn > 0 && weekday > 0.0)
+            ? (weekend / wn) / (weekday / dn)
+            : 0.0;
+
+    // p99 / p75 of the heatmap cells: diurnal clusters spend much of the
+    // window at their plateau (p75 ~ plateau, p99 ~ daily peak), while
+    // event venues idle at p75 and explode at p99.
+    const double p75 = icn::util::quantile(map.values, 0.75);
+    const double p99 = icn::util::quantile(map.values, 0.99);
+    profile.burstiness = p75 > 0.0 ? p99 / p75 : 0.0;
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+std::string describe_profile(const Scenario& scenario,
+                             const ClusterProfile& profile) {
+  std::string out = "cluster " + std::to_string(profile.cluster) + " (" +
+                    std::to_string(profile.size) + " antennas): ";
+  if (profile.top_services.empty()) {
+    out += "balanced mix";
+  } else {
+    out += "characterized by ";
+    for (std::size_t i = 0; i < profile.top_services.size(); ++i) {
+      if (i) out += ", ";
+      out += scenario.catalog().at(profile.top_services[i]).name;
+    }
+  }
+  out += "; peak h" + std::to_string(profile.peak_hour);
+  out += ", weekend " + icn::util::fmt_percent(profile.weekend_ratio, 0) +
+         " of weekday";
+  out += ", night share " + icn::util::fmt_percent(profile.night_share, 0);
+  out += ", burstiness " + icn::util::fmt_double(profile.burstiness, 1);
+  return out;
+}
+
+}  // namespace icn::core

@@ -1,0 +1,60 @@
+// Operational cluster profiles — the distilled form of the paper's findings
+// that Sec. 7 proposes feeding into network management ("indoor slices will
+// be tuned based on the characterizing applications for that specific indoor
+// environment", caching, power control).
+//
+// A ClusterProfile condenses one cluster into: its characterizing
+// (over-utilized) and suppressed services, its daily peak hour, how much of
+// its traffic survives weekends and nights, and how bursty (event-driven)
+// it is. build_cluster_profiles derives them from the RSCA signatures and
+// the temporal model.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "core/temporal_analysis.h"
+#include "ml/matrix.h"
+#include "traffic/archetypes.h"
+
+namespace icn::core {
+
+/// Planning-oriented summary of one cluster.
+struct ClusterProfile {
+  int cluster = 0;
+  std::size_t size = 0;                      ///< Antennas in the cluster.
+  /// Services with the highest cluster-mean RSCA (over-utilized),
+  /// descending; the "characterizing applications" of Sec. 7.
+  std::vector<std::size_t> top_services;
+  /// Services with the lowest cluster-mean RSCA (suppressed), ascending.
+  std::vector<std::size_t> suppressed_services;
+  int peak_hour = 0;          ///< Hour of day of the maximum median traffic.
+  double weekend_ratio = 0;   ///< Weekend / weekday mean day-level ratio.
+  double night_share = 0;     ///< Fraction of the day profile in 0:00-6:00.
+  /// Burstiness of the hourly medians: 99th / 75th percentile of the
+  /// heatmap cells. Diurnal clusters score low (peak vs plateau);
+  /// event-driven venues score high (burst vs ambient).
+  double burstiness = 0;
+};
+
+/// Options for profile construction.
+struct ProfileParams {
+  std::size_t top_n = 5;            ///< Services listed per direction.
+  HeatmapParams heatmap;            ///< Window / sampling for temporal stats.
+};
+
+/// Builds one profile per cluster (0..k-1). Requires labels sized to the
+/// scenario's indoor antennas with every cluster non-empty.
+[[nodiscard]] std::vector<ClusterProfile> build_cluster_profiles(
+    const Scenario& scenario, const ml::Matrix& rsca,
+    std::span<const int> labels, std::size_t k,
+    const ProfileParams& params = {});
+
+/// One-line human-readable rendering of a profile (for reports/examples).
+[[nodiscard]] std::string describe_profile(const Scenario& scenario,
+                                           const ClusterProfile& profile);
+
+}  // namespace icn::core

@@ -1,0 +1,93 @@
+#include "core/rca.h"
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace icn::core {
+namespace {
+
+/// Row sums, requiring each positive.
+std::vector<double> positive_row_totals(const ml::Matrix& traffic,
+                                        const char* what) {
+  std::vector<double> totals(traffic.rows(), 0.0);
+  for (std::size_t i = 0; i < traffic.rows(); ++i) {
+    for (std::size_t j = 0; j < traffic.cols(); ++j) {
+      ICN_REQUIRE(traffic(i, j) >= 0.0, "negative traffic entry");
+      totals[i] += traffic(i, j);
+    }
+    ICN_REQUIRE(totals[i] > 0.0, what);
+  }
+  return totals;
+}
+
+/// RCA against an explicit per-service baseline share vector.
+ml::Matrix rca_against_baseline(const ml::Matrix& traffic,
+                                const std::vector<double>& baseline_share) {
+  const auto row_totals =
+      positive_row_totals(traffic, "antenna with zero traffic");
+  ml::Matrix rca(traffic.rows(), traffic.cols());
+  for (std::size_t i = 0; i < traffic.rows(); ++i) {
+    for (std::size_t j = 0; j < traffic.cols(); ++j) {
+      if (baseline_share[j] <= 0.0) {
+        rca(i, j) = 1.0;  // service unseen in the baseline: neutral
+      } else {
+        rca(i, j) = (traffic(i, j) / row_totals[i]) / baseline_share[j];
+      }
+    }
+  }
+  return rca;
+}
+
+/// Per-service share of total traffic (the RCA denominator).
+std::vector<double> service_shares(const ml::Matrix& traffic) {
+  std::vector<double> shares(traffic.cols(), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < traffic.rows(); ++i) {
+    for (std::size_t j = 0; j < traffic.cols(); ++j) {
+      shares[j] += traffic(i, j);
+      total += traffic(i, j);
+    }
+  }
+  ICN_REQUIRE(total > 0.0, "network carried no traffic");
+  for (auto& s : shares) s /= total;
+  return shares;
+}
+
+}  // namespace
+
+ml::Matrix compute_rca(const ml::Matrix& traffic) {
+  ICN_REQUIRE(!traffic.empty(), "empty traffic matrix");
+  return rca_against_baseline(traffic, service_shares(traffic));
+}
+
+ml::Matrix rca_to_rsca(const ml::Matrix& rca) {
+  ml::Matrix rsca(rca.rows(), rca.cols());
+  for (std::size_t i = 0; i < rca.data().size(); ++i) {
+    const double v = rca.data()[i];
+    ICN_REQUIRE(v >= 0.0, "negative RCA");
+    rsca.data()[i] = (v - 1.0) / (v + 1.0);
+  }
+  return rsca;
+}
+
+ml::Matrix compute_rsca(const ml::Matrix& traffic) {
+  return rca_to_rsca(compute_rca(traffic));
+}
+
+ml::Matrix compute_outdoor_rca(const ml::Matrix& outdoor_traffic,
+                               const ml::Matrix& indoor_traffic) {
+  ICN_REQUIRE(!outdoor_traffic.empty() && !indoor_traffic.empty(),
+              "empty traffic matrix");
+  ICN_REQUIRE(outdoor_traffic.cols() == indoor_traffic.cols(),
+              "service dimensions differ");
+  return rca_against_baseline(outdoor_traffic,
+                              service_shares(indoor_traffic));
+}
+
+ml::Matrix compute_outdoor_rsca(const ml::Matrix& outdoor_traffic,
+                                const ml::Matrix& indoor_traffic) {
+  return rca_to_rsca(compute_outdoor_rca(outdoor_traffic, indoor_traffic));
+}
+
+}  // namespace icn::core

@@ -1,0 +1,123 @@
+#include "core/surrogate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/metrics.h"
+#include "ml/treeshap.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace icn::core {
+
+SurrogateExplainer::SurrogateExplainer(const ml::Matrix& features,
+                                       std::span<const int> labels,
+                                       int num_clusters,
+                                       const SurrogateParams& params)
+    : num_clusters_(num_clusters) {
+  ICN_REQUIRE(features.rows() == labels.size(), "surrogate input shape");
+  ml::RandomForest::Params forest_params;
+  forest_params.num_trees = params.num_trees;
+  forest_params.max_depth = params.max_depth;
+  forest_params.seed = params.seed;
+  forest_.fit(features, labels, num_clusters, forest_params);
+  fidelity_ = ml::accuracy(forest_.predict_all(features), labels);
+}
+
+ShapSummary SurrogateExplainer::explain(const ml::Matrix& features,
+                                        std::span<const int> labels,
+                                        std::size_t max_per_cluster,
+                                        std::uint64_t seed) const {
+  ICN_REQUIRE(features.rows() == labels.size(), "explain input shape");
+  ICN_REQUIRE(max_per_cluster > 0, "explain sample size");
+  const std::size_t m = features.cols();
+  const auto k = static_cast<std::size_t>(num_clusters_);
+
+  // Stratified sample: up to max_per_cluster rows from every cluster.
+  std::vector<std::size_t> sample;
+  {
+    icn::util::Rng rng(icn::util::derive_seed(seed, 0x5A3BB1E5ULL));
+    for (std::size_t c = 0; c < k; ++c) {
+      std::vector<std::size_t> members;
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (static_cast<std::size_t>(labels[i]) == c) members.push_back(i);
+      }
+      if (members.size() > max_per_cluster) {
+        for (std::size_t i = 0; i < max_per_cluster; ++i) {
+          const std::size_t j = i + rng.uniform_index(members.size() - i);
+          std::swap(members[i], members[j]);
+        }
+        members.resize(max_per_cluster);
+      }
+      sample.insert(sample.end(), members.begin(), members.end());
+    }
+  }
+
+  // One SHAP evaluation per sampled row covers all clusters at once.
+  // Accumulate, per (cluster, feature): sum|phi|, and the moments needed for
+  // the value/phi correlation.
+  const std::size_t s = sample.size();
+  std::vector<std::vector<double>> phi_rows(s);  // s x (m*k), row-major
+  for (std::size_t r = 0; r < s; ++r) {
+    const ml::Matrix phi = ml::forest_shap(forest_, features.row(sample[r]));
+    phi_rows[r].assign(phi.data().begin(), phi.data().end());
+  }
+
+  // Per-cluster mean RSCA value of each feature over that cluster's rows
+  // (over the full dataset, not just the sample — cheap).
+  std::vector<std::vector<double>> mean_value(
+      k, std::vector<double>(m, 0.0));
+  {
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      const auto c = static_cast<std::size_t>(labels[i]);
+      ++counts[c];
+      const auto row = features.row(i);
+      for (std::size_t f = 0; f < m; ++f) mean_value[c][f] += row[f];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (std::size_t f = 0; f < m; ++f) {
+        mean_value[c][f] /= static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  ShapSummary summary;
+  summary.base_values = ml::forest_base_values(forest_);
+  summary.samples_used = s;
+  summary.per_cluster.resize(k);
+  std::vector<double> values(s), phis(s);
+  for (std::size_t c = 0; c < k; ++c) {
+    std::vector<FeatureImpact> impacts(m);
+    for (std::size_t f = 0; f < m; ++f) {
+      double abs_sum = 0.0;
+      for (std::size_t r = 0; r < s; ++r) {
+        const double phi = phi_rows[r][f * k + c];
+        abs_sum += std::fabs(phi);
+        values[r] = features(sample[r], f);
+        phis[r] = phi;
+      }
+      FeatureImpact& fi = impacts[f];
+      fi.service = f;
+      fi.mean_abs_shap = abs_sum / static_cast<double>(s);
+      fi.value_shap_correlation = icn::util::pearson(values, phis);
+      fi.mean_value_in_cluster = mean_value[c][f];
+    }
+    std::sort(impacts.begin(), impacts.end(),
+              [](const FeatureImpact& a, const FeatureImpact& b) {
+                return a.mean_abs_shap > b.mean_abs_shap;
+              });
+    summary.per_cluster[c] = std::move(impacts);
+  }
+  return summary;
+}
+
+std::vector<int> SurrogateExplainer::classify(
+    const ml::Matrix& features) const {
+  return forest_.predict_all(features);
+}
+
+}  // namespace icn::core

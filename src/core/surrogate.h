@@ -1,0 +1,81 @@
+// Surrogate explainability (Sec. 5.1.2): agglomerative clustering has no
+// black-box f to explain, so a random-forest classifier is trained to
+// reproduce the cluster labels from the RSCA features, and TreeSHAP is run on
+// the forest. The per-cluster SHAP summaries are the data behind the
+// beeswarm plots of Fig. 5; the fitted forest also generalizes the clustering
+// to new samples — that is how the outdoor antennas of Fig. 9 are assigned.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/forest.h"
+#include "ml/matrix.h"
+
+namespace icn::core {
+
+/// Importance of one service for one cluster, derived from SHAP values.
+struct FeatureImpact {
+  std::size_t service = 0;      ///< Feature (service) index.
+  double mean_abs_shap = 0.0;   ///< Ranking key of the beeswarm plot.
+  /// Pearson correlation between the feature value and its SHAP value for
+  /// this cluster: > 0 means over-utilization drives membership, < 0 means
+  /// under-utilization does (the red/blue direction of Fig. 5).
+  double value_shap_correlation = 0.0;
+  /// Mean feature (RSCA) value over the cluster's own antennas: the sign
+  /// directly reads as over- (>0) or under- (<0) utilization.
+  double mean_value_in_cluster = 0.0;
+};
+
+/// Per-cluster SHAP summary (Fig. 5a-i data).
+struct ShapSummary {
+  /// per_cluster[c] = services ranked by mean_abs_shap, descending.
+  std::vector<std::vector<FeatureImpact>> per_cluster;
+  std::vector<double> base_values;  ///< Forest base value per cluster.
+  std::size_t samples_used = 0;     ///< Rows explained.
+};
+
+/// Surrogate configuration.
+struct SurrogateParams {
+  std::size_t num_trees = 100;  ///< Paper: 100 trees.
+  std::size_t max_depth = 24;
+  std::uint64_t seed = 20231024;
+};
+
+/// The trained surrogate (forest + SHAP machinery).
+class SurrogateExplainer {
+ public:
+  /// Trains the forest to imitate the clustering labels.
+  /// Requires features.rows() == labels.size(), labels in [0, k).
+  SurrogateExplainer(const ml::Matrix& features, std::span<const int> labels,
+                     int num_clusters, const SurrogateParams& params = {});
+
+  /// Training-set fidelity: how well the surrogate reproduces the clustering.
+  [[nodiscard]] double fidelity() const { return fidelity_; }
+
+  /// Out-of-bag accuracy of the forest.
+  [[nodiscard]] double oob_accuracy() const {
+    return forest_.oob_accuracy();
+  }
+
+  [[nodiscard]] const ml::RandomForest& forest() const { return forest_; }
+  [[nodiscard]] int num_clusters() const { return num_clusters_; }
+
+  /// TreeSHAP summaries over a stratified sample of the training rows
+  /// (max_per_cluster rows from each cluster).
+  [[nodiscard]] ShapSummary explain(const ml::Matrix& features,
+                                    std::span<const int> labels,
+                                    std::size_t max_per_cluster = 120,
+                                    std::uint64_t seed = 7) const;
+
+  /// Predicts the cluster of each row (used for the outdoor antennas).
+  [[nodiscard]] std::vector<int> classify(const ml::Matrix& features) const;
+
+ private:
+  ml::RandomForest forest_;
+  int num_clusters_ = 0;
+  double fidelity_ = 0.0;
+};
+
+}  // namespace icn::core

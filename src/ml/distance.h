@@ -1,0 +1,42 @@
+// Distance kernels and the condensed pairwise-distance matrix used by the
+// clustering and cluster-validity code.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace icn::ml {
+
+/// Squared Euclidean distance between two equal-length vectors.
+[[nodiscard]] double squared_euclidean(std::span<const double> a,
+                                       std::span<const double> b);
+
+/// Euclidean distance between two equal-length vectors.
+[[nodiscard]] double euclidean(std::span<const double> a,
+                               std::span<const double> b);
+
+/// Upper-triangle (i < j) pairwise Euclidean distances of the rows of X,
+/// stored condensed in float to halve memory at nationwide scale
+/// (N = 4,762 -> ~45 MB).
+class CondensedDistances {
+ public:
+  /// Computes all pairwise distances of X's rows. Requires X.rows() >= 1.
+  explicit CondensedDistances(const Matrix& x);
+
+  /// Number of points.
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Distance between points i and j (0 when i == j).
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<float> d_;
+
+  [[nodiscard]] std::size_t index(std::size_t i, std::size_t j) const;
+};
+
+}  // namespace icn::ml

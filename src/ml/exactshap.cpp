@@ -1,0 +1,46 @@
+#include "ml/exactshap.h"
+
+#include "util/error.h"
+
+namespace icn::ml {
+
+Matrix exact_shapley(const ValueFunction& v, std::size_t num_features,
+                     std::size_t num_outputs) {
+  ICN_REQUIRE(num_features >= 1 && num_features <= 20,
+              "exact_shapley feature count");
+  ICN_REQUIRE(num_outputs >= 1, "exact_shapley output count");
+  const std::size_t m = num_features;
+  const std::size_t num_subsets = std::size_t{1} << m;
+
+  // Precompute factorials up to M.
+  std::vector<double> fact(m + 1, 1.0);
+  for (std::size_t i = 1; i <= m; ++i) {
+    fact[i] = fact[i - 1] * static_cast<double>(i);
+  }
+
+  // Evaluate v on every subset once.
+  std::vector<std::vector<double>> values(num_subsets);
+  std::vector<bool> mask(m);
+  for (std::size_t s = 0; s < num_subsets; ++s) {
+    for (std::size_t f = 0; f < m; ++f) mask[f] = (s >> f) & 1U;
+    values[s] = v(mask);
+    ICN_REQUIRE(values[s].size() == num_outputs, "value function output size");
+  }
+
+  Matrix phi(m, num_outputs);
+  for (std::size_t s = 0; s < num_subsets; ++s) {
+    const auto size_s = static_cast<std::size_t>(__builtin_popcountll(s));
+    for (std::size_t f = 0; f < m; ++f) {
+      if ((s >> f) & 1U) continue;  // f must be absent from S
+      const double weight =
+          fact[size_s] * fact[m - size_s - 1] / fact[m];
+      const std::size_t s_with = s | (std::size_t{1} << f);
+      for (std::size_t c = 0; c < num_outputs; ++c) {
+        phi(f, c) += weight * (values[s_with][c] - values[s][c]);
+      }
+    }
+  }
+  return phi;
+}
+
+}  // namespace icn::ml

@@ -1,0 +1,124 @@
+#include "ml/forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace icn::ml {
+
+void RandomForest::fit(const Matrix& x, std::span<const int> y,
+                       int num_classes, const Params& params) {
+  ICN_REQUIRE(x.rows() == y.size() && x.rows() > 0, "forest fit input shape");
+  ICN_REQUIRE(params.num_trees > 0, "forest needs >= 1 tree");
+  trees_.clear();
+  trees_.resize(params.num_trees);
+  num_classes_ = num_classes;
+  num_features_ = x.cols();
+
+  DecisionTree::Params tree_params;
+  tree_params.max_depth = params.max_depth;
+  tree_params.min_samples_leaf = params.min_samples_leaf;
+  tree_params.max_features =
+      params.max_features != 0
+          ? params.max_features
+          : std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       std::sqrt(static_cast<double>(x.cols()))));
+
+  const std::size_t n = x.rows();
+  // Per-row OOB vote accumulation (class counts).
+  std::vector<std::vector<double>> oob_votes(
+      n, std::vector<double>(static_cast<std::size_t>(num_classes), 0.0));
+  std::vector<bool> oob_touched(n, false);
+
+  std::vector<std::size_t> sample;
+  std::vector<bool> in_bag(n);
+  for (std::size_t t = 0; t < params.num_trees; ++t) {
+    icn::util::Rng rng(icn::util::derive_seed(params.seed, t));
+    sample.clear();
+    if (params.bootstrap) {
+      std::fill(in_bag.begin(), in_bag.end(), false);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t pick = rng.uniform_index(n);
+        sample.push_back(pick);
+        in_bag[pick] = true;
+      }
+    } else {
+      sample.resize(n);
+      std::iota(sample.begin(), sample.end(), std::size_t{0});
+    }
+    trees_[t].fit(x, y, num_classes, tree_params, rng, sample);
+    if (params.bootstrap) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (in_bag[i]) continue;
+        const auto proba = trees_[t].predict_proba(x.row(i));
+        for (std::size_t c = 0; c < proba.size(); ++c) {
+          oob_votes[i][c] += proba[c];
+        }
+        oob_touched[i] = true;
+      }
+    }
+  }
+
+  if (params.bootstrap) {
+    std::size_t covered = 0, hits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!oob_touched[i]) continue;
+      ++covered;
+      const auto& votes = oob_votes[i];
+      const int pred = static_cast<int>(
+          std::max_element(votes.begin(), votes.end()) - votes.begin());
+      if (pred == y[i]) ++hits;
+    }
+    oob_accuracy_ = covered == 0
+                        ? std::numeric_limits<double>::quiet_NaN()
+                        : static_cast<double>(hits) /
+                              static_cast<double>(covered);
+  } else {
+    oob_accuracy_ = std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+std::vector<double> RandomForest::predict_proba(
+    std::span<const double> x) const {
+  ICN_REQUIRE(is_fitted(), "predict on unfitted forest");
+  std::vector<double> proba(static_cast<std::size_t>(num_classes_), 0.0);
+  for (const auto& tree : trees_) {
+    const auto p = tree.predict_proba(x);
+    for (std::size_t c = 0; c < p.size(); ++c) proba[c] += p[c];
+  }
+  const double inv = 1.0 / static_cast<double>(trees_.size());
+  for (auto& p : proba) p *= inv;
+  return proba;
+}
+
+int RandomForest::predict(std::span<const double> x) const {
+  const auto proba = predict_proba(x);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+std::vector<int> RandomForest::predict_all(const Matrix& x) const {
+  std::vector<int> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out[i] = predict(x.row(i));
+  return out;
+}
+
+std::vector<double> RandomForest::feature_importance() const {
+  ICN_REQUIRE(is_fitted(), "importance on unfitted forest");
+  std::vector<double> imp(num_features_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto& ti = tree.impurity_importance();
+    for (std::size_t f = 0; f < imp.size(); ++f) imp[f] += ti[f];
+  }
+  const double total = std::accumulate(imp.begin(), imp.end(), 0.0);
+  if (total > 0.0) {
+    for (auto& v : imp) v /= total;
+  }
+  return imp;
+}
+
+}  // namespace icn::ml

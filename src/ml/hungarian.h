@@ -1,0 +1,28 @@
+// Hungarian (Kuhn–Munkres) assignment, used to align arbitrary cluster ids
+// with the paper's cluster numbering (and with generative archetype ids in
+// the tests) by maximizing label overlap.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace icn::ml {
+
+/// Solves the square assignment problem: returns `assign` with
+/// assign[row] = column, minimizing the total cost. Requires a square,
+/// finite cost matrix.
+[[nodiscard]] std::vector<std::size_t> hungarian_min_cost(const Matrix& cost);
+
+/// Best one-to-one mapping from `from` labels onto `to` labels (both in
+/// [0, k)) maximizing the number of agreeing positions; returns map with
+/// map[from_label] = to_label. Requires equal-sized non-empty label arrays.
+[[nodiscard]] std::vector<int> align_labels(std::span<const int> from,
+                                            std::span<const int> to, int k);
+
+/// Applies a label map: out[i] = map[labels[i]].
+[[nodiscard]] std::vector<int> apply_label_map(std::span<const int> labels,
+                                               std::span<const int> map);
+
+}  // namespace icn::ml

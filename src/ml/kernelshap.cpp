@@ -1,0 +1,161 @@
+#include "ml/kernelshap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/linalg.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace icn::ml {
+namespace {
+
+/// Binomial coefficient as double (M <= 63 here).
+double choose(std::size_t n, std::size_t k) {
+  if (k > n) return 0.0;
+  k = std::min(k, n - k);
+  double r = 1.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    r = r * static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return r;
+}
+
+/// Shapley kernel weight for a coalition of size s out of m features.
+double shapley_kernel(std::size_t m, std::size_t s) {
+  // (m - 1) / (C(m, s) * s * (m - s)); infinite at s = 0 and s = m, which are
+  // handled as hard constraints instead.
+  return static_cast<double>(m - 1) /
+         (choose(m, s) * static_cast<double>(s) *
+          static_cast<double>(m - s));
+}
+
+}  // namespace
+
+std::vector<double> interventional_value(const ModelFunction& model,
+                                         std::span<const double> x,
+                                         const Matrix& background,
+                                         const std::vector<bool>& present) {
+  ICN_REQUIRE(background.rows() > 0 && background.cols() == x.size(),
+              "background shape");
+  ICN_REQUIRE(present.size() == x.size(), "present mask size");
+  std::vector<double> composite(x.size());
+  std::vector<double> acc;
+  for (std::size_t b = 0; b < background.rows(); ++b) {
+    const auto bg = background.row(b);
+    for (std::size_t f = 0; f < x.size(); ++f) {
+      composite[f] = present[f] ? x[f] : bg[f];
+    }
+    const auto out = model(composite);
+    if (acc.empty()) acc.assign(out.size(), 0.0);
+    ICN_REQUIRE(out.size() == acc.size(), "model output size");
+    for (std::size_t c = 0; c < out.size(); ++c) acc[c] += out[c];
+  }
+  const double inv = 1.0 / static_cast<double>(background.rows());
+  for (auto& v : acc) v *= inv;
+  return acc;
+}
+
+KernelShapResult kernel_shap(const ModelFunction& model,
+                             std::span<const double> x,
+                             const Matrix& background,
+                             const KernelShapParams& params) {
+  const std::size_t m = x.size();
+  ICN_REQUIRE(m >= 1, "kernel_shap needs features");
+  ICN_REQUIRE(background.rows() > 0 && background.cols() == m,
+              "background shape");
+
+  const std::vector<bool> none(m, false);
+  const std::vector<bool> all(m, true);
+  const std::vector<double> v0 = interventional_value(model, x, background,
+                                                      none);
+  const std::vector<double> v1 = interventional_value(model, x, background,
+                                                      all);
+  const std::size_t num_outputs = v0.size();
+
+  KernelShapResult result;
+  result.base = v0;
+  result.phi = Matrix(m, num_outputs);
+
+  if (m == 1) {
+    for (std::size_t c = 0; c < num_outputs; ++c) {
+      result.phi(0, c) = v1[c] - v0[c];
+    }
+    return result;
+  }
+
+  // Assemble coalitions (presence masks, excluding empty and full).
+  std::vector<std::vector<bool>> masks;
+  std::vector<double> weights;
+  const bool enumerate_all =
+      m <= 20 && ((std::size_t{1} << m) - 2) <= params.max_coalitions;
+  if (enumerate_all) {
+    for (std::size_t s = 1; s + 1 < (std::size_t{1} << m); ++s) {
+      std::vector<bool> mask(m);
+      std::size_t count = 0;
+      for (std::size_t f = 0; f < m; ++f) {
+        mask[f] = (s >> f) & 1U;
+        count += mask[f] ? 1 : 0;
+      }
+      masks.push_back(std::move(mask));
+      weights.push_back(shapley_kernel(m, count));
+    }
+  } else {
+    // Sample coalition sizes from the Shapley-kernel mass, then uniform
+    // subsets of that size.
+    icn::util::Rng rng(params.seed);
+    std::vector<double> size_mass(m - 1);
+    for (std::size_t s = 1; s < m; ++s) {
+      size_mass[s - 1] = shapley_kernel(m, s) * choose(m, s);
+    }
+    std::vector<std::size_t> order(m);
+    for (std::size_t i = 0; i < params.max_coalitions; ++i) {
+      const std::size_t s = rng.categorical(size_mass) + 1;
+      for (std::size_t f = 0; f < m; ++f) order[f] = f;
+      for (std::size_t f = 0; f < s; ++f) {
+        const std::size_t j = f + rng.uniform_index(m - f);
+        std::swap(order[f], order[j]);
+      }
+      std::vector<bool> mask(m, false);
+      for (std::size_t f = 0; f < s; ++f) mask[order[f]] = true;
+      masks.push_back(std::move(mask));
+      weights.push_back(1.0);  // size already accounted for by sampling
+    }
+  }
+
+  // Evaluate v on every coalition.
+  std::vector<std::vector<double>> values(masks.size());
+  for (std::size_t i = 0; i < masks.size(); ++i) {
+    values[i] = interventional_value(model, x, background, masks[i]);
+  }
+
+  // Constrained weighted regression: eliminate the last feature using
+  // sum(phi) = v(full) - v(empty). Design has m-1 columns:
+  //   y_i - z_last * (v1 - v0) = sum_{f < m-1} phi_f * (z_f - z_last).
+  const std::size_t p = m - 1;
+  Matrix design(masks.size(), p);
+  for (std::size_t i = 0; i < masks.size(); ++i) {
+    const double z_last = masks[i][m - 1] ? 1.0 : 0.0;
+    for (std::size_t f = 0; f < p; ++f) {
+      design(i, f) = (masks[i][f] ? 1.0 : 0.0) - z_last;
+    }
+  }
+  std::vector<double> y(masks.size());
+  for (std::size_t c = 0; c < num_outputs; ++c) {
+    const double delta = v1[c] - v0[c];
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+      const double z_last = masks[i][m - 1] ? 1.0 : 0.0;
+      y[i] = values[i][c] - v0[c] - z_last * delta;
+    }
+    const auto beta = weighted_least_squares(design, y, weights);
+    double acc = 0.0;
+    for (std::size_t f = 0; f < p; ++f) {
+      result.phi(f, c) = beta[f];
+      acc += beta[f];
+    }
+    result.phi(m - 1, c) = delta - acc;
+  }
+  return result;
+}
+
+}  // namespace icn::ml

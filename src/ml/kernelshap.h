@@ -1,0 +1,53 @@
+// KernelSHAP — the model-agnostic Shapley approximation of Lundberg & Lee
+// (NeurIPS 2017): a weighted linear regression over feature coalitions with
+// the Shapley kernel, with absent features imputed from a background dataset.
+//
+// Used as the model-agnostic cross-check of TreeSHAP (the paper discusses
+// both; TreeSHAP is the fast path for tree ensembles, KernelSHAP works for
+// any model).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace icn::ml {
+
+/// A black-box model: feature vector in, size-K output vector out.
+using ModelFunction =
+    std::function<std::vector<double>(std::span<const double>)>;
+
+/// KernelSHAP configuration.
+struct KernelShapParams {
+  /// Budget of non-trivial coalitions. When 2^M - 2 fits, all are
+  /// enumerated (exact regression); otherwise coalitions are sampled with
+  /// the Shapley-kernel size distribution.
+  std::size_t max_coalitions = 2048;
+  std::uint64_t seed = 7;  ///< Sampling seed (sampled regime only).
+};
+
+/// KernelSHAP output.
+struct KernelShapResult {
+  Matrix phi;                ///< (M x K) Shapley value estimates.
+  std::vector<double> base;  ///< v(empty): mean model output on background.
+};
+
+/// Explains model(x) against `background` (rows are reference samples used to
+/// impute absent features; the interventional value function
+/// v(S) = mean_b model(x_S combined with b_!S)).
+/// Requires non-empty background with background.cols() == x.size() >= 1.
+[[nodiscard]] KernelShapResult kernel_shap(const ModelFunction& model,
+                                           std::span<const double> x,
+                                           const Matrix& background,
+                                           const KernelShapParams& params = {});
+
+/// The interventional value function used by kernel_shap, exposed so tests
+/// can feed it to exact_shapley(). Output size = model output size.
+[[nodiscard]] std::vector<double> interventional_value(
+    const ModelFunction& model, std::span<const double> x,
+    const Matrix& background, const std::vector<bool>& present);
+
+}  // namespace icn::ml

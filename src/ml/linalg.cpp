@@ -1,0 +1,64 @@
+#include "ml/linalg.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace icn::ml {
+
+std::vector<double> solve_linear_system(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  ICN_REQUIRE(a.cols() == n, "solve: square matrix");
+  ICN_REQUIRE(b.size() == n, "solve: rhs size");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > std::fabs(a(pivot, col))) pivot = r;
+    }
+    ICN_REQUIRE(std::fabs(a(pivot, col)) > 1e-12, "solve: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a(i, c) * x[c];
+    x[i] = acc / a(i, i);
+  }
+  return x;
+}
+
+std::vector<double> weighted_least_squares(const Matrix& x,
+                                           const std::vector<double>& y,
+                                           const std::vector<double>& w) {
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  ICN_REQUIRE(y.size() == n && w.size() == n, "wls: sizes");
+  Matrix xtwx(p, p);
+  std::vector<double> xtwy(p, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ICN_REQUIRE(w[i] >= 0.0, "wls: weight >= 0");
+    const auto row = x.row(i);
+    for (std::size_t a = 0; a < p; ++a) {
+      const double wa = w[i] * row[a];
+      xtwy[a] += wa * y[i];
+      for (std::size_t b = a; b < p; ++b) xtwx(a, b) += wa * row[b];
+    }
+  }
+  for (std::size_t a = 0; a < p; ++a) {
+    for (std::size_t b = 0; b < a; ++b) xtwx(a, b) = xtwx(b, a);
+  }
+  return solve_linear_system(std::move(xtwx), std::move(xtwy));
+}
+
+}  // namespace icn::ml

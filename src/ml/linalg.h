@@ -1,0 +1,24 @@
+// Tiny dense linear algebra: just enough to solve the weighted least-squares
+// system at the heart of KernelSHAP.
+#pragma once
+
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace icn::ml {
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Requires A square, b.size() == A.rows(). Throws PreconditionError on a
+/// (numerically) singular system.
+[[nodiscard]] std::vector<double> solve_linear_system(Matrix a,
+                                                      std::vector<double> b);
+
+/// Solves the weighted least-squares problem min ||W^(1/2) (X beta - y)||^2
+/// via the normal equations X^T W X beta = X^T W y.
+/// Requires x.rows() == y.size() == w.size(), all weights >= 0.
+[[nodiscard]] std::vector<double> weighted_least_squares(
+    const Matrix& x, const std::vector<double>& y,
+    const std::vector<double>& w);
+
+}  // namespace icn::ml

@@ -1,0 +1,102 @@
+// Agglomerative hierarchical clustering (Sec. 4.2 of the paper).
+//
+// The paper clusters the 4,762 ICN antennas on their 73 RSCA features with
+// Ward's criterion. We implement the exact nearest-neighbour-chain algorithm,
+// which is O(N^2) time for reducible linkages (Ward, complete, average,
+// single all are) and avoids the O(N^3) of the textbook greedy loop:
+//
+//  * Ward uses the centroid form, d(A,B) = sqrt(2|A||B|/(|A|+|B|)) * ||cA-cB||
+//    (the SciPy height convention: two singletons merge at their Euclidean
+//    distance), needing only O(N*M) memory;
+//  * complete/average/single run on a condensed pairwise-distance matrix with
+//    Lance-Williams updates (used by the linkage ablation bench).
+//
+// naive_agglomerative() is the O(N^3) textbook reference used by the tests to
+// validate the chain algorithm.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace icn::ml {
+
+/// Cluster-merge criterion.
+enum class Linkage { kWard, kComplete, kAverage, kSingle };
+
+/// Human-readable linkage name ("ward", ...).
+[[nodiscard]] const char* linkage_name(Linkage l);
+
+/// One merge step of the hierarchy. Node ids follow the SciPy convention:
+/// leaves are 0..N-1, the cluster created by (height-sorted) merge step t has
+/// id N + t.
+struct Merge {
+  std::size_t left = 0;    ///< Node id of one child.
+  std::size_t right = 0;   ///< Node id of the other child.
+  double height = 0.0;     ///< Linkage distance at which the children merged.
+  std::size_t size = 0;    ///< Number of leaves under the new node.
+};
+
+/// The full merge hierarchy over N leaves, with cutting and rendering.
+class Dendrogram {
+ public:
+  /// Raw merge record as produced by the algorithms: each side identified by
+  /// the smallest leaf index it contains (stable under any merge order).
+  struct RawMerge {
+    std::size_t rep_a = 0;
+    std::size_t rep_b = 0;
+    double height = 0.0;
+  };
+
+  /// Builds the hierarchy from N leaves and exactly N-1 raw merges; merges
+  /// are sorted by height and node ids assigned in that order.
+  Dendrogram(std::size_t num_leaves, std::vector<RawMerge> raw);
+
+  [[nodiscard]] std::size_t num_leaves() const { return num_leaves_; }
+
+  /// Height-ordered merge steps (size num_leaves()-1).
+  [[nodiscard]] const std::vector<Merge>& merges() const { return merges_; }
+
+  /// Cluster labels (0..k-1) for every leaf when the hierarchy is cut into k
+  /// clusters. Labels are assigned by ascending smallest-leaf-index, so they
+  /// are deterministic. Requires 1 <= k <= num_leaves().
+  [[nodiscard]] std::vector<int> cut(std::size_t k) const;
+
+  /// The merge height at which the hierarchy goes from k to k-1 clusters,
+  /// i.e. a threshold drawn just below it separates exactly k clusters.
+  /// Requires 2 <= k <= num_leaves().
+  [[nodiscard]] double cut_height(std::size_t k) const;
+
+  /// ASCII rendering of the top of the tree, down to `max_depth` levels:
+  /// every node prints its height and leaf count. Used by bench/fig03.
+  [[nodiscard]] std::string render(std::size_t max_depth = 4) const;
+
+ private:
+  std::size_t num_leaves_ = 0;
+  std::vector<Merge> merges_;
+};
+
+/// Exact agglomerative clustering via the nearest-neighbour chain.
+/// Requires x.rows() >= 1 and x.cols() >= 1.
+[[nodiscard]] Dendrogram agglomerative_cluster(const Matrix& x,
+                                               Linkage linkage);
+
+/// Cophenetic distances implied by a dendrogram: entry (i, j) is the merge
+/// height at which leaves i and j first share a cluster. Returned condensed
+/// (upper triangle, i < j, same layout as CondensedDistances) in float.
+/// Requires >= 2 leaves.
+[[nodiscard]] std::vector<float> cophenetic_distances(const Dendrogram& tree);
+
+/// Cophenetic correlation coefficient: Pearson correlation between the
+/// dendrogram's cophenetic distances and the original pairwise Euclidean
+/// distances of x — the classic measure of how faithfully a hierarchy
+/// preserves the data geometry. Requires x.rows() == tree.num_leaves() >= 2.
+[[nodiscard]] double cophenetic_correlation(const Dendrogram& tree,
+                                            const Matrix& x);
+
+/// O(N^3) textbook greedy reference implementation (tests only).
+[[nodiscard]] Dendrogram naive_agglomerative(const Matrix& x, Linkage linkage);
+
+}  // namespace icn::ml

@@ -1,0 +1,173 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace icn::ml {
+namespace {
+
+/// Gini impurity of a class-count vector with total `n`.
+double gini(std::span<const double> counts, double n) {
+  if (n <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (const double c : counts) acc += c * c;
+  return 1.0 - acc / (n * n);
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Matrix& x, std::span<const int> y,
+                       int num_classes, const Params& params,
+                       icn::util::Rng& rng,
+                       std::span<const std::size_t> sample_idx) {
+  ICN_REQUIRE(x.rows() == y.size() && x.rows() > 0, "tree fit input shape");
+  ICN_REQUIRE(num_classes >= 1, "tree fit num_classes");
+  for (const int label : y) {
+    ICN_REQUIRE(label >= 0 && label < num_classes, "tree fit label range");
+  }
+  nodes_.clear();
+  num_classes_ = num_classes;
+  num_features_ = x.cols();
+  importance_.assign(num_features_, 0.0);
+
+  std::vector<std::size_t> idx;
+  if (sample_idx.empty()) {
+    idx.resize(x.rows());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+  } else {
+    idx.assign(sample_idx.begin(), sample_idx.end());
+    for (const std::size_t i : idx) {
+      ICN_REQUIRE(i < x.rows(), "tree fit sample index");
+    }
+  }
+  build(x, y, params, rng, idx, 0, idx.size(), 0);
+}
+
+int DecisionTree::build(const Matrix& x, std::span<const int> y,
+                        const Params& params, icn::util::Rng& rng,
+                        std::vector<std::size_t>& idx, std::size_t begin,
+                        std::size_t end, std::size_t depth) {
+  const std::size_t n = end - begin;
+  const auto k = static_cast<std::size_t>(num_classes_);
+
+  std::vector<double> counts(k, 0.0);
+  for (std::size_t i = begin; i < end; ++i) {
+    counts[static_cast<std::size_t>(y[idx[i]])] += 1.0;
+  }
+  const double node_n = static_cast<double>(n);
+  const double node_gini = gini(counts, node_n);
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    TreeNode& node = nodes_.back();
+    node.cover = node_n;
+    node.value.resize(k);
+    for (std::size_t c = 0; c < k; ++c) node.value[c] = counts[c] / node_n;
+  }
+
+  const bool pure = node_gini == 0.0;
+  if (pure || depth >= params.max_depth || n < params.min_samples_split) {
+    return node_id;
+  }
+
+  // Candidate features: a random subset of size max_features (all when 0).
+  std::vector<std::size_t> features(num_features_);
+  std::iota(features.begin(), features.end(), std::size_t{0});
+  std::size_t mtry = params.max_features == 0
+                         ? num_features_
+                         : std::min(params.max_features, num_features_);
+  // Partial Fisher-Yates: the first mtry entries become the candidate set.
+  for (std::size_t i = 0; i < mtry; ++i) {
+    const std::size_t j = i + rng.uniform_index(num_features_ - i);
+    std::swap(features[i], features[j]);
+  }
+
+  double best_gain = 0.0;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+  std::vector<double> left_counts(k);
+  std::vector<std::pair<double, int>> vals;  // (feature value, class)
+  vals.reserve(n);
+
+  for (std::size_t fi = 0; fi < mtry; ++fi) {
+    const std::size_t f = features[fi];
+    vals.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      vals.emplace_back(x(idx[i], f), y[idx[i]]);
+    }
+    std::sort(vals.begin(), vals.end());
+    if (vals.front().first == vals.back().first) continue;  // constant feature
+    std::fill(left_counts.begin(), left_counts.end(), 0.0);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      left_counts[static_cast<std::size_t>(vals[i].second)] += 1.0;
+      if (vals[i].first == vals[i + 1].first) continue;  // not a cut point
+      const double nl = static_cast<double>(i + 1);
+      const double nr = node_n - nl;
+      if (nl < static_cast<double>(params.min_samples_leaf) ||
+          nr < static_cast<double>(params.min_samples_leaf)) {
+        continue;
+      }
+      double right_sq = 0.0, left_sq = 0.0;
+      for (std::size_t c = 0; c < k; ++c) {
+        left_sq += left_counts[c] * left_counts[c];
+        const double rc = counts[c] - left_counts[c];
+        right_sq += rc * rc;
+      }
+      const double gini_l = 1.0 - left_sq / (nl * nl);
+      const double gini_r = 1.0 - right_sq / (nr * nr);
+      const double gain =
+          node_gini - (nl / node_n) * gini_l - (nr / node_n) * gini_r;
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (vals[i].first + vals[i + 1].first);
+      }
+    }
+  }
+
+  if (best_gain <= 0.0) return node_id;
+
+  // Partition idx[begin, end) by the chosen split (stable not required).
+  const auto mid_it = std::partition(
+      idx.begin() + static_cast<std::ptrdiff_t>(begin),
+      idx.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t i) { return x(i, best_feature) <= best_threshold; });
+  const auto mid = static_cast<std::size_t>(mid_it - idx.begin());
+  if (mid == begin || mid == end) return node_id;  // numerical edge: no split
+
+  importance_[best_feature] += node_n * best_gain;
+
+  const int left_id = build(x, y, params, rng, idx, begin, mid, depth + 1);
+  const int right_id = build(x, y, params, rng, idx, mid, end, depth + 1);
+  TreeNode& node = nodes_[static_cast<std::size_t>(node_id)];
+  node.feature = static_cast<int>(best_feature);
+  node.threshold = best_threshold;
+  node.left = left_id;
+  node.right = right_id;
+  return node_id;
+}
+
+std::vector<double> DecisionTree::predict_proba(
+    std::span<const double> x) const {
+  ICN_REQUIRE(is_fitted(), "predict on unfitted tree");
+  ICN_REQUIRE(x.size() == num_features_, "predict feature count");
+  const TreeNode* node = &nodes_.front();
+  while (!node->is_leaf()) {
+    const std::size_t f = static_cast<std::size_t>(node->feature);
+    node = &nodes_[static_cast<std::size_t>(
+        x[f] <= node->threshold ? node->left : node->right)];
+  }
+  return node->value;
+}
+
+int DecisionTree::predict(std::span<const double> x) const {
+  const auto proba = predict_proba(x);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+}  // namespace icn::ml

@@ -1,0 +1,84 @@
+// CART decision-tree classifier, the building block of the random-forest
+// surrogate used in Sec. 5.1.2 to make the clustering explainable.
+//
+// Nodes are stored in a flat array with explicit cover (weighted sample
+// count) and per-node class distributions, which is exactly the structure
+// TreeSHAP (Lundberg et al. 2020) walks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "util/rng.h"
+
+namespace icn::ml {
+
+/// One node of a fitted decision tree.
+struct TreeNode {
+  int feature = -1;      ///< Split feature; -1 marks a leaf.
+  double threshold = 0;  ///< Split rule: go left when x[feature] <= threshold.
+  int left = -1;         ///< Left child index (-1 for leaves).
+  int right = -1;        ///< Right child index (-1 for leaves).
+  double cover = 0;      ///< Number of training samples that reach this node.
+  std::vector<double> value;  ///< Class probability distribution at the node.
+
+  [[nodiscard]] bool is_leaf() const { return feature < 0; }
+};
+
+/// CART classifier with Gini impurity splits.
+class DecisionTree {
+ public:
+  /// Training hyper-parameters.
+  struct Params {
+    std::size_t max_depth = 32;         ///< Maximum tree depth (root = 0).
+    std::size_t min_samples_leaf = 1;   ///< Minimum samples per leaf.
+    std::size_t min_samples_split = 2;  ///< Minimum samples to try a split.
+    /// Number of features sampled (without replacement) per split;
+    /// 0 means "all features". Random forests use ~sqrt(M).
+    std::size_t max_features = 0;
+  };
+
+  /// Fits the tree on rows `sample_idx` of x (all rows when empty).
+  /// Labels must lie in [0, num_classes). Duplicated indices (bootstrap
+  /// samples) are allowed. Requires x.rows() == y.size() and non-empty data.
+  void fit(const Matrix& x, std::span<const int> y, int num_classes,
+           const Params& params, icn::util::Rng& rng,
+           std::span<const std::size_t> sample_idx = {});
+
+  /// True once fit() has produced at least a root node.
+  [[nodiscard]] bool is_fitted() const { return !nodes_.empty(); }
+
+  /// Flat node storage; node 0 is the root.
+  [[nodiscard]] const std::vector<TreeNode>& nodes() const { return nodes_; }
+
+  /// Number of classes the tree was fitted with.
+  [[nodiscard]] int num_classes() const { return num_classes_; }
+
+  /// Class distribution at the leaf x falls into. Requires is_fitted() and
+  /// x.size() == number of training features.
+  [[nodiscard]] std::vector<double> predict_proba(
+      std::span<const double> x) const;
+
+  /// Arg-max class of predict_proba.
+  [[nodiscard]] int predict(std::span<const double> x) const;
+
+  /// Total Gini-impurity decrease contributed by each feature (unnormalized);
+  /// size = number of training features.
+  [[nodiscard]] const std::vector<double>& impurity_importance() const {
+    return importance_;
+  }
+
+ private:
+  std::vector<TreeNode> nodes_;
+  int num_classes_ = 0;
+  std::size_t num_features_ = 0;
+  std::vector<double> importance_;
+
+  int build(const Matrix& x, std::span<const int> y, const Params& params,
+            icn::util::Rng& rng, std::vector<std::size_t>& idx,
+            std::size_t begin, std::size_t end, std::size_t depth);
+};
+
+}  // namespace icn::ml

@@ -1,0 +1,210 @@
+#include "ml/treeshap.h"
+
+#include <cstddef>
+
+#include "util/error.h"
+
+namespace icn::ml {
+namespace {
+
+/// One element of the TreeSHAP feature path (Lundberg Alg. 2).
+struct PathElement {
+  int d = -1;      ///< Feature index (-1 for the root placeholder).
+  double z = 1.0;  ///< Fraction of "zero" (missing-feature) paths that flow through.
+  double o = 1.0;  ///< Fraction of "one" (present-feature) paths that flow through.
+  double w = 0.0;  ///< Permutation weight of subsets of this size.
+};
+
+using Path = std::vector<PathElement>;
+
+/// Grows the path by one split (EXTEND of Alg. 2).
+void extend(Path& m, double pz, double po, int pi) {
+  const std::size_t l = m.size();
+  m.push_back(PathElement{pi, pz, po, l == 0 ? 1.0 : 0.0});
+  for (std::size_t i = l; i-- > 0;) {
+    m[i + 1].w += po * m[i].w * static_cast<double>(i + 1) /
+                  static_cast<double>(l + 1);
+    m[i].w = pz * m[i].w * static_cast<double>(l - i) /
+             static_cast<double>(l + 1);
+  }
+}
+
+/// Removes path element i, restoring the weights (UNWIND of Alg. 2).
+void unwind(Path& m, std::size_t i) {
+  const std::size_t depth = m.size();
+  const double o_i = m[i].o;
+  const double z_i = m[i].z;
+  double n = m[depth - 1].w;
+  for (std::size_t j = depth - 1; j-- > 0;) {
+    if (o_i != 0.0) {
+      const double t = m[j].w;
+      m[j].w = n * static_cast<double>(depth) /
+               (static_cast<double>(j + 1) * o_i);
+      n = t - m[j].w * z_i * static_cast<double>(depth - 1 - j) /
+                  static_cast<double>(depth);
+    } else {
+      m[j].w = m[j].w * static_cast<double>(depth) /
+               (z_i * static_cast<double>(depth - 1 - j));
+    }
+  }
+  for (std::size_t j = i; j + 1 < depth; ++j) {
+    m[j].d = m[j + 1].d;
+    m[j].z = m[j + 1].z;
+    m[j].o = m[j + 1].o;
+  }
+  m.pop_back();
+}
+
+/// Sum of the weights unwind(m, i) would produce, without mutating the path.
+double unwound_sum(const Path& m, std::size_t i) {
+  const std::size_t depth = m.size();
+  const double o_i = m[i].o;
+  const double z_i = m[i].z;
+  double n = m[depth - 1].w;
+  double total = 0.0;
+  for (std::size_t j = depth - 1; j-- > 0;) {
+    if (o_i != 0.0) {
+      const double t = n * static_cast<double>(depth) /
+                       (static_cast<double>(j + 1) * o_i);
+      total += t;
+      n = m[j].w - t * z_i * static_cast<double>(depth - 1 - j) /
+                       static_cast<double>(depth);
+    } else {
+      total += m[j].w * static_cast<double>(depth) /
+               (z_i * static_cast<double>(depth - 1 - j));
+    }
+  }
+  return total;
+}
+
+/// Recursive pass of Alg. 2 accumulating phi (M x K, row-major in `phi`).
+void recurse(const std::vector<TreeNode>& nodes, std::span<const double> x,
+             Matrix& phi, int node_id, Path m, double pz, double po, int pi) {
+  extend(m, pz, po, pi);
+  const TreeNode& node = nodes[static_cast<std::size_t>(node_id)];
+  if (node.is_leaf()) {
+    for (std::size_t i = 1; i < m.size(); ++i) {
+      const double w = unwound_sum(m, i);
+      const double scale = w * (m[i].o - m[i].z);
+      const auto f = static_cast<std::size_t>(m[i].d);
+      for (std::size_t c = 0; c < node.value.size(); ++c) {
+        phi(f, c) += scale * node.value[c];
+      }
+    }
+    return;
+  }
+  const auto f = static_cast<std::size_t>(node.feature);
+  const bool go_left = x[f] <= node.threshold;
+  const int hot = go_left ? node.left : node.right;
+  const int cold = go_left ? node.right : node.left;
+  double incoming_z = 1.0;
+  double incoming_o = 1.0;
+  // If this feature already appeared on the path, undo its element first so
+  // each feature is unique on the path.
+  for (std::size_t i = 1; i < m.size(); ++i) {
+    if (m[i].d == node.feature) {
+      incoming_z = m[i].z;
+      incoming_o = m[i].o;
+      unwind(m, i);
+      break;
+    }
+  }
+  const double cover = node.cover;
+  const double hot_cover = nodes[static_cast<std::size_t>(hot)].cover;
+  const double cold_cover = nodes[static_cast<std::size_t>(cold)].cover;
+  recurse(nodes, x, phi, hot, m, incoming_z * hot_cover / cover, incoming_o,
+          node.feature);
+  recurse(nodes, x, phi, cold, m, incoming_z * cold_cover / cover, 0.0,
+          node.feature);
+}
+
+std::vector<double> conditional_expectation_impl(
+    const std::vector<TreeNode>& nodes, int node_id, std::span<const double> x,
+    const std::vector<bool>& present) {
+  const TreeNode& node = nodes[static_cast<std::size_t>(node_id)];
+  if (node.is_leaf()) return node.value;
+  const auto f = static_cast<std::size_t>(node.feature);
+  if (present[f]) {
+    const int next = x[f] <= node.threshold ? node.left : node.right;
+    return conditional_expectation_impl(nodes, next, x, present);
+  }
+  const auto left =
+      conditional_expectation_impl(nodes, node.left, x, present);
+  const auto right =
+      conditional_expectation_impl(nodes, node.right, x, present);
+  const double wl = nodes[static_cast<std::size_t>(node.left)].cover;
+  const double wr = nodes[static_cast<std::size_t>(node.right)].cover;
+  std::vector<double> out(left.size());
+  for (std::size_t c = 0; c < out.size(); ++c) {
+    out[c] = (wl * left[c] + wr * right[c]) / (wl + wr);
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix tree_shap(const DecisionTree& tree, std::span<const double> x) {
+  ICN_REQUIRE(tree.is_fitted(), "tree_shap on unfitted tree");
+  Matrix phi(x.size(), static_cast<std::size_t>(tree.num_classes()));
+  recurse(tree.nodes(), x, phi, 0, Path{}, 1.0, 1.0, -1);
+  return phi;
+}
+
+std::vector<double> tree_base_values(const DecisionTree& tree) {
+  ICN_REQUIRE(tree.is_fitted(), "base values on unfitted tree");
+  // Node values are cover-weighted class distributions, so the root value is
+  // exactly the cover-weighted mean over leaves.
+  return tree.nodes().front().value;
+}
+
+Matrix forest_shap(const RandomForest& forest, std::span<const double> x) {
+  ICN_REQUIRE(forest.is_fitted(), "forest_shap on unfitted forest");
+  Matrix acc(x.size(), static_cast<std::size_t>(forest.num_classes()));
+  for (const auto& tree : forest.trees()) {
+    const Matrix phi = tree_shap(tree, x);
+    for (std::size_t i = 0; i < acc.data().size(); ++i) {
+      acc.data()[i] += phi.data()[i];
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(forest.trees().size());
+  for (auto& v : acc.data()) v *= inv;
+  return acc;
+}
+
+std::vector<double> forest_base_values(const RandomForest& forest) {
+  ICN_REQUIRE(forest.is_fitted(), "base values on unfitted forest");
+  std::vector<double> base(static_cast<std::size_t>(forest.num_classes()),
+                           0.0);
+  for (const auto& tree : forest.trees()) {
+    const auto b = tree_base_values(tree);
+    for (std::size_t c = 0; c < base.size(); ++c) base[c] += b[c];
+  }
+  const double inv = 1.0 / static_cast<double>(forest.trees().size());
+  for (auto& v : base) v *= inv;
+  return base;
+}
+
+std::vector<double> tree_conditional_expectation(
+    const DecisionTree& tree, std::span<const double> x,
+    const std::vector<bool>& present) {
+  ICN_REQUIRE(tree.is_fitted(), "conditional expectation on unfitted tree");
+  ICN_REQUIRE(present.size() == x.size(), "present mask size");
+  return conditional_expectation_impl(tree.nodes(), 0, x, present);
+}
+
+std::vector<double> forest_conditional_expectation(
+    const RandomForest& forest, std::span<const double> x,
+    const std::vector<bool>& present) {
+  ICN_REQUIRE(forest.is_fitted(), "conditional expectation on unfitted forest");
+  std::vector<double> out(static_cast<std::size_t>(forest.num_classes()),
+                          0.0);
+  for (const auto& tree : forest.trees()) {
+    const auto v = tree_conditional_expectation(tree, x, present);
+    for (std::size_t c = 0; c < out.size(); ++c) out[c] += v[c];
+  }
+  const double inv = 1.0 / static_cast<double>(forest.trees().size());
+  for (auto& v : out) v *= inv;
+  return out;
+}
+
+}  // namespace icn::ml

@@ -1,0 +1,87 @@
+#include "probe/aggregate.h"
+
+#include "util/error.h"
+
+namespace icn::probe {
+
+HourlyAggregator::HourlyAggregator(std::span<const std::uint32_t> antenna_ids,
+                                   std::size_t num_services,
+                                   std::int64_t num_hours)
+    : ids_(antenna_ids.begin(), antenna_ids.end()),
+      num_services_(num_services),
+      num_hours_(num_hours) {
+  ICN_REQUIRE(!ids_.empty(), "aggregator needs antennas");
+  ICN_REQUIRE(num_services_ > 0, "aggregator needs services");
+  ICN_REQUIRE(num_hours_ > 0, "aggregator needs hours");
+  for (std::size_t r = 0; r < ids_.size(); ++r) {
+    const auto [it, inserted] = row_of_.emplace(ids_[r], r);
+    ICN_REQUIRE(inserted, "duplicate antenna id in aggregator");
+  }
+  tensor_.assign(ids_.size() * num_services_ *
+                     static_cast<std::size_t>(num_hours_),
+                 0.0);
+}
+
+std::size_t HourlyAggregator::index(std::size_t row, std::size_t service,
+                                    std::int64_t hour) const {
+  return (row * num_services_ + service) *
+             static_cast<std::size_t>(num_hours_) +
+         static_cast<std::size_t>(hour);
+}
+
+void HourlyAggregator::add(const ServiceSession& session) {
+  const auto it = row_of_.find(session.antenna_id);
+  if (it == row_of_.end()) {
+    ++dropped_;
+    return;
+  }
+  ICN_REQUIRE(session.service < num_services_, "session service index");
+  ICN_REQUIRE(session.hour >= 0 && session.hour < num_hours_,
+              "session hour index");
+  tensor_[index(it->second, session.service, session.hour)] +=
+      session.volume_mb();
+}
+
+void HourlyAggregator::add_all(std::span<const ServiceSession> sessions) {
+  for (const auto& s : sessions) add(s);
+}
+
+double HourlyAggregator::total(std::uint32_t antenna_id,
+                               std::size_t service) const {
+  const auto it = row_of_.find(antenna_id);
+  ICN_REQUIRE(it != row_of_.end(), "untracked antenna id");
+  ICN_REQUIRE(service < num_services_, "service index");
+  double acc = 0.0;
+  for (std::int64_t t = 0; t < num_hours_; ++t) {
+    acc += tensor_[index(it->second, service, t)];
+  }
+  return acc;
+}
+
+std::vector<double> HourlyAggregator::series(std::uint32_t antenna_id,
+                                             std::size_t service) const {
+  const auto it = row_of_.find(antenna_id);
+  ICN_REQUIRE(it != row_of_.end(), "untracked antenna id");
+  ICN_REQUIRE(service < num_services_, "service index");
+  std::vector<double> out(static_cast<std::size_t>(num_hours_));
+  for (std::int64_t t = 0; t < num_hours_; ++t) {
+    out[static_cast<std::size_t>(t)] = tensor_[index(it->second, service, t)];
+  }
+  return out;
+}
+
+ml::Matrix HourlyAggregator::traffic_matrix() const {
+  ml::Matrix out(ids_.size(), num_services_);
+  for (std::size_t r = 0; r < ids_.size(); ++r) {
+    for (std::size_t j = 0; j < num_services_; ++j) {
+      double acc = 0.0;
+      for (std::int64_t t = 0; t < num_hours_; ++t) {
+        acc += tensor_[index(r, j, t)];
+      }
+      out(r, j) = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace icn::probe

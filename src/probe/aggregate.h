@@ -1,0 +1,65 @@
+// Hourly aggregation engine (Sec. 3): sums the classified sessions into
+// per-hour, per-service, per-antenna traffic — the exact form the paper's
+// analysis consumes ("data is aggregated over time within intervals of one
+// hour"), and from there into the two-month T matrix.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "probe/probe.h"
+
+namespace icn::probe {
+
+/// Dense (antenna, service, hour) accumulation tensor over a fixed antenna
+/// population and hour range.
+class HourlyAggregator {
+ public:
+  /// Tracks the given antenna ids (rows in id order as given), num_services
+  /// services and hours [0, num_hours). Requires non-empty ids, no
+  /// duplicates, num_services > 0, num_hours > 0.
+  HourlyAggregator(std::span<const std::uint32_t> antenna_ids,
+                   std::size_t num_services, std::int64_t num_hours);
+
+  /// Accumulates one session (volume in MB). Sessions for untracked antennas
+  /// are counted and dropped; out-of-range hours/services throw.
+  void add(const ServiceSession& session);
+
+  /// Accumulates a batch.
+  void add_all(std::span<const ServiceSession> sessions);
+
+  /// Total MB for (antenna, service) summed over all hours.
+  [[nodiscard]] double total(std::uint32_t antenna_id,
+                             std::size_t service) const;
+
+  /// Hourly MB series for (antenna, service); length num_hours.
+  [[nodiscard]] std::vector<double> series(std::uint32_t antenna_id,
+                                           std::size_t service) const;
+
+  /// The aggregated T matrix: rows follow the antenna-id order given at
+  /// construction, columns are services, values are MB totals.
+  [[nodiscard]] ml::Matrix traffic_matrix() const;
+
+  /// Sessions dropped because their antenna is not tracked.
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+  [[nodiscard]] std::size_t num_antennas() const { return ids_.size(); }
+  [[nodiscard]] std::size_t num_services() const { return num_services_; }
+  [[nodiscard]] std::int64_t num_hours() const { return num_hours_; }
+
+ private:
+  std::vector<std::uint32_t> ids_;
+  std::unordered_map<std::uint32_t, std::size_t> row_of_;
+  std::size_t num_services_ = 0;
+  std::int64_t num_hours_ = 0;
+  std::vector<double> tensor_;  ///< [row][service][hour], row-major.
+  std::size_t dropped_ = 0;
+
+  [[nodiscard]] std::size_t index(std::size_t row, std::size_t service,
+                                  std::int64_t hour) const;
+};
+
+}  // namespace icn::probe

@@ -1,0 +1,25 @@
+#include "probe/gtp.h"
+
+#include "util/error.h"
+
+namespace icn::probe {
+
+void UliDecoder::register_cell(std::uint32_t ecgi, std::uint32_t antenna_id) {
+  const auto [it, inserted] = cells_.emplace(ecgi, antenna_id);
+  ICN_REQUIRE(inserted || it->second == antenna_id,
+              "ECGI already registered to a different antenna");
+}
+
+void UliDecoder::register_range(std::uint32_t ecgi_base, std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    register_cell(ecgi_base + i, i);
+  }
+}
+
+std::optional<std::uint32_t> UliDecoder::antenna_of(std::uint32_t ecgi) const {
+  const auto it = cells_.find(ecgi);
+  if (it == cells_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace icn::probe

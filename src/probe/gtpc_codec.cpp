@@ -1,0 +1,199 @@
+#include "probe/gtpc_codec.h"
+
+#include <cctype>
+
+#include "util/error.h"
+
+namespace icn::probe {
+namespace {
+
+constexpr std::uint8_t kVersion2 = 2;
+constexpr std::size_t kHeaderWithTeid = 12;
+
+/// ULI flags byte (TS 29.274 8.21): bit layout, LSB first.
+constexpr std::uint8_t kUliFlagTai = 1U << 3;
+constexpr std::uint8_t kUliFlagEcgi = 1U << 4;
+
+std::uint8_t digit_of(char c) {
+  return static_cast<std::uint8_t>(c - '0');
+}
+
+bool is_digits(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t at) {
+  return static_cast<std::uint16_t>((b[at] << 8) | b[at + 1]);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t at) {
+  return (static_cast<std::uint32_t>(b[at]) << 24) |
+         (static_cast<std::uint32_t>(b[at + 1]) << 16) |
+         (static_cast<std::uint32_t>(b[at + 2]) << 8) |
+         static_cast<std::uint32_t>(b[at + 3]);
+}
+
+}  // namespace
+
+void append_plmn(std::vector<std::uint8_t>& out, const Plmn& plmn) {
+  ICN_REQUIRE(is_digits(plmn.mcc) && plmn.mcc.size() == 3,
+              "MCC must be 3 digits");
+  ICN_REQUIRE(is_digits(plmn.mnc) &&
+                  (plmn.mnc.size() == 2 || plmn.mnc.size() == 3),
+              "MNC must be 2 or 3 digits");
+  const std::uint8_t mcc1 = digit_of(plmn.mcc[0]);
+  const std::uint8_t mcc2 = digit_of(plmn.mcc[1]);
+  const std::uint8_t mcc3 = digit_of(plmn.mcc[2]);
+  const bool mnc3 = plmn.mnc.size() == 3;
+  const std::uint8_t mnc1 = digit_of(plmn.mnc[0]);
+  const std::uint8_t mnc2 = digit_of(plmn.mnc[1]);
+  const std::uint8_t mnc3d = mnc3 ? digit_of(plmn.mnc[2]) : 0xF;
+  // TS 24.008: byte0 = mcc2|mcc1, byte1 = mnc3(or F)|mcc3, byte2 = mnc2|mnc1.
+  out.push_back(static_cast<std::uint8_t>((mcc2 << 4) | mcc1));
+  out.push_back(static_cast<std::uint8_t>((mnc3d << 4) | mcc3));
+  out.push_back(static_cast<std::uint8_t>((mnc2 << 4) | mnc1));
+}
+
+std::optional<Plmn> parse_plmn(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 3) return std::nullopt;
+  const std::uint8_t mcc1 = bytes[0] & 0xF;
+  const std::uint8_t mcc2 = bytes[0] >> 4;
+  const std::uint8_t mcc3 = bytes[1] & 0xF;
+  const std::uint8_t mnc3 = bytes[1] >> 4;
+  const std::uint8_t mnc1 = bytes[2] & 0xF;
+  const std::uint8_t mnc2 = bytes[2] >> 4;
+  for (const std::uint8_t d : {mcc1, mcc2, mcc3, mnc1, mnc2}) {
+    if (d > 9) return std::nullopt;
+  }
+  if (mnc3 > 9 && mnc3 != 0xF) return std::nullopt;
+  Plmn plmn;
+  plmn.mcc = {static_cast<char>('0' + mcc1), static_cast<char>('0' + mcc2),
+              static_cast<char>('0' + mcc3)};
+  plmn.mnc = {static_cast<char>('0' + mnc1), static_cast<char>('0' + mnc2)};
+  if (mnc3 != 0xF) plmn.mnc.push_back(static_cast<char>('0' + mnc3));
+  return plmn;
+}
+
+void append_uli_ie(std::vector<std::uint8_t>& out, const UliIe& uli) {
+  ICN_REQUIRE(uli.tai.has_value() || uli.ecgi.has_value(),
+              "ULI needs at least one location");
+  if (uli.ecgi) {
+    ICN_REQUIRE(uli.ecgi->eci <= 0x0FFFFFFF, "ECI is 28 bits");
+  }
+  std::vector<std::uint8_t> payload;
+  std::uint8_t flags = 0;
+  if (uli.tai) flags |= kUliFlagTai;
+  if (uli.ecgi) flags |= kUliFlagEcgi;
+  payload.push_back(flags);
+  // TS 29.274: locations appear in flag-bit order (TAI before ECGI).
+  if (uli.tai) {
+    append_plmn(payload, uli.tai->plmn);
+    put_u16(payload, uli.tai->tac);
+  }
+  if (uli.ecgi) {
+    append_plmn(payload, uli.ecgi->plmn);
+    put_u32(payload, uli.ecgi->eci & 0x0FFFFFFF);
+  }
+  out.push_back(kIeTypeUli);
+  put_u16(out, static_cast<std::uint16_t>(payload.size()));
+  out.push_back(0);  // spare / instance
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::vector<std::uint8_t> encode_gtpc(const GtpcMessage& msg) {
+  ICN_REQUIRE(msg.ies.size() + 8 <= 0xFFFF, "GTP-C message too long");
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderWithTeid + msg.ies.size());
+  // Version 2, P = 0, TEID flag = 1.
+  out.push_back(static_cast<std::uint8_t>(kVersion2 << 5 | 1U << 3));
+  out.push_back(msg.message_type);
+  // Length counts everything after the first 4 bytes.
+  put_u16(out, static_cast<std::uint16_t>(8 + msg.ies.size()));
+  put_u32(out, msg.teid);
+  out.push_back(static_cast<std::uint8_t>((msg.sequence >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((msg.sequence >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(msg.sequence & 0xFF));
+  out.push_back(0);  // spare
+  out.insert(out.end(), msg.ies.begin(), msg.ies.end());
+  return out;
+}
+
+std::optional<GtpcMessage> parse_gtpc(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderWithTeid) return std::nullopt;
+  const std::uint8_t version = bytes[0] >> 5;
+  const bool has_teid = (bytes[0] & (1U << 3)) != 0;
+  if (version != kVersion2 || !has_teid) return std::nullopt;
+  const std::uint16_t length = get_u16(bytes, 2);
+  if (length < 8) return std::nullopt;
+  if (bytes.size() < static_cast<std::size_t>(4 + length)) {
+    return std::nullopt;
+  }
+  GtpcMessage msg;
+  msg.message_type = bytes[1];
+  msg.teid = get_u32(bytes, 4);
+  msg.sequence = (static_cast<std::uint32_t>(bytes[8]) << 16) |
+                 (static_cast<std::uint32_t>(bytes[9]) << 8) |
+                 static_cast<std::uint32_t>(bytes[10]);
+  msg.ies.assign(bytes.begin() + kHeaderWithTeid,
+                 bytes.begin() + 4 + length);
+  return msg;
+}
+
+std::optional<UliIe> find_uli(std::span<const std::uint8_t> ies) {
+  std::size_t at = 0;
+  while (at + 4 <= ies.size()) {
+    const std::uint8_t type = ies[at];
+    const std::uint16_t length = get_u16(ies, at + 1);
+    const std::size_t payload_at = at + 4;
+    if (payload_at + length > ies.size()) return std::nullopt;  // truncated
+    if (type == kIeTypeUli) {
+      const auto payload = ies.subspan(payload_at, length);
+      if (payload.empty()) return std::nullopt;
+      const std::uint8_t flags = payload[0];
+      std::size_t cursor = 1;
+      UliIe uli;
+      if (flags & kUliFlagTai) {
+        if (cursor + 5 > payload.size()) return std::nullopt;
+        const auto plmn = parse_plmn(payload.subspan(cursor, 3));
+        if (!plmn) return std::nullopt;
+        Tai tai;
+        tai.plmn = *plmn;
+        tai.tac = get_u16(payload, cursor + 3);
+        uli.tai = tai;
+        cursor += 5;
+      }
+      if (flags & kUliFlagEcgi) {
+        if (cursor + 7 > payload.size()) return std::nullopt;
+        const auto plmn = parse_plmn(payload.subspan(cursor, 3));
+        if (!plmn) return std::nullopt;
+        Ecgi ecgi;
+        ecgi.plmn = *plmn;
+        ecgi.eci = get_u32(payload, cursor + 3) & 0x0FFFFFFF;
+        uli.ecgi = ecgi;
+        cursor += 7;
+      }
+      if (!uli.tai && !uli.ecgi) return std::nullopt;
+      return uli;
+    }
+    at = payload_at + length;
+  }
+  return std::nullopt;
+}
+
+}  // namespace icn::probe

@@ -1,0 +1,98 @@
+// Byte-level GTPv2-C encoding/decoding (simplified from 3GPP TS 29.274).
+//
+// The paper's probes geo-reference IP sessions "by exploiting the User
+// Location Information (ULI) field present in the PDP Contexts and Evolved
+// Packet System (EPS) Bearers over the GPRS Tunneling Protocol control plane
+// (GTP-C)" (Sec. 3). This codec implements the wire format those probes
+// parse: the GTPv2-C header, the TLV information-element framing, and the
+// ULI IE carrying TAI (tracking area) and ECGI (cell identity) with
+// BCD-encoded PLMN ids.
+//
+// Parsing never throws and never reads out of bounds: malformed input yields
+// std::nullopt (probes must survive arbitrary captured bytes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace icn::probe {
+
+/// Public Land Mobile Network identity: 3-digit MCC, 2- or 3-digit MNC.
+struct Plmn {
+  std::string mcc = "208";  ///< France.
+  std::string mnc = "01";
+
+  friend bool operator==(const Plmn&, const Plmn&) = default;
+};
+
+/// Tracking Area Identity.
+struct Tai {
+  Plmn plmn;
+  std::uint16_t tac = 0;
+
+  friend bool operator==(const Tai&, const Tai&) = default;
+};
+
+/// E-UTRAN Cell Global Identity; the ECI is 28 bits.
+struct Ecgi {
+  Plmn plmn;
+  std::uint32_t eci = 0;
+
+  friend bool operator==(const Ecgi&, const Ecgi&) = default;
+};
+
+/// Decoded ULI information element (only the TAI/ECGI location types the
+/// probes use are modelled).
+struct UliIe {
+  std::optional<Tai> tai;
+  std::optional<Ecgi> ecgi;
+
+  friend bool operator==(const UliIe&, const UliIe&) = default;
+};
+
+/// GTPv2-C message type values used here.
+inline constexpr std::uint8_t kCreateSessionRequest = 32;
+inline constexpr std::uint8_t kModifyBearerRequest = 34;
+
+/// IE type of the User Location Information element.
+inline constexpr std::uint8_t kIeTypeUli = 86;
+
+/// A GTPv2-C message: header fields plus the raw concatenated IEs.
+struct GtpcMessage {
+  std::uint8_t message_type = kCreateSessionRequest;
+  std::uint32_t teid = 0;
+  std::uint32_t sequence = 0;  ///< 24 bits on the wire.
+  std::vector<std::uint8_t> ies;
+};
+
+/// Encodes a 3-byte BCD PLMN (TS 24.008 10.5.1.3 layout). Requires mcc of
+/// exactly 3 digits and mnc of 2 or 3 digits.
+void append_plmn(std::vector<std::uint8_t>& out, const Plmn& plmn);
+
+/// Decodes 3 PLMN bytes; nullopt when a nibble is not a digit (except the
+/// 2-digit-MNC filler 0xF).
+[[nodiscard]] std::optional<Plmn> parse_plmn(
+    std::span<const std::uint8_t> bytes);
+
+/// Appends a complete ULI IE (type, length, spare, flags, locations).
+/// Requires at least one location present and any ECI to fit in 28 bits.
+void append_uli_ie(std::vector<std::uint8_t>& out, const UliIe& uli);
+
+/// Encodes header + IEs into wire bytes.
+/// Requires ies to fit the 16-bit length field.
+[[nodiscard]] std::vector<std::uint8_t> encode_gtpc(const GtpcMessage& msg);
+
+/// Parses a GTPv2-C message (header with TEID). Returns nullopt on any
+/// structural problem: short buffer, wrong version, truncated length.
+[[nodiscard]] std::optional<GtpcMessage> parse_gtpc(
+    std::span<const std::uint8_t> bytes);
+
+/// Scans a concatenated-IE buffer for the first ULI IE and decodes it.
+/// Returns nullopt when no well-formed ULI is present.
+[[nodiscard]] std::optional<UliIe> find_uli(
+    std::span<const std::uint8_t> ies);
+
+}  // namespace icn::probe

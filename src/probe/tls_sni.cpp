@@ -1,0 +1,184 @@
+#include "probe/tls_sni.h"
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace icn::probe {
+namespace {
+
+constexpr std::uint8_t kRecordHandshake = 22;
+constexpr std::uint8_t kHandshakeClientHello = 1;
+constexpr std::uint16_t kVersionTls12 = 0x0303;
+constexpr std::uint16_t kVersionTls10 = 0x0301;
+constexpr std::uint16_t kExtServerName = 0;
+constexpr std::uint8_t kSniHostName = 0;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+/// Bounds-checked big-endian reader over a byte span.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t remaining() const {
+    return ok_ ? bytes_.size() - at_ : 0;
+  }
+
+  std::uint8_t u8() {
+    if (!require(1)) return 0;
+    return bytes_[at_++];
+  }
+  std::uint16_t u16() {
+    if (!require(2)) return 0;
+    const auto v = static_cast<std::uint16_t>((bytes_[at_] << 8) |
+                                              bytes_[at_ + 1]);
+    at_ += 2;
+    return v;
+  }
+  std::uint32_t u24() {
+    if (!require(3)) return 0;
+    const auto v = (static_cast<std::uint32_t>(bytes_[at_]) << 16) |
+                   (static_cast<std::uint32_t>(bytes_[at_ + 1]) << 8) |
+                   static_cast<std::uint32_t>(bytes_[at_ + 2]);
+    at_ += 3;
+    return v;
+  }
+  std::span<const std::uint8_t> take(std::size_t n) {
+    if (!require(n)) return {};
+    const auto out = bytes_.subspan(at_, n);
+    at_ += n;
+    return out;
+  }
+  void skip(std::size_t n) { (void)take(n); }
+
+ private:
+  bool require(std::size_t n) {
+    if (!ok_ || bytes_.size() - at_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t at_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> build_client_hello(std::string_view host,
+                                             std::uint64_t seed) {
+  ICN_REQUIRE(!host.empty() && host.size() < 254, "SNI host length");
+  icn::util::Rng rng(icn::util::derive_seed(seed, 0x7157C1ULL));
+
+  // server_name extension body.
+  std::vector<std::uint8_t> sni;
+  put_u16(sni, static_cast<std::uint16_t>(host.size() + 3));  // list length
+  sni.push_back(kSniHostName);
+  put_u16(sni, static_cast<std::uint16_t>(host.size()));
+  sni.insert(sni.end(), host.begin(), host.end());
+
+  std::vector<std::uint8_t> extensions;
+  put_u16(extensions, kExtServerName);
+  put_u16(extensions, static_cast<std::uint16_t>(sni.size()));
+  extensions.insert(extensions.end(), sni.begin(), sni.end());
+  // A second, opaque extension so parsers must actually walk the list
+  // (supported_groups with two named groups).
+  put_u16(extensions, 10);
+  put_u16(extensions, 6);
+  put_u16(extensions, 4);
+  put_u16(extensions, 0x001D);  // x25519
+  put_u16(extensions, 0x0017);  // secp256r1
+
+  std::vector<std::uint8_t> body;
+  put_u16(body, kVersionTls12);
+  for (int i = 0; i < 32; ++i) {  // client random
+    body.push_back(static_cast<std::uint8_t>(rng.uniform_index(256)));
+  }
+  body.push_back(16);  // session id length
+  for (int i = 0; i < 16; ++i) {
+    body.push_back(static_cast<std::uint8_t>(rng.uniform_index(256)));
+  }
+  put_u16(body, 4);  // cipher suites length
+  put_u16(body, 0x1301);
+  put_u16(body, 0x1302);
+  body.push_back(1);  // compression methods length
+  body.push_back(0);  // null compression
+  put_u16(body, static_cast<std::uint16_t>(extensions.size()));
+  body.insert(body.end(), extensions.begin(), extensions.end());
+
+  std::vector<std::uint8_t> record;
+  record.push_back(kRecordHandshake);
+  put_u16(record, kVersionTls10);  // legacy record version
+  put_u16(record, static_cast<std::uint16_t>(body.size() + 4));
+  record.push_back(kHandshakeClientHello);
+  record.push_back(static_cast<std::uint8_t>(body.size() >> 16));
+  record.push_back(static_cast<std::uint8_t>((body.size() >> 8) & 0xFF));
+  record.push_back(static_cast<std::uint8_t>(body.size() & 0xFF));
+  record.insert(record.end(), body.begin(), body.end());
+  return record;
+}
+
+std::optional<std::string> extract_sni(
+    std::span<const std::uint8_t> record) {
+  Reader r(record);
+  if (r.u8() != kRecordHandshake) return std::nullopt;
+  r.skip(2);  // record version (tolerant: any value)
+  const std::uint16_t record_len = r.u16();
+  if (!r.ok() || r.remaining() < record_len) return std::nullopt;
+
+  if (r.u8() != kHandshakeClientHello) return std::nullopt;
+  const std::uint32_t hs_len = r.u24();
+  if (!r.ok() || r.remaining() < hs_len) return std::nullopt;
+
+  r.skip(2);   // client version
+  r.skip(32);  // random
+  const std::uint8_t session_len = r.u8();
+  r.skip(session_len);
+  const std::uint16_t cipher_len = r.u16();
+  r.skip(cipher_len);
+  const std::uint8_t compression_len = r.u8();
+  r.skip(compression_len);
+  if (!r.ok()) return std::nullopt;
+
+  const std::uint16_t ext_total = r.u16();
+  if (!r.ok() || r.remaining() < ext_total) return std::nullopt;
+  std::size_t walked = 0;
+  while (r.ok() && walked + 4 <= ext_total) {
+    const std::uint16_t ext_type = r.u16();
+    const std::uint16_t ext_len = r.u16();
+    walked += 4;
+    if (walked + ext_len > ext_total) return std::nullopt;
+    walked += ext_len;
+    if (ext_type != kExtServerName) {
+      r.skip(ext_len);
+      continue;
+    }
+    Reader ext(r.take(ext_len));
+    const std::uint16_t list_len = ext.u16();
+    if (!ext.ok() || ext.remaining() < list_len) return std::nullopt;
+    std::size_t list_walked = 0;
+    while (ext.ok() && list_walked + 3 <= list_len) {
+      const std::uint8_t name_type = ext.u8();
+      const std::uint16_t name_len = ext.u16();
+      list_walked += 3;
+      if (list_walked + name_len > list_len) return std::nullopt;
+      list_walked += name_len;
+      const auto name = ext.take(name_len);
+      if (!ext.ok()) return std::nullopt;
+      if (name_type == kSniHostName) {
+        if (name.empty()) return std::nullopt;
+        return std::string(name.begin(), name.end());
+      }
+    }
+    return std::nullopt;  // server_name extension without a host_name entry
+  }
+  return std::nullopt;  // no server_name extension
+}
+
+}  // namespace icn::probe

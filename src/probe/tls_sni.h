@@ -1,0 +1,33 @@
+// TLS ClientHello SNI extraction — what the DPI actually does on the wire.
+//
+// The probe's service classification keys on the server name a TLS session
+// announces. This module synthesizes well-formed TLS 1.2 ClientHello records
+// (for the traffic generator) and extracts the server_name extension from
+// captured record bytes (for the classifier), with strict bounds checking:
+// extract_sni never throws and never reads out of range, whatever bytes it
+// is handed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace icn::probe {
+
+/// Builds a TLS 1.2 ClientHello record announcing `host` in the server_name
+/// extension. `seed` randomizes the client random and session id so two
+/// flows do not produce identical bytes. Requires a non-empty host shorter
+/// than 254 bytes.
+[[nodiscard]] std::vector<std::uint8_t> build_client_hello(
+    std::string_view host, std::uint64_t seed = 0);
+
+/// Extracts the SNI host name from a TLS record. Returns nullopt when the
+/// bytes are not a well-formed ClientHello carrying a server_name extension
+/// (wrong record type, truncation at any depth, missing extension, ...).
+[[nodiscard]] std::optional<std::string> extract_sni(
+    std::span<const std::uint8_t> record);
+
+}  // namespace icn::probe

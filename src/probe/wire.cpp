@@ -1,0 +1,49 @@
+#include "probe/wire.h"
+
+#include "probe/tls_sni.h"
+#include "util/rng.h"
+
+namespace icn::probe {
+
+WireCapture synthesize_wire(const traffic::FlowRecord& flow,
+                            const Plmn& plmn) {
+  WireCapture capture;
+  GtpcMessage msg;
+  msg.message_type = kCreateSessionRequest;
+  msg.teid = flow.src_ip;  // any stable token serves as the tunnel id here
+  msg.sequence = static_cast<std::uint32_t>(flow.start_hour) & 0xFFFFFF;
+  UliIe uli;
+  uli.ecgi = Ecgi{plmn, flow.ecgi & 0x0FFFFFFF};
+  append_uli_ie(msg.ies, uli);
+  capture.gtpc = encode_gtpc(msg);
+  capture.client_hello = build_client_hello(
+      flow.sni, icn::util::derive_seed(flow.src_ip, flow.src_port));
+  capture.start_hour = flow.start_hour;
+  capture.down_bytes = flow.down_bytes;
+  capture.up_bytes = flow.up_bytes;
+  return capture;
+}
+
+std::optional<ServiceSession> observe_wire(const WireCapture& capture,
+                                           const UliDecoder& uli,
+                                           DpiClassifier& dpi) {
+  const auto msg = parse_gtpc(capture.gtpc);
+  if (!msg.has_value()) return std::nullopt;
+  const auto location = find_uli(msg->ies);
+  if (!location.has_value() || !location->ecgi.has_value()) {
+    return std::nullopt;
+  }
+  const auto antenna = uli.antenna_of(location->ecgi->eci);
+  if (!antenna.has_value()) return std::nullopt;
+  const auto service = dpi.classify_client_hello(capture.client_hello);
+  if (!service.has_value()) return std::nullopt;
+  ServiceSession session;
+  session.antenna_id = *antenna;
+  session.service = *service;
+  session.hour = capture.start_hour;
+  session.down_bytes = capture.down_bytes;
+  session.up_bytes = capture.up_bytes;
+  return session;
+}
+
+}  // namespace icn::probe

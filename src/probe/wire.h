@@ -1,0 +1,45 @@
+// Wire-level measurement path: turns a structured FlowRecord into the bytes
+// a passive probe would really capture — a GTPv2-C Create Session Request
+// carrying the ULI on the control plane, and the TLS ClientHello opening the
+// user-plane session — and decodes them back into a ServiceSession.
+//
+// The structured PassiveProbe::observe path and this byte path must agree
+// exactly; the integration tests assert it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "probe/dpi.h"
+#include "probe/gtp.h"
+#include "probe/gtpc_codec.h"
+#include "probe/probe.h"
+#include "traffic/flows.h"
+
+namespace icn::probe {
+
+/// The bytes a probe captures for one session, plus the accounting the
+/// packet counters provide.
+struct WireCapture {
+  std::vector<std::uint8_t> gtpc;          ///< Create Session Request bytes.
+  std::vector<std::uint8_t> client_hello;  ///< First user-plane TLS record.
+  std::int64_t start_hour = 0;
+  double down_bytes = 0.0;
+  double up_bytes = 0.0;
+};
+
+/// Encodes the wire capture of a flow: the flow's ECGI goes into the GTP-C
+/// ULI, its SNI into the ClientHello. `plmn` defaults to the French MCC/MNC
+/// the study's operator uses.
+[[nodiscard]] WireCapture synthesize_wire(const traffic::FlowRecord& flow,
+                                          const Plmn& plmn = Plmn{});
+
+/// Decodes a capture back into a geo-referenced, service-classified session
+/// using the same decoder/classifier as the structured path. Returns nullopt
+/// (with the probe-style accounting left to the caller's counters inside
+/// `dpi`) when the GTP-C, ULI, or TLS bytes do not parse or do not resolve.
+[[nodiscard]] std::optional<ServiceSession> observe_wire(
+    const WireCapture& capture, const UliDecoder& uli, DpiClassifier& dpi);
+
+}  // namespace icn::probe

@@ -1,0 +1,310 @@
+#include "traffic/archetypes.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace icn::traffic {
+namespace {
+
+const std::array<Archetype, kNumArchetypes>& archetype_table() {
+  static const std::array<Archetype, kNumArchetypes> kTable = {{
+      {0, "Paris commuters, entertainment-leaning", ClusterGroup::kOrange},
+      {1, "General use (airports, tunnels, mixed)", ClusterGroup::kRed},
+      {2, "Retail & hospitality", ClusterGroup::kRed},
+      {3, "Workspaces", ClusterGroup::kRed},
+      {4, "Paris commuters, utilitarian", ClusterGroup::kOrange},
+      {5, "Uniform low-intensity venues", ClusterGroup::kGreen},
+      {6, "Provincial stadiums", ClusterGroup::kGreen},
+      {7, "Provincial metro commuters", ClusterGroup::kOrange},
+      {8, "Paris arenas, diverse event crowd", ClusterGroup::kGreen},
+  }};
+  return kTable;
+}
+
+}  // namespace
+
+const char* group_name(ClusterGroup g) {
+  switch (g) {
+    case ClusterGroup::kOrange:
+      return "orange";
+    case ClusterGroup::kGreen:
+      return "green";
+    case ClusterGroup::kRed:
+      return "red";
+  }
+  return "?";
+}
+
+const Archetype& archetype_info(int id) {
+  ICN_REQUIRE(id >= 0 && id < static_cast<int>(kNumArchetypes),
+              "archetype id");
+  return archetype_table()[static_cast<std::size_t>(id)];
+}
+
+ClusterGroup archetype_group(int id) { return archetype_info(id).group; }
+
+ArchetypeModel::ArchetypeModel(const ServiceCatalog& catalog)
+    : catalog_(&catalog) {
+  const std::size_t m = catalog.size();
+  multipliers_.assign(kNumArchetypes, std::vector<double>(m, 1.0));
+
+  auto set_cat = [&](int a, ServiceCategory c, double v) {
+    for (const std::size_t j : catalog.of_category(c)) {
+      multipliers_[static_cast<std::size_t>(a)][j] = v;
+    }
+  };
+  auto set_svc = [&](int a, std::string_view name, double v) {
+    const auto j = catalog.index_of(name);
+    ICN_REQUIRE(j.has_value(), std::string("unknown service ") +
+                                   std::string(name));
+    multipliers_[static_cast<std::size_t>(a)][*j] = v;
+  };
+  using enum ServiceCategory;
+
+  // --- Archetype 0: Paris metro/train commuters, entertainment-leaning.
+  set_cat(0, kMusic, 3.5);
+  set_cat(0, kNavigation, 2.2);
+  set_cat(0, kNews, 1.8);
+  set_cat(0, kEntertainment, 2.2);
+  set_cat(0, kSports, 1.3);
+  set_cat(0, kWork, 0.5);
+  set_cat(0, kVideoStreaming, 0.7);
+  set_svc(0, "Mappy", 3.0);
+  set_svc(0, "Transportation Websites", 3.2);
+  set_svc(0, "RATP", 3.2);
+  set_svc(0, "Yahoo", 2.2);
+  set_svc(0, "Twitter", 1.6);
+  set_svc(0, "Webtoon", 2.0);
+  set_svc(0, "Netflix", 0.55);
+
+  // --- Archetype 4: Paris metro/train commuters, utilitarian (no
+  // entertainment, Twitter mitigated).
+  set_cat(4, kMusic, 3.5);
+  set_cat(4, kNavigation, 2.6);
+  set_cat(4, kEntertainment, 0.35);
+  set_cat(4, kNews, 0.6);
+  set_cat(4, kSports, 0.7);
+  set_cat(4, kWork, 0.5);
+  set_cat(4, kVideoStreaming, 0.7);
+  set_svc(4, "Mappy", 3.4);
+  set_svc(4, "Transportation Websites", 3.6);
+  set_svc(4, "RATP", 3.4);
+  set_svc(4, "Yahoo", 0.35);
+  set_svc(4, "Twitter", 0.5);
+  set_svc(4, "Netflix", 0.55);
+
+  // --- Archetype 7: provincial metros (Lille/Lyon/Rennes/Toulouse):
+  // music-heavy but transport/navigation helpers under-used (simpler
+  // networks, resident riders).
+  set_cat(7, kMusic, 3.5);
+  // Mainstream navigation stays commuter-high; only the niche helpers
+  // (Mappy, transportation websites, RATP) fall into under-utilization —
+  // simpler provincial networks need no dedicated routing apps (Sec. 5.2.2).
+  set_cat(7, kNavigation, 2.1);
+  set_cat(7, kEntertainment, 1.1);
+  set_cat(7, kNews, 1.1);
+  set_cat(7, kSports, 0.9);
+  set_cat(7, kWork, 0.5);
+  set_cat(7, kVideoStreaming, 0.7);
+  set_svc(7, "Spotify", 3.2);
+  set_svc(7, "Deezer", 3.0);
+  set_svc(7, "Mappy", 0.45);
+  set_svc(7, "Transportation Websites", 0.5);
+  set_svc(7, "RATP", 0.4);
+  set_svc(7, "SNCF Connect", 0.6);
+  set_svc(7, "Netflix", 0.55);
+  set_svc(7, "Twitter", 1.15);
+
+  // --- Archetype 5: uniform low-intensity (flattened mix; handled below).
+
+  // --- Archetype 6: provincial stadiums: content-sharing + sports during
+  // events, long-form streaming suppressed.
+  set_cat(6, kSports, 4.0);
+  set_cat(6, kSocial, 1.6);
+  set_cat(6, kVideoStreaming, 0.45);
+  set_cat(6, kMusic, 0.6);
+  set_cat(6, kWork, 0.5);
+  set_cat(6, kShopping, 0.7);
+  set_cat(6, kMail, 0.7);
+  set_svc(6, "Snapchat", 3.2);
+  set_svc(6, "Twitter", 3.0);
+  set_svc(6, "Waze", 1.6);
+  set_svc(6, "Netflix", 0.35);
+  set_svc(6, "Canal+", 0.3);
+  set_svc(6, "Giphy", 0.4);
+  set_svc(6, "WhatsApp", 0.75);
+
+  // --- Archetype 8: Paris arenas: like 6 but with a larger app diversity
+  // (Giphy, WhatsApp, Canal+ present).
+  set_cat(8, kSports, 3.2);
+  set_cat(8, kSocial, 1.7);
+  set_cat(8, kMessaging, 1.5);
+  set_cat(8, kVideoStreaming, 0.6);
+  set_cat(8, kMusic, 0.8);
+  set_cat(8, kWork, 0.6);
+  set_cat(8, kMail, 0.8);
+  set_svc(8, "Snapchat", 3.2);
+  set_svc(8, "Twitter", 2.6);
+  set_svc(8, "Giphy", 2.6);
+  set_svc(8, "WhatsApp", 1.9);
+  set_svc(8, "Canal+", 1.7);
+  set_svc(8, "Netflix", 0.45);
+
+  // --- Archetype 1: general use: streaming + vehicular navigation + mail
+  // over-used, commuter services under-used.
+  set_cat(1, kMail, 1.9);
+  set_cat(1, kMessaging, 1.25);
+  set_cat(1, kMusic, 0.55);
+  set_cat(1, kShopping, 0.75);
+  set_cat(1, kAppStore, 0.7);
+  set_cat(1, kWork, 0.8);
+  set_cat(1, kVideoStreaming, 1.3);
+  set_svc(1, "Netflix", 1.9);
+  set_svc(1, "Disney+", 1.9);
+  set_svc(1, "Amazon Prime Video", 1.9);
+  set_svc(1, "Waze", 2.6);
+  set_svc(1, "Spotify", 0.5);
+  set_svc(1, "SoundCloud", 0.45);
+  set_svc(1, "Mappy", 0.35);
+  set_svc(1, "Transportation Websites", 0.45);
+  set_svc(1, "RATP", 0.4);
+
+  // --- Archetype 2: retail & hospitality: app downloads + shopping; hotels
+  // stream at night.
+  set_cat(2, kShopping, 2.8);
+  set_cat(2, kMusic, 0.5);
+  set_cat(2, kMail, 0.7);
+  set_cat(2, kMessaging, 0.9);
+  set_cat(2, kNavigation, 0.6);
+  set_cat(2, kWork, 0.55);
+  set_cat(2, kSports, 0.7);
+  set_svc(2, "Google Play Store", 3.2);
+  set_svc(2, "Apple App Store", 2.0);
+  set_svc(2, "Shopping Websites", 2.8);
+  set_svc(2, "Netflix", 1.5);
+  set_svc(2, "Microsoft Teams", 0.4);
+
+  // --- Archetype 3: workspaces: collaboration, professional networking,
+  // mail, cloud; leisure services suppressed.
+  set_cat(3, kWork, 3.0);
+  set_cat(3, kMail, 2.6);
+  set_cat(3, kCloud, 1.9);
+  set_cat(3, kMusic, 0.5);
+  set_cat(3, kNavigation, 0.5);
+  set_cat(3, kSocial, 0.6);
+  set_cat(3, kVideoStreaming, 0.4);
+  set_cat(3, kGaming, 0.4);
+  set_cat(3, kShopping, 0.7);
+  set_svc(3, "Microsoft Teams", 4.2);
+  set_svc(3, "LinkedIn", 3.6);
+  set_svc(3, "Snapchat", 0.35);
+  set_svc(3, "Netflix", 0.35);
+
+  // Archetype 5: flatten the global mix so every service gets a near-equal
+  // share of a venue's modest traffic. Under Eq. (1) this under-utilizes the
+  // popular services (most of the catalogue's traffic mass), matching the
+  // paper's "under-utilization of most mobile services" signature.
+  {
+    const auto& shares = catalog.popularity_shares();
+    const double mean_share = 1.0 / static_cast<double>(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      multipliers_[5][j] = std::pow(mean_share / shares[j], 0.57);
+    }
+    // ... with the mild content-sharing tilt of an event venue, which keeps
+    // cluster 5 inside the green branch of the dendrogram (Fig. 3).
+    for (const char* svc : {"Snapchat", "Twitter"}) {
+      multipliers_[5][*catalog.index_of(svc)] *= 2.2;
+    }
+    for (const std::size_t j : catalog.of_category(kSports)) {
+      multipliers_[5][j] *= 2.2;
+    }
+    for (const std::size_t j : catalog.of_category(kVideoStreaming)) {
+      multipliers_[5][j] *= 0.6;
+    }
+  }
+
+  // Derive the noise-free expected shares.
+  expected_shares_.assign(kNumArchetypes, std::vector<double>(m, 0.0));
+  for (std::size_t a = 0; a < kNumArchetypes; ++a) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      expected_shares_[a][j] =
+          catalog.popularity_shares()[j] * multipliers_[a][j];
+      total += expected_shares_[a][j];
+    }
+    for (std::size_t j = 0; j < m; ++j) expected_shares_[a][j] /= total;
+  }
+}
+
+std::span<const double> ArchetypeModel::multipliers(int archetype) const {
+  ICN_REQUIRE(archetype >= 0 && archetype < static_cast<int>(kNumArchetypes),
+              "archetype id");
+  return multipliers_[static_cast<std::size_t>(archetype)];
+}
+
+std::span<const double> ArchetypeModel::expected_shares(int archetype) const {
+  ICN_REQUIRE(archetype >= 0 && archetype < static_cast<int>(kNumArchetypes),
+              "archetype id");
+  return expected_shares_[static_cast<std::size_t>(archetype)];
+}
+
+std::array<double, kNumArchetypes> ArchetypeModel::archetype_mix(
+    net::Environment env, net::City city) {
+  using net::Environment;
+  std::array<double, kNumArchetypes> w{};  // zero-initialized
+  const bool paris = net::is_paris(city);
+  const bool provincial_metro = net::has_provincial_metro(city);
+  switch (env) {
+    case Environment::kMetro:
+      if (paris) {
+        w[0] = 0.52; w[4] = 0.44; w[1] = 0.02; w[5] = 0.02;
+      } else {
+        w[7] = 0.96; w[1] = 0.02; w[5] = 0.02;
+      }
+      break;
+    case Environment::kTrain:
+      if (paris) {
+        w[0] = 0.50; w[4] = 0.42; w[1] = 0.05; w[2] = 0.03;
+      } else if (provincial_metro) {
+        w[0] = 0.22; w[4] = 0.22; w[7] = 0.20; w[1] = 0.20; w[2] = 0.16;
+      } else {
+        w[0] = 0.22; w[4] = 0.22; w[1] = 0.32; w[2] = 0.24;
+      }
+      break;
+    case Environment::kAirport:
+      w[1] = 0.90; w[2] = 0.05; w[5] = 0.05;
+      break;
+    case Environment::kWorkspace:
+      w[3] = 0.70; w[5] = 0.06; w[1] = 0.12; w[2] = 0.12;
+      break;
+    case Environment::kCommercial:
+      w[2] = 0.50; w[1] = 0.40; w[5] = 0.05; w[3] = 0.05;
+      break;
+    case Environment::kStadium:
+      if (paris) {
+        w[8] = 0.58; w[5] = 0.20; w[6] = 0.08; w[1] = 0.14;
+      } else {
+        w[6] = 0.62; w[5] = 0.22; w[8] = 0.08; w[1] = 0.08;
+      }
+      break;
+    case Environment::kExpo:
+      w[3] = 0.52; w[5] = 0.25; w[1] = 0.15; w[8] = 0.08;
+      break;
+    case Environment::kHotel:
+      w[2] = 0.70; w[1] = 0.30;
+      break;
+    case Environment::kHospital:
+      w[2] = 0.90; w[1] = 0.10;
+      break;
+    case Environment::kTunnel:
+      w[1] = 0.92; w[2] = 0.08;
+      break;
+    case Environment::kPublicBuilding:
+      w[2] = 0.55; w[1] = 0.35; w[3] = 0.10;
+      break;
+  }
+  return w;
+}
+
+}  // namespace icn::traffic

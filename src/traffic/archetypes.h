@@ -1,0 +1,85 @@
+// Behavioural archetypes: the generative counterpart of the paper's nine
+// clusters (Sec. 4.2 / 5.1.2 / 5.2.2).
+//
+// Each archetype is a vector of per-service utilization multipliers applied
+// on top of the global popularity mix; the multipliers encode exactly the
+// over-/under-utilization signatures the paper's SHAP analysis surfaces:
+//
+//   orange group (0, 4, 7)  — commuter profiles: music + navigation heavy;
+//                             0 also entertainment-heavy, 4 utilitarian,
+//                             7 (provincial metros) under-uses Mappy /
+//                             transport websites;
+//   green group  (5, 6, 8)  — event venues: 5 near-uniform low-intensity use,
+//                             6/8 Snapchat + Twitter + sports sites, 8 with a
+//                             broader app diversity (Giphy, WhatsApp, Canal+);
+//   red group    (1, 2, 3)  — 1 general use (streaming, Waze, mail),
+//                             2 retail/hospitality (Play Store, shopping),
+//                             3 workspaces (Teams, LinkedIn, mail).
+//
+// The archetype mix per (environment, city) reproduces the correspondences of
+// Figs. 6-8, e.g. metros/trains -> orange only, >70% of cluster 3 being
+// workspaces, airports/tunnels -> cluster 1, hospitals/hotels -> cluster 2.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "net/city.h"
+#include "net/environment.h"
+#include "traffic/services.h"
+
+namespace icn::traffic {
+
+/// The dendrogram branch colour groups of Fig. 3.
+enum class ClusterGroup : int { kOrange = 0, kGreen = 1, kRed = 2 };
+
+/// Number of behavioural archetypes (the paper's k = 9).
+inline constexpr std::size_t kNumArchetypes = 9;
+
+/// Static description of one archetype.
+struct Archetype {
+  int id = 0;                  ///< Paper cluster number, 0..8.
+  std::string_view label;      ///< Short description.
+  ClusterGroup group = ClusterGroup::kRed;
+};
+
+/// Group colour name ("orange"/"green"/"red").
+[[nodiscard]] const char* group_name(ClusterGroup g);
+
+/// Info for archetype id in [0, 9).
+[[nodiscard]] const Archetype& archetype_info(int id);
+
+/// Dendrogram group of archetype id.
+[[nodiscard]] ClusterGroup archetype_group(int id);
+
+/// Per-service multipliers and expected service mixes of all 9 archetypes.
+class ArchetypeModel {
+ public:
+  /// Builds the multiplier table against the given catalogue.
+  explicit ArchetypeModel(const ServiceCatalog& catalog);
+
+  /// Multiplier of each service for the archetype (size M).
+  [[nodiscard]] std::span<const double> multipliers(int archetype) const;
+
+  /// Noise-free expected service share vector (popularity x multiplier,
+  /// normalized to sum 1; size M).
+  [[nodiscard]] std::span<const double> expected_shares(int archetype) const;
+
+  /// Distribution over archetypes for an antenna in the given environment
+  /// and city (weights sum to 1). This is the generative inverse of the
+  /// cluster -> environment flows of Fig. 6.
+  [[nodiscard]] static std::array<double, kNumArchetypes> archetype_mix(
+      net::Environment env, net::City city);
+
+  [[nodiscard]] const ServiceCatalog& catalog() const { return *catalog_; }
+
+ private:
+  const ServiceCatalog* catalog_;
+  std::vector<std::vector<double>> multipliers_;
+  std::vector<std::vector<double>> expected_shares_;
+};
+
+}  // namespace icn::traffic

@@ -1,0 +1,199 @@
+#include "traffic/flows.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace icn::traffic {
+namespace {
+
+using icn::util::Rng;
+
+constexpr std::uint64_t kFlowStream = 0xF10F'0001ULL;
+
+/// FNV-1a hash for deterministic endpoint addresses from signatures.
+std::uint32_t fnv1a(std::string_view s) {
+  std::uint32_t h = 2166136261U;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 16777619U;
+  }
+  return h;
+}
+
+}  // namespace
+
+double mean_flow_mb(ServiceCategory c) {
+  using enum ServiceCategory;
+  switch (c) {
+    case kVideoStreaming:
+      return 40.0;
+    case kMusic:
+      return 8.0;
+    case kSocial:
+      return 5.0;
+    case kMessaging:
+      return 0.8;
+    case kNavigation:
+      return 1.5;
+    case kWork:
+      return 6.0;
+    case kMail:
+      return 1.0;
+    case kShopping:
+      return 3.0;
+    case kAppStore:
+      return 25.0;
+    case kCloud:
+      return 15.0;
+    case kGaming:
+      return 4.0;
+    case kNews:
+      return 2.0;
+    case kSports:
+      return 3.0;
+    case kEntertainment:
+      return 3.0;
+  }
+  return 3.0;
+}
+
+double downlink_fraction(ServiceCategory c) {
+  using enum ServiceCategory;
+  switch (c) {
+    case kVideoStreaming:
+      return 0.96;
+    case kMusic:
+      return 0.95;
+    case kSocial:
+      return 0.85;
+    case kMessaging:
+      return 0.60;
+    case kNavigation:
+      return 0.80;
+    case kWork:
+      return 0.70;
+    case kMail:
+      return 0.65;
+    case kShopping:
+      return 0.90;
+    case kAppStore:
+      return 0.97;
+    case kCloud:
+      return 0.45;  // uploads dominate backups
+    case kGaming:
+      return 0.80;
+    case kNews:
+      return 0.92;
+    case kSports:
+      return 0.92;
+    case kEntertainment:
+      return 0.90;
+  }
+  return 0.85;
+}
+
+FlowGenerator::FlowGenerator(const TemporalModel& temporal,
+                             std::uint64_t seed, std::uint32_t ecgi_base,
+                             double unknown_sni_fraction)
+    : temporal_(&temporal),
+      seed_(seed),
+      ecgi_base_(ecgi_base),
+      unknown_sni_fraction_(unknown_sni_fraction) {
+  ICN_REQUIRE(unknown_sni_fraction >= 0.0 && unknown_sni_fraction <= 1.0,
+              "unknown SNI fraction");
+}
+
+std::vector<FlowRecord> FlowGenerator::make_flows(std::size_t antenna,
+                                                  std::size_t service,
+                                                  std::int64_t hour,
+                                                  double mb) const {
+  std::vector<FlowRecord> flows;
+  if (mb <= 0.0) return flows;
+  const auto& catalog = temporal_->demand().archetypes().catalog();
+  const Service& svc = catalog.at(service);
+  Rng rng(icn::util::derive_seed(
+      seed_, kFlowStream,
+      icn::util::derive_seed(antenna, service,
+                             static_cast<std::uint64_t>(hour))));
+
+  // Number of sessions: at least 1, Poisson around volume / mean flow size.
+  const double mean_mb = mean_flow_mb(svc.category);
+  const std::size_t n =
+      1 + static_cast<std::size_t>(rng.poisson(mb / mean_mb));
+  // Random positive session weights, then scale so volumes sum to mb exactly.
+  std::vector<double> weights(n);
+  double total_w = 0.0;
+  for (auto& w : weights) {
+    w = rng.gamma(1.2, 1.0);
+    total_w += w;
+  }
+
+  const std::uint32_t antenna_id =
+      temporal_->demand().topology().indoor()[antenna].id;
+  const std::uint32_t dst_base = fnv1a(svc.signature);
+  const double down_frac = downlink_fraction(svc.category);
+  static constexpr const char* kPrefixes[] = {"", "api.", "cdn.", "edge."};
+
+  flows.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    FlowRecord f;
+    f.ecgi = ecgi_of(antenna_id);
+    f.start_hour = hour;
+    f.src_ip = 0x0A000000U |
+               static_cast<std::uint32_t>(rng.uniform_index(1U << 24));
+    f.dst_ip = dst_base ^ static_cast<std::uint32_t>(rng.uniform_index(16));
+    f.src_port = static_cast<std::uint16_t>(49152 + rng.uniform_index(16384));
+    f.dst_port = 443;
+    f.protocol = rng.bernoulli(0.3) ? Protocol::kUdp : Protocol::kTcp;
+    if (rng.bernoulli(unknown_sni_fraction_)) {
+      // ESNI / unsignatured traffic: the probe will fail to classify it.
+      f.sni = "opaque-" + std::to_string(rng.uniform_index(100000)) +
+              ".invalid";
+    } else {
+      f.sni = std::string(kPrefixes[rng.uniform_index(4)]) +
+              std::string(svc.signature);
+    }
+    const double volume_mb = mb * weights[s] / total_w;
+    const double bytes = volume_mb * 1.0e6;
+    f.down_bytes = bytes * down_frac;
+    f.up_bytes = bytes * (1.0 - down_frac);
+    f.duration_s = static_cast<std::uint32_t>(
+        1 + rng.uniform_index(3599));
+    flows.push_back(std::move(f));
+  }
+  return flows;
+}
+
+std::vector<FlowRecord> FlowGenerator::flows_for_hour(
+    std::size_t antenna, std::size_t service, std::int64_t hour) const {
+  ICN_REQUIRE(hour >= 0 && hour < temporal_->period().num_hours(),
+              "hour index");
+  const auto series = temporal_->hourly_service_series(antenna, service);
+  return make_flows(antenna, service, hour,
+                    series[static_cast<std::size_t>(hour)]);
+}
+
+std::vector<FlowRecord> FlowGenerator::flows_for_antenna(
+    std::size_t antenna, std::int64_t first_hour,
+    std::int64_t last_hour) const {
+  ICN_REQUIRE(first_hour >= 0 && first_hour <= last_hour &&
+                  last_hour <= temporal_->period().num_hours(),
+              "hour range");
+  std::vector<FlowRecord> flows;
+  const auto& catalog = temporal_->demand().archetypes().catalog();
+  for (std::size_t j = 0; j < catalog.size(); ++j) {
+    const auto series = temporal_->hourly_service_series(antenna, j);
+    for (std::int64_t t = first_hour; t < last_hour; ++t) {
+      auto batch =
+          make_flows(antenna, j, t, series[static_cast<std::size_t>(t)]);
+      flows.insert(flows.end(), std::make_move_iterator(batch.begin()),
+                   std::make_move_iterator(batch.end()));
+    }
+  }
+  return flows;
+}
+
+}  // namespace icn::traffic

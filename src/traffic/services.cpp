@@ -1,0 +1,191 @@
+#include "traffic/services.h"
+
+#include "util/error.h"
+
+namespace icn::traffic {
+namespace {
+
+using enum ServiceCategory;
+using enum DiurnalProfile;
+
+/// The fixed catalogue. Popularity weights are relative (normalized at
+/// construction) and heavy-tailed: a handful of video services dominate
+/// nationwide traffic, as in the real network.
+constexpr Service kCatalog[] = {
+    // --- Video streaming (11)
+    {"YouTube", kVideoStreaming, 10.0, "youtube.com", kEvening},
+    {"Netflix", kVideoStreaming, 8.0, "netflix.com", kNight},
+    {"TikTok", kVideoStreaming, 7.0, "tiktok.com", kEvening},
+    {"Amazon Prime Video", kVideoStreaming, 2.5, "primevideo.com", kNight},
+    {"Disney+", kVideoStreaming, 2.0, "disneyplus.com", kEvening},
+    {"Twitch", kVideoStreaming, 1.5, "twitch.tv", kEvening},
+    {"Canal+", kVideoStreaming, 1.0, "canalplus.com", kEvening},
+    {"MyTF1", kVideoStreaming, 0.8, "tf1.fr", kEvening},
+    {"France TV", kVideoStreaming, 0.6, "francetelevisions.fr", kEvening},
+    {"Molotov TV", kVideoStreaming, 0.4, "molotov.tv", kEvening},
+    {"Dailymotion", kVideoStreaming, 0.3, "dailymotion.com", kEvening},
+    // --- Music (5)
+    {"Spotify", kMusic, 2.5, "spotify.com", kCommute},
+    {"Deezer", kMusic, 1.2, "deezer.com", kCommute},
+    {"Apple Music", kMusic, 0.8, "music.apple.com", kCommute},
+    {"SoundCloud", kMusic, 0.5, "soundcloud.com", kCommute},
+    {"Amazon Music", kMusic, 0.3, "music.amazon.com", kCommute},
+    // --- Social (8)
+    {"Facebook", kSocial, 4.0, "facebook.com", kDaytime},
+    {"Instagram", kSocial, 5.0, "instagram.com", kDaytime},
+    {"Snapchat", kSocial, 3.0, "snapchat.com", kDaytime},
+    {"Twitter", kSocial, 2.0, "twitter.com", kDaytime},
+    {"Pinterest", kSocial, 0.6, "pinterest.com", kDaytime},
+    {"LinkedIn", kSocial, 0.7, "linkedin.com", kWorkHours},
+    {"Giphy", kSocial, 0.3, "giphy.com", kDaytime},
+    {"Reddit", kSocial, 0.5, "reddit.com", kEvening},
+    // --- Messaging (7)
+    {"WhatsApp", kMessaging, 2.0, "whatsapp.net", kDaytime},
+    {"Facebook Messenger", kMessaging, 1.2, "messenger.com", kDaytime},
+    {"Telegram", kMessaging, 0.8, "telegram.org", kDaytime},
+    {"Signal", kMessaging, 0.3, "signal.org", kDaytime},
+    {"iMessage", kMessaging, 0.5, "imessage.apple.com", kDaytime},
+    {"Discord", kMessaging, 0.7, "discord.gg", kEvening},
+    {"Skype", kMessaging, 0.3, "skype.com", kWorkHours},
+    // --- Navigation & transportation (7)
+    {"Google Maps", kNavigation, 1.2, "maps.google.com", kCommute},
+    {"Waze", kNavigation, 0.8, "waze.com", kPostEvent},
+    {"Mappy", kNavigation, 0.15, "mappy.com", kCommute},
+    {"Transportation Websites", kNavigation, 0.25, "transport.example.fr",
+     kCommute},
+    {"SNCF Connect", kNavigation, 0.3, "sncf-connect.com", kCommute},
+    {"RATP", kNavigation, 0.25, "ratp.fr", kCommute},
+    {"Uber", kNavigation, 0.4, "uber.com", kEvening},
+    // --- Work & collaboration (6)
+    {"Microsoft Teams", kWork, 1.0, "teams.microsoft.com", kWorkHours},
+    {"Zoom", kWork, 0.6, "zoom.us", kWorkHours},
+    {"Slack", kWork, 0.4, "slack.com", kWorkHours},
+    {"Webex", kWork, 0.2, "webex.com", kWorkHours},
+    {"Microsoft 365", kWork, 0.9, "office.com", kWorkHours},
+    {"Google Workspace", kWork, 0.7, "workspace.google.com", kWorkHours},
+    // --- Mail (4)
+    {"Gmail", kMail, 0.9, "mail.google.com", kWorkHours},
+    {"Outlook", kMail, 0.7, "outlook.com", kWorkHours},
+    {"Yahoo Mail", kMail, 0.3, "mail.yahoo.com", kDaytime},
+    {"Orange Mail", kMail, 0.4, "mail.orange.fr", kDaytime},
+    // --- Shopping (6)
+    {"Amazon Shopping", kShopping, 1.2, "amazon.fr", kDaytime},
+    {"Shopping Websites", kShopping, 0.8, "shopping.example.fr", kDaytime},
+    {"Vinted", kShopping, 0.5, "vinted.fr", kDaytime},
+    {"Leboncoin", kShopping, 0.6, "leboncoin.fr", kDaytime},
+    {"AliExpress", kShopping, 0.4, "aliexpress.com", kDaytime},
+    {"eBay", kShopping, 0.2, "ebay.fr", kDaytime},
+    // --- App stores / digital distribution (2)
+    {"Google Play Store", kAppStore, 1.5, "play.google.com", kDaytime},
+    {"Apple App Store", kAppStore, 1.0, "apps.apple.com", kDaytime},
+    // --- Cloud storage (4)
+    {"iCloud", kCloud, 0.8, "icloud.com", kNight},
+    {"Google Drive", kCloud, 0.6, "drive.google.com", kWorkHours},
+    {"Dropbox", kCloud, 0.3, "dropbox.com", kWorkHours},
+    {"OneDrive", kCloud, 0.4, "onedrive.live.com", kWorkHours},
+    // --- Gaming (6)
+    {"Fortnite", kGaming, 0.6, "epicgames.com", kEvening},
+    {"Roblox", kGaming, 0.5, "roblox.com", kEvening},
+    {"Candy Crush", kGaming, 0.3, "king.com", kDaytime},
+    {"Clash of Clans", kGaming, 0.3, "supercell.com", kEvening},
+    {"PlayStation Network", kGaming, 0.4, "playstation.net", kEvening},
+    {"Pokemon GO", kGaming, 0.3, "pokemongolive.com", kDaytime},
+    // --- News (2)
+    {"News Websites", kNews, 0.8, "news.example.fr", kMorning},
+    {"Yahoo", kNews, 0.4, "yahoo.com", kMorning},
+    // --- Sports (3)
+    {"Sports Websites", kSports, 0.6, "sports.example.fr", kEvening},
+    {"L'Equipe", kSports, 0.4, "lequipe.fr", kEvening},
+    {"beIN Sports", kSports, 0.3, "beinsports.com", kEvening},
+    // --- Entertainment (2)
+    {"Entertainment Websites", kEntertainment, 0.5,
+     "entertainment.example.fr", kDaytime},
+    {"Webtoon", kEntertainment, 0.2, "webtoons.com", kCommute},
+};
+
+}  // namespace
+
+const char* category_name(ServiceCategory c) {
+  switch (c) {
+    case kVideoStreaming:
+      return "VideoStreaming";
+    case kMusic:
+      return "Music";
+    case kSocial:
+      return "Social";
+    case kMessaging:
+      return "Messaging";
+    case kNavigation:
+      return "Navigation";
+    case kWork:
+      return "Work";
+    case kMail:
+      return "Mail";
+    case kShopping:
+      return "Shopping";
+    case kAppStore:
+      return "AppStore";
+    case kCloud:
+      return "Cloud";
+    case kGaming:
+      return "Gaming";
+    case kNews:
+      return "News";
+    case kSports:
+      return "Sports";
+    case kEntertainment:
+      return "Entertainment";
+  }
+  return "?";
+}
+
+ServiceCatalog::ServiceCatalog()
+    : services_(std::begin(kCatalog), std::end(kCatalog)) {
+  double total = 0.0;
+  for (const auto& s : services_) {
+    ICN_REQUIRE(s.popularity > 0.0, "service popularity > 0");
+    total += s.popularity;
+  }
+  popularity_shares_.reserve(services_.size());
+  for (const auto& s : services_) {
+    popularity_shares_.push_back(s.popularity / total);
+  }
+}
+
+const Service& ServiceCatalog::at(std::size_t j) const {
+  ICN_REQUIRE(j < services_.size(), "service index");
+  return services_[j];
+}
+
+std::optional<std::size_t> ServiceCatalog::index_of(
+    std::string_view name) const {
+  for (std::size_t j = 0; j < services_.size(); ++j) {
+    if (services_[j].name == name) return j;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> ServiceCatalog::classify_sni(
+    std::string_view host) const {
+  for (std::size_t j = 0; j < services_.size(); ++j) {
+    const std::string_view sig = services_[j].signature;
+    if (host == sig) return j;
+    // Suffix match on a label boundary: "api.spotify.com" ~ "spotify.com".
+    if (host.size() > sig.size() && host.ends_with(sig) &&
+        host[host.size() - sig.size() - 1] == '.') {
+      return j;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> ServiceCatalog::of_category(
+    ServiceCategory c) const {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < services_.size(); ++j) {
+    if (services_[j].category == c) out.push_back(j);
+  }
+  return out;
+}
+
+}  // namespace icn::traffic

@@ -1,0 +1,36 @@
+// Error-handling helpers shared by all icn modules.
+//
+// Preconditions on public API boundaries are checked with ICN_REQUIRE and
+// reported as icn::util::PreconditionError (derived from std::invalid_argument)
+// so callers can distinguish usage errors from runtime failures.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace icn::util {
+
+/// Thrown when a documented precondition of a public function is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  explicit PreconditionError(const std::string& what_arg)
+      : std::invalid_argument(what_arg) {}
+};
+
+[[noreturn]] inline void fail_precondition(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::string full = std::string("precondition failed: ") + expr + " at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) full += " (" + msg + ")";
+  throw PreconditionError(full);
+}
+
+}  // namespace icn::util
+
+/// Check a precondition; throws icn::util::PreconditionError on failure.
+#define ICN_REQUIRE(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::icn::util::fail_precondition(#expr, __FILE__, __LINE__, msg); \
+    }                                                                 \
+  } while (false)

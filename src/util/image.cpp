@@ -1,0 +1,38 @@
+#include "util/image.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace icn::util {
+
+void write_pgm(std::ostream& out, std::span<const double> values,
+               std::size_t rows, std::size_t cols, double lo, double hi) {
+  ICN_REQUIRE(rows > 0 && cols > 0, "pgm dimensions");
+  ICN_REQUIRE(values.size() == rows * cols, "pgm shape");
+  ICN_REQUIRE(lo < hi, "pgm range");
+  out << "P5\n" << cols << " " << rows << "\n255\n";
+  const double scale = 255.0 / (hi - lo);
+  std::string row(cols, '\0');
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double t =
+          std::clamp((values[r * cols + c] - lo) * scale, 0.0, 255.0);
+      row[c] = static_cast<char>(static_cast<unsigned char>(t + 0.5));
+    }
+    out.write(row.data(), static_cast<std::streamsize>(cols));
+  }
+}
+
+bool write_pgm_file(const std::string& path, std::span<const double> values,
+                    std::size_t rows, std::size_t cols, double lo,
+                    double hi) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write_pgm(out, values, rows, cols, lo, hi);
+  return static_cast<bool>(out);
+}
+
+}  // namespace icn::util

@@ -1,0 +1,25 @@
+// Minimal grayscale image output (binary PGM, P5): lets the benches and
+// examples dump the paper's heatmaps as actual images viewable with any
+// image tool, in addition to the ASCII renderings.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+
+namespace icn::util {
+
+/// Writes a row-major matrix as an 8-bit binary PGM, mapping [lo, hi] to
+/// [0, 255] (values outside the range are clamped). Requires
+/// values.size() == rows * cols, rows/cols > 0 and lo < hi.
+void write_pgm(std::ostream& out, std::span<const double> values,
+               std::size_t rows, std::size_t cols, double lo, double hi);
+
+/// Convenience: writes the PGM to a file path; returns false on I/O error.
+[[nodiscard]] bool write_pgm_file(const std::string& path,
+                                  std::span<const double> values,
+                                  std::size_t rows, std::size_t cols,
+                                  double lo, double hi);
+
+}  // namespace icn::util

@@ -1,0 +1,141 @@
+#include "core/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace icn::core {
+namespace {
+
+/// `k` well-separated Gaussian blobs in 3D.
+ml::Matrix blobs(std::size_t k, std::size_t per_blob, std::uint64_t seed,
+                 std::vector<int>* truth) {
+  icn::util::Rng rng(seed);
+  ml::Matrix x(k * per_blob, 3);
+  for (std::size_t b = 0; b < k; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      const std::size_t r = b * per_blob + i;
+      x(r, 0) = static_cast<double>(b) * 12.0 + rng.normal(0.0, 0.5);
+      x(r, 1) = static_cast<double>(b % 2) * 10.0 + rng.normal(0.0, 0.5);
+      x(r, 2) = rng.normal(0.0, 0.5);
+      truth->push_back(static_cast<int>(b));
+    }
+  }
+  return x;
+}
+
+TEST(AnalyzeClustersTest, RecoversPlantedStructure) {
+  std::vector<int> truth;
+  const ml::Matrix x = blobs(5, 25, 3, &truth);
+  ClusterAnalysisParams params;
+  params.k_max = 10;
+  params.chosen_k = 5;
+  const auto result = analyze_clusters(x, params);
+  EXPECT_EQ(result.chosen_k, 5u);
+  EXPECT_DOUBLE_EQ(
+      icn::util::adjusted_rand_index(result.labels, truth), 1.0);
+}
+
+TEST(AnalyzeClustersTest, SweepCoversRequestedRange) {
+  std::vector<int> truth;
+  const ml::Matrix x = blobs(3, 20, 5, &truth);
+  ClusterAnalysisParams params;
+  params.k_min = 2;
+  params.k_max = 8;
+  params.chosen_k = 3;
+  const auto result = analyze_clusters(x, params);
+  ASSERT_EQ(result.sweep.size(), 7u);
+  EXPECT_EQ(result.sweep.front().k, 2u);
+  EXPECT_EQ(result.sweep.back().k, 8u);
+  for (const auto& p : result.sweep) {
+    EXPECT_GE(p.silhouette, -1.0);
+    EXPECT_LE(p.silhouette, 1.0);
+    EXPECT_GE(p.dunn, 0.0);
+  }
+}
+
+TEST(AnalyzeClustersTest, SilhouettePeaksAtTrueK) {
+  std::vector<int> truth;
+  const ml::Matrix x = blobs(4, 30, 7, &truth);
+  ClusterAnalysisParams params;
+  params.k_max = 10;
+  params.chosen_k = 0;  // use suggest_k
+  const auto result = analyze_clusters(x, params);
+  double best_sil = -2.0;
+  std::size_t best_k = 0;
+  for (const auto& p : result.sweep) {
+    if (p.silhouette > best_sil) {
+      best_sil = p.silhouette;
+      best_k = p.k;
+    }
+  }
+  EXPECT_EQ(best_k, 4u);
+  EXPECT_EQ(result.chosen_k, 4u);  // suggest_k finds the drop after 4
+}
+
+TEST(AnalyzeClustersTest, ChosenKZeroUsesSuggestion) {
+  std::vector<int> truth;
+  const ml::Matrix x = blobs(3, 20, 9, &truth);
+  ClusterAnalysisParams params;
+  params.chosen_k = 0;
+  params.k_max = 8;
+  const auto result = analyze_clusters(x, params);
+  EXPECT_EQ(result.chosen_k, 3u);
+  std::set<int> distinct(result.labels.begin(), result.labels.end());
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+TEST(AnalyzeClustersTest, LabelsMatchDendrogramCut) {
+  std::vector<int> truth;
+  const ml::Matrix x = blobs(3, 15, 11, &truth);
+  ClusterAnalysisParams params;
+  params.chosen_k = 4;
+  const auto result = analyze_clusters(x, params);
+  EXPECT_EQ(result.labels, result.dendrogram.cut(4));
+}
+
+TEST(AnalyzeClustersTest, AlternativeLinkagesSupported) {
+  std::vector<int> truth;
+  const ml::Matrix x = blobs(3, 15, 13, &truth);
+  for (const auto linkage :
+       {ml::Linkage::kComplete, ml::Linkage::kAverage, ml::Linkage::kSingle}) {
+    ClusterAnalysisParams params;
+    params.linkage = linkage;
+    params.chosen_k = 3;
+    const auto result = analyze_clusters(x, params);
+    EXPECT_DOUBLE_EQ(
+        icn::util::adjusted_rand_index(result.labels, truth), 1.0)
+        << ml::linkage_name(linkage);
+  }
+}
+
+TEST(AnalyzeClustersTest, InputValidation) {
+  std::vector<int> truth;
+  const ml::Matrix x = blobs(2, 5, 15, &truth);  // 10 samples
+  ClusterAnalysisParams params;
+  params.k_max = 15;  // more than samples
+  EXPECT_THROW(analyze_clusters(x, params), icn::util::PreconditionError);
+  params.k_max = 5;
+  params.k_min = 1;
+  EXPECT_THROW(analyze_clusters(x, params), icn::util::PreconditionError);
+}
+
+TEST(SuggestKTest, FindsSteepestDrop) {
+  std::vector<KSelectionPoint> sweep = {
+      {2, 0.30, 0.5}, {3, 0.32, 0.5}, {4, 0.35, 0.6},
+      {5, 0.10, 0.2}, {6, 0.08, 0.2},
+  };
+  EXPECT_EQ(suggest_k(sweep), 4u);
+}
+
+TEST(SuggestKTest, RequiresTwoPoints) {
+  std::vector<KSelectionPoint> sweep = {{2, 0.3, 0.5}};
+  EXPECT_THROW(suggest_k(sweep), icn::util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace icn::core

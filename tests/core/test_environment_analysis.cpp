@@ -1,0 +1,108 @@
+#include "core/environment_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace icn::core {
+namespace {
+
+class EnvironmentCorrelationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ScenarioParams params;
+    params.seed = 9;
+    params.scale = 0.05;
+    params.outdoor_ratio = 0.0;
+    scenario_ = std::make_unique<Scenario>(Scenario::build(params));
+    // Use the ground-truth archetypes as labels: the correlation machinery
+    // itself is what's under test here.
+    labels_ = scenario_->demand().archetype_labels();
+  }
+
+  std::unique_ptr<Scenario> scenario_;
+  std::vector<int> labels_;
+};
+
+TEST_F(EnvironmentCorrelationTest, CountsAreConsistent) {
+  const EnvironmentCorrelation env(*scenario_, labels_, 9);
+  std::size_t total_from_clusters = 0;
+  for (std::size_t c = 0; c < 9; ++c) {
+    total_from_clusters += env.cluster_size(c);
+  }
+  EXPECT_EQ(total_from_clusters, scenario_->num_antennas());
+  std::size_t total_from_envs = 0;
+  for (const net::Environment e : net::all_environments()) {
+    total_from_envs += env.environment_size(e);
+  }
+  EXPECT_EQ(total_from_envs, scenario_->num_antennas());
+}
+
+TEST_F(EnvironmentCorrelationTest, SharesSumToOne) {
+  const EnvironmentCorrelation env(*scenario_, labels_, 9);
+  for (std::size_t c = 0; c < 9; ++c) {
+    if (env.cluster_size(c) == 0) continue;
+    double total = 0.0;
+    for (const net::Environment e : net::all_environments()) {
+      total += env.share_of_cluster(c, e);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+  for (const net::Environment e : net::all_environments()) {
+    if (env.environment_size(e) == 0) continue;
+    double total = 0.0;
+    for (std::size_t c = 0; c < 9; ++c) {
+      total += env.share_of_environment(e, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_F(EnvironmentCorrelationTest, OrangeClustersAreTransitOnly) {
+  // Fig. 7a: clusters 0, 4, 7 comprise solely metro and train stations.
+  const EnvironmentCorrelation env(*scenario_, labels_, 9);
+  for (const std::size_t c : {0u, 4u, 7u}) {
+    const double transit = env.share_of_cluster(c, net::Environment::kMetro) +
+                           env.share_of_cluster(c, net::Environment::kTrain);
+    EXPECT_GT(transit, 0.99) << "cluster " << c;
+  }
+}
+
+TEST_F(EnvironmentCorrelationTest, Cluster3IsMostlyWorkspaces) {
+  const EnvironmentCorrelation env(*scenario_, labels_, 9);
+  EXPECT_GT(env.share_of_cluster(3, net::Environment::kWorkspace), 0.55);
+}
+
+TEST_F(EnvironmentCorrelationTest, ParisShares) {
+  const EnvironmentCorrelation env(*scenario_, labels_, 9);
+  // Clusters 0 and 4 are overwhelmingly Parisian; cluster 7 has none.
+  EXPECT_GT(env.paris_share(0), 0.8);
+  EXPECT_GT(env.paris_share(4), 0.8);
+  EXPECT_DOUBLE_EQ(env.paris_share(7), 0.0);
+}
+
+TEST_F(EnvironmentCorrelationTest, SankeyFlowsCoverEveryAntenna) {
+  const EnvironmentCorrelation env(*scenario_, labels_, 9);
+  const auto flows = env.sankey_flows();
+  double total = 0.0;
+  for (const auto& f : flows) total += f.weight;
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(scenario_->num_antennas()));
+  // No zero-weight flows are emitted.
+  for (const auto& f : flows) EXPECT_GT(f.weight, 0.0);
+}
+
+TEST_F(EnvironmentCorrelationTest, ValidatesInput) {
+  EXPECT_THROW(EnvironmentCorrelation(*scenario_, std::vector<int>{0, 1}, 9),
+               icn::util::PreconditionError);
+  std::vector<int> bad = labels_;
+  bad[0] = 9;
+  EXPECT_THROW(EnvironmentCorrelation(*scenario_, bad, 9),
+               icn::util::PreconditionError);
+  const EnvironmentCorrelation env(*scenario_, labels_, 9);
+  EXPECT_THROW(env.cluster_size(9), icn::util::PreconditionError);
+  EXPECT_THROW(env.count(10, net::Environment::kMetro),
+               icn::util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace icn::core

@@ -1,0 +1,149 @@
+#include "core/export.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/rca.h"
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace icn::core {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ScenarioParams params;
+    params.seed = 3;
+    params.scale = 0.02;
+    params.outdoor_ratio = 0.0;
+    scenario_ = std::make_unique<Scenario>(Scenario::build(params));
+    rsca_ = compute_rsca(scenario_->demand().traffic_matrix());
+    labels_ = scenario_->demand().archetype_labels();
+  }
+
+  std::unique_ptr<Scenario> scenario_;
+  ml::Matrix rsca_;
+  std::vector<int> labels_;
+};
+
+TEST_F(ExportTest, RscaCsvHasHeaderAndAllRows) {
+  std::ostringstream out;
+  export_rsca_csv(out, *scenario_, rsca_, labels_);
+  const auto rows = icn::util::parse_csv(out.str());
+  ASSERT_EQ(rows.size(), scenario_->num_antennas() + 1);
+  // Header: 8 metadata columns + one per service.
+  EXPECT_EQ(rows[0].size(), 8u + scenario_->num_services());
+  EXPECT_EQ(rows[0][0], "antenna_id");
+  EXPECT_EQ(rows[0][8], "rsca:YouTube");
+}
+
+TEST_F(ExportTest, RscaCsvValuesRoundTrip) {
+  std::ostringstream out;
+  export_rsca_csv(out, *scenario_, rsca_, labels_);
+  const auto rows = icn::util::parse_csv(out.str());
+  for (std::size_t i = 1; i <= 5; ++i) {
+    const auto& row = rows[i];
+    EXPECT_EQ(std::stoul(row[0]), i - 1);  // dense antenna ids
+    EXPECT_EQ(std::stoi(row[6]), labels_[i - 1]);  // archetype column
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(std::stod(row[8 + j]), rsca_(i - 1, j), 1e-8);
+    }
+  }
+}
+
+TEST_F(ExportTest, RscaCsvMetadataMatchesTopology) {
+  std::ostringstream out;
+  export_rsca_csv(out, *scenario_, rsca_, labels_);
+  const auto rows = icn::util::parse_csv(out.str());
+  const auto& indoor = scenario_->topology().indoor();
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i][1], indoor[i - 1].name);
+    EXPECT_EQ(rows[i][2],
+              net::environment_name(indoor[i - 1].environment));
+    EXPECT_EQ(rows[i][3], net::city_name(indoor[i - 1].city));
+  }
+}
+
+TEST_F(ExportTest, TrafficCsvShape) {
+  std::ostringstream out;
+  export_traffic_csv(out, *scenario_);
+  const auto rows = icn::util::parse_csv(out.str());
+  ASSERT_EQ(rows.size(), scenario_->num_antennas() + 1);
+  EXPECT_EQ(rows[0].size(), 1u + scenario_->num_services());
+  // Values match the T matrix.
+  const auto& t = scenario_->demand().traffic_matrix();
+  EXPECT_NEAR(std::stod(rows[1][1]), t(0, 0), 1e-6 * std::max(1.0, t(0, 0)));
+}
+
+TEST_F(ExportTest, ImportRoundTripsEverything) {
+  std::ostringstream out;
+  export_rsca_csv(out, *scenario_, rsca_, labels_);
+  std::istringstream in(out.str());
+  const ImportedDataset data = import_rsca_csv(in);
+
+  ASSERT_EQ(data.rsca.rows(), scenario_->num_antennas());
+  ASSERT_EQ(data.rsca.cols(), scenario_->num_services());
+  ASSERT_EQ(data.service_names.size(), scenario_->num_services());
+  EXPECT_EQ(data.service_names[0], "YouTube");
+
+  const auto& indoor = scenario_->topology().indoor();
+  for (std::size_t i = 0; i < indoor.size(); ++i) {
+    EXPECT_EQ(data.antenna_ids[i], indoor[i].id);
+    EXPECT_EQ(data.names[i], indoor[i].name);
+    EXPECT_EQ(data.environments[i], indoor[i].environment);
+    EXPECT_EQ(data.cities[i], indoor[i].city);
+    EXPECT_EQ(data.clusters[i], labels_[i]);
+    EXPECT_EQ(data.archetypes[i],
+              scenario_->demand().profiles()[i].archetype);
+    EXPECT_NEAR(data.total_mb[i], scenario_->demand().profiles()[i].total_mb,
+                1e-4 * scenario_->demand().profiles()[i].total_mb);
+  }
+  for (std::size_t i = 0; i < rsca_.rows(); i += 7) {
+    for (std::size_t j = 0; j < rsca_.cols(); ++j) {
+      EXPECT_NEAR(data.rsca(i, j), rsca_(i, j), 1e-8);
+    }
+  }
+}
+
+TEST_F(ExportTest, ImportRejectsMalformedInput) {
+  {
+    std::istringstream empty("");
+    EXPECT_THROW(import_rsca_csv(empty), icn::util::PreconditionError);
+  }
+  {
+    std::istringstream bad_header("a,b,c\n1,2,3\n");
+    EXPECT_THROW(import_rsca_csv(bad_header), icn::util::PreconditionError);
+  }
+  {
+    // A valid export with one row truncated.
+    std::ostringstream out;
+    export_rsca_csv(out, *scenario_, rsca_, labels_);
+    std::string text = out.str();
+    const auto last_comma = text.rfind(',');
+    text = text.substr(0, text.rfind(',', last_comma - 1)) + "\n";
+    std::istringstream ragged(text);
+    EXPECT_THROW(import_rsca_csv(ragged), icn::util::PreconditionError);
+  }
+  {
+    // Unknown environment name.
+    std::ostringstream out;
+    export_rsca_csv(out, *scenario_, rsca_, labels_);
+    std::string text = out.str();
+    const auto pos = text.find("Metro");
+    if (pos != std::string::npos) text.replace(pos, 5, "Marsx");
+    std::istringstream bad_env(text);
+    EXPECT_THROW(import_rsca_csv(bad_env), icn::util::PreconditionError);
+  }
+}
+
+TEST_F(ExportTest, ShapeMismatchThrows) {
+  std::ostringstream out;
+  const std::vector<int> bad_labels = {1, 2};
+  EXPECT_THROW(export_rsca_csv(out, *scenario_, rsca_, bad_labels),
+               icn::util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace icn::core

@@ -1,0 +1,186 @@
+#include "core/forecast.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace icn::core {
+namespace {
+
+TEST(SeasonalForecasterTest, RecoversExactPeriodicSignal) {
+  // Three seasons of a pure 24h pattern: forecast equals the pattern.
+  std::vector<double> series;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int h = 0; h < 24; ++h) {
+      series.push_back(10.0 + std::sin(h / 24.0 * 2.0 * M_PI));
+    }
+  }
+  SeasonalForecaster f;
+  f.fit(series, 24);
+  const auto pred = f.forecast(24);
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_NEAR(pred[static_cast<std::size_t>(h)],
+                10.0 + std::sin(h / 24.0 * 2.0 * M_PI), 1e-12);
+  }
+}
+
+TEST(SeasonalForecasterTest, MedianRobustToOneOutlierSeason) {
+  // Three seasons, one corrupted by a 100x spike: median ignores it.
+  std::vector<double> series(3 * 24, 5.0);
+  series[30] = 500.0;  // hour 6 of season 2
+  SeasonalForecaster f;
+  f.fit(series, 24);
+  EXPECT_DOUBLE_EQ(f.slot_value(6), 5.0);
+}
+
+TEST(SeasonalForecasterTest, ForecastContinuesFromTrainingPhase) {
+  // Training ends mid-season: the first forecast hour is the next slot.
+  std::vector<double> series;
+  for (std::size_t t = 0; t < 30; ++t) {
+    series.push_back(static_cast<double>(t % 10));
+  }
+  SeasonalForecaster f;
+  f.fit(series, 10);
+  const auto pred = f.forecast(5);
+  for (std::size_t h = 0; h < 5; ++h) {
+    EXPECT_DOUBLE_EQ(pred[h], static_cast<double>((30 + h) % 10));
+  }
+}
+
+TEST(SeasonalForecasterTest, PartialLastSeasonHandled) {
+  // 2.5 seasons: slots in the covered half see 3 samples, others 2.
+  std::vector<double> series(25, 1.0);
+  SeasonalForecaster f;
+  f.fit(series, 10);
+  EXPECT_DOUBLE_EQ(f.slot_value(0), 1.0);
+  EXPECT_DOUBLE_EQ(f.slot_value(9), 1.0);
+}
+
+TEST(SeasonalForecasterTest, Validation) {
+  SeasonalForecaster f;
+  EXPECT_THROW(f.forecast(5), icn::util::PreconditionError);
+  std::vector<double> tiny(5, 1.0);
+  EXPECT_THROW(f.fit(tiny, 10), icn::util::PreconditionError);
+  EXPECT_THROW(f.fit(tiny, 0), icn::util::PreconditionError);
+  std::vector<double> ok(20, 1.0);
+  f.fit(ok, 10);
+  EXPECT_THROW((void)f.slot_value(10), icn::util::PreconditionError);
+}
+
+TEST(HoltWintersTest, RecoversTrendPlusSeasonality) {
+  // x_t = 0.05 t + pattern(t % 24): Holt-Winters should track both parts.
+  std::vector<double> series;
+  for (std::size_t t = 0; t < 24 * 8; ++t) {
+    series.push_back(0.05 * static_cast<double>(t) +
+                     3.0 * std::sin(static_cast<double>(t % 24) / 24.0 *
+                                    2.0 * M_PI));
+  }
+  HoltWintersForecaster f;
+  f.fit(series, 24);
+  const auto pred = f.forecast(24);
+  for (std::size_t h = 0; h < 24; ++h) {
+    const double t = static_cast<double>(series.size() + h);
+    const double expected =
+        0.05 * t + 3.0 * std::sin(static_cast<double>(
+                             (series.size() + h) % 24) /
+                         24.0 * 2.0 * M_PI);
+    EXPECT_NEAR(pred[h], expected, 0.8) << "h=" << h;
+  }
+}
+
+TEST(HoltWintersTest, BeatsSeasonalMedianOnTrendingSeries) {
+  // Steady growth: the seasonal median under-forecasts, Holt-Winters tracks.
+  std::vector<double> series;
+  for (std::size_t t = 0; t < 24 * 10; ++t) {
+    series.push_back(10.0 + 0.1 * static_cast<double>(t) +
+                     2.0 * std::sin(static_cast<double>(t % 24) / 24.0 *
+                                    2.0 * M_PI));
+  }
+  const std::size_t train = 24 * 8;
+  const std::span<const double> train_span(series.data(), train);
+  const std::span<const double> test(series.data() + train, 48);
+  HoltWintersForecaster hw;
+  hw.fit(train_span, 24);
+  SeasonalForecaster sm;
+  sm.fit(train_span, 24);
+  EXPECT_LT(smape(test, hw.forecast(48)),
+            smape(test, sm.forecast(48)) * 0.5);
+}
+
+TEST(HoltWintersTest, ConstantSeriesStaysConstant) {
+  std::vector<double> series(24 * 4, 7.5);
+  HoltWintersForecaster f;
+  f.fit(series, 24);
+  for (const double v : f.forecast(48)) {
+    EXPECT_NEAR(v, 7.5, 1e-9);
+  }
+}
+
+TEST(HoltWintersTest, Validation) {
+  HoltWintersForecaster f;
+  EXPECT_THROW(f.forecast(5), icn::util::PreconditionError);
+  std::vector<double> one_season(24, 1.0);
+  EXPECT_THROW(f.fit(one_season, 24), icn::util::PreconditionError);
+  std::vector<double> ok(48, 1.0);
+  HoltWintersForecaster::Params bad;
+  bad.alpha = 1.5;
+  EXPECT_THROW(f.fit(ok, 24, bad), icn::util::PreconditionError);
+}
+
+TEST(SmapeTest, PerfectForecastIsZero) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(smape(a, a), 0.0);
+}
+
+TEST(SmapeTest, WorstCaseIsTwo) {
+  const std::vector<double> actual = {1.0, 5.0};
+  const std::vector<double> predicted = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(smape(actual, predicted), 2.0);
+}
+
+TEST(SmapeTest, SymmetricInArguments) {
+  const std::vector<double> a = {1.0, 4.0, 2.0};
+  const std::vector<double> b = {2.0, 3.0, 2.5};
+  EXPECT_DOUBLE_EQ(smape(a, b), smape(b, a));
+}
+
+TEST(SmapeTest, BothZeroHoursUncounted) {
+  const std::vector<double> actual = {0.0, 2.0};
+  const std::vector<double> predicted = {0.0, 2.0};
+  EXPECT_DOUBLE_EQ(smape(actual, predicted), 0.0);
+}
+
+TEST(SmapeTest, SizeValidation) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW((void)smape(a, b), icn::util::PreconditionError);
+  EXPECT_THROW((void)smape(std::vector<double>{}, std::vector<double>{}),
+               icn::util::PreconditionError);
+}
+
+TEST(SeasonalForecasterTest, NoisyPeriodicSignalForecastBeatsMean) {
+  // Weekly periodic signal + noise: the seasonal forecaster's sMAPE on a
+  // held-out week beats a flat mean predictor.
+  icn::util::Rng rng(5);
+  std::vector<double> series;
+  for (std::size_t t = 0; t < 168 * 5; ++t) {
+    const double base =
+        5.0 + 4.0 * std::sin(static_cast<double>(t % 168) / 168.0 * 2 * M_PI);
+    series.push_back(base * rng.gamma(25.0, 1.0 / 25.0));
+  }
+  const std::size_t train = 168 * 4;
+  SeasonalForecaster f;
+  f.fit(std::span<const double>(series).first(train), 168);
+  const auto pred = f.forecast(168);
+  const std::span<const double> test(series.data() + train, 168);
+  double mean = 0.0;
+  for (std::size_t t = 0; t < train; ++t) mean += series[t] / train;
+  const std::vector<double> flat(168, mean);
+  EXPECT_LT(smape(test, pred), smape(test, flat) * 0.6);
+}
+
+}  // namespace
+}  // namespace icn::core

@@ -1,0 +1,73 @@
+#include "core/outdoor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pipeline.h"
+#include "core/rca.h"
+
+namespace icn::core {
+namespace {
+
+class OutdoorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PipelineParams params;
+    params.scenario.seed = 5;
+    params.scenario.scale = 0.08;
+    params.scenario.outdoor_ratio = 2.0;
+    params.surrogate.num_trees = 60;
+    result_ = std::make_unique<PipelineResult>(run_pipeline(params));
+  }
+
+  std::unique_ptr<PipelineResult> result_;
+};
+
+TEST_F(OutdoorTest, ClassifiesEveryOutdoorAntenna) {
+  const auto comparison = compare_outdoor(
+      result_->scenario, *result_->surrogate,
+      result_->scenario.demand().traffic_matrix());
+  EXPECT_EQ(comparison.predicted.size(),
+            result_->scenario.topology().outdoor().size());
+  EXPECT_EQ(comparison.rsca.rows(), comparison.predicted.size());
+  double total = 0.0;
+  for (const double f : comparison.distribution) {
+    EXPECT_GE(f, 0.0);
+    total += f;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(OutdoorTest, OutdoorCollapsesIntoGeneralUseCluster) {
+  // The paper's Fig. 9: ~70% of outdoor antennas land in cluster 1, and the
+  // indoor-specific clusters (orange transit, workplaces, stadiums) are
+  // nearly empty.
+  const auto comparison = compare_outdoor(
+      result_->scenario, *result_->surrogate,
+      result_->scenario.demand().traffic_matrix());
+  EXPECT_GT(comparison.distribution[1], 0.5);
+  const double indoor_specific =
+      comparison.distribution[0] + comparison.distribution[4] +
+      comparison.distribution[7] + comparison.distribution[3] +
+      comparison.distribution[6] + comparison.distribution[8];
+  EXPECT_LT(indoor_specific, 0.15);
+}
+
+TEST_F(OutdoorTest, OutdoorRscaIsNearNeutral) {
+  // Outdoor mixes hug the global baseline: median |RSCA| well below the
+  // indoor spread.
+  const auto comparison = compare_outdoor(
+      result_->scenario, *result_->surrogate,
+      result_->scenario.demand().traffic_matrix());
+  double acc = 0.0;
+  for (const double v : comparison.rsca.data()) acc += std::fabs(v);
+  const double outdoor_mean = acc / comparison.rsca.data().size();
+  double indoor_acc = 0.0;
+  for (const double v : result_->rsca.data()) indoor_acc += std::fabs(v);
+  const double indoor_mean = indoor_acc / result_->rsca.data().size();
+  EXPECT_LT(outdoor_mean, indoor_mean);
+}
+
+}  // namespace
+}  // namespace icn::core

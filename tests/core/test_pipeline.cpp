@@ -1,0 +1,176 @@
+// Integration tests: the full paper methodology end-to-end, plus the
+// measurement-path consistency check (probe aggregation == generator tensor).
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/environment_analysis.h"
+#include "core/rca.h"
+#include "ml/metrics.h"
+#include "probe/aggregate.h"
+#include "probe/dpi.h"
+#include "probe/gtp.h"
+#include "probe/probe.h"
+#include "traffic/flows.h"
+#include "util/stats.h"
+
+namespace icn::core {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PipelineParams params;
+    params.scenario.seed = 2023;
+    params.scenario.scale = 0.15;
+    params.scenario.outdoor_ratio = 0.3;
+    params.surrogate.num_trees = 50;
+    result_ = new PipelineResult(run_pipeline(params));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+
+  static PipelineResult* result_;
+};
+
+PipelineResult* PipelineTest::result_ = nullptr;
+
+TEST_F(PipelineTest, RecoversNineArchetypesPerfectly) {
+  EXPECT_EQ(result_->clusters.chosen_k, 9u);
+  EXPECT_GT(result_->ari_vs_archetypes, 0.98);
+}
+
+TEST_F(PipelineTest, SuggestedKIsNine) {
+  EXPECT_EQ(suggest_k(result_->clusters.sweep), 9u);
+}
+
+TEST_F(PipelineTest, AlignedLabelsMatchArchetypeSemantics) {
+  // After alignment, label c == archetype c for almost every antenna.
+  const auto& truth = result_->scenario.demand().archetype_labels();
+  EXPECT_GT(ml::accuracy(result_->clusters.labels, truth), 0.98);
+}
+
+TEST_F(PipelineTest, SurrogateIsFaithful) {
+  EXPECT_GT(result_->surrogate->fidelity(), 0.99);
+  EXPECT_GT(result_->surrogate->oob_accuracy(), 0.95);
+}
+
+TEST_F(PipelineTest, RscaFeaturesWithinBounds) {
+  EXPECT_EQ(result_->rsca.rows(), result_->scenario.num_antennas());
+  EXPECT_EQ(result_->rsca.cols(), 73u);
+  for (const double v : result_->rsca.data()) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST_F(PipelineTest, EnvironmentStructureMatchesPaper) {
+  const EnvironmentCorrelation env(result_->scenario,
+                                   result_->clusters.labels, 9);
+  // Orange clusters: transit only.
+  for (const std::size_t c : {0u, 4u, 7u}) {
+    EXPECT_GT(env.share_of_cluster(c, net::Environment::kMetro) +
+                  env.share_of_cluster(c, net::Environment::kTrain),
+              0.95)
+        << "cluster " << c;
+  }
+  // Cluster 3 dominated by workspaces; most workspaces in cluster 3.
+  EXPECT_GT(env.share_of_cluster(3, net::Environment::kWorkspace), 0.5);
+  EXPECT_GT(env.share_of_environment(net::Environment::kWorkspace, 3), 0.6);
+  // Airports and tunnels in cluster 1; hospitals in cluster 2.
+  EXPECT_GT(env.share_of_environment(net::Environment::kAirport, 1), 0.8);
+  EXPECT_GT(env.share_of_environment(net::Environment::kTunnel, 1), 0.8);
+  EXPECT_GT(env.share_of_environment(net::Environment::kHospital, 2), 0.8);
+}
+
+TEST_F(PipelineTest, LabelMapIsAPermutation) {
+  std::vector<int> sorted = result_->label_map;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int> expected(9);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST_F(PipelineTest, DisablingAlignmentKeepsRawLabels) {
+  PipelineParams params;
+  params.scenario.seed = 2023;
+  params.scenario.scale = 0.05;
+  params.scenario.outdoor_ratio = 0.0;
+  params.align_to_archetypes = false;
+  params.surrogate.num_trees = 10;
+  const auto raw = run_pipeline(params);
+  // Identity map recorded.
+  for (std::size_t c = 0; c < raw.label_map.size(); ++c) {
+    EXPECT_EQ(raw.label_map[c], static_cast<int>(c));
+  }
+  // ARI is still computed (alignment only renames labels, ARI invariant).
+  EXPECT_GT(raw.ari_vs_archetypes, 0.9);
+}
+
+TEST(ProbePathTest, ProbeAggregationReproducesGeneratorTensor) {
+  // The end-to-end measurement invariant: synthesize flows, push them
+  // through ULI decoding + DPI + hourly aggregation, and recover exactly
+  // the (antenna, service, hour) tensor the fast path reports.
+  ScenarioParams params;
+  params.seed = 77;
+  params.scale = 0.01;
+  params.outdoor_ratio = 0.0;
+  const Scenario scenario = Scenario::build(params);
+  const traffic::FlowGenerator generator(scenario.temporal(), 123);
+
+  probe::UliDecoder decoder;
+  decoder.register_range(generator.ecgi_of(0),
+                         static_cast<std::uint32_t>(scenario.num_antennas()));
+  probe::DpiClassifier dpi(scenario.catalog());
+  probe::PassiveProbe passive(decoder, dpi);
+
+  // Two antennas, first 3 days of the study.
+  const std::int64_t hours = 72;
+  const std::vector<std::uint32_t> ids = {0, 1};
+  probe::HourlyAggregator agg(ids, scenario.num_services(), hours);
+  for (const std::uint32_t antenna : ids) {
+    const auto flows = generator.flows_for_antenna(antenna, 0, hours);
+    agg.add_all(passive.observe_all(flows));
+  }
+  EXPECT_EQ(passive.unknown_location(), 0u);
+  EXPECT_EQ(passive.unknown_service(), 0u);
+  EXPECT_EQ(agg.dropped(), 0u);
+
+  for (const std::uint32_t antenna : ids) {
+    for (std::size_t j = 0; j < scenario.num_services(); j += 7) {
+      const auto expected =
+          scenario.temporal().hourly_service_series(antenna, j);
+      const auto measured = agg.series(antenna, j);
+      for (std::int64_t t = 0; t < hours; ++t) {
+        EXPECT_NEAR(measured[static_cast<std::size_t>(t)],
+                    expected[static_cast<std::size_t>(t)],
+                    1e-6 * std::max(1.0,
+                                    expected[static_cast<std::size_t>(t)]))
+            << "antenna " << antenna << " service " << j << " hour " << t;
+      }
+    }
+  }
+}
+
+TEST(PipelineDeterminismTest, TwoRunsIdentical) {
+  PipelineParams params;
+  params.scenario.seed = 31;
+  params.scenario.scale = 0.03;
+  params.scenario.outdoor_ratio = 0.0;
+  params.surrogate.num_trees = 8;
+  const auto a = run_pipeline(params);
+  const auto b = run_pipeline(params);
+  EXPECT_EQ(a.clusters.labels, b.clusters.labels);
+  EXPECT_DOUBLE_EQ(a.ari_vs_archetypes, b.ari_vs_archetypes);
+  for (std::size_t i = 0; i < a.clusters.sweep.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.clusters.sweep[i].silhouette,
+                     b.clusters.sweep[i].silhouette);
+  }
+}
+
+}  // namespace
+}  // namespace icn::core

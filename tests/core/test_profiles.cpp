@@ -1,0 +1,140 @@
+#include "core/profiles.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/rca.h"
+#include "util/error.h"
+
+namespace icn::core {
+namespace {
+
+class ClusterProfilesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioParams params;
+    params.seed = 7;
+    params.scale = 0.06;
+    params.outdoor_ratio = 0.0;
+    params.noise_shape = 0.0;
+    scenario_ = new Scenario(Scenario::build(params));
+    rsca_ = new ml::Matrix(
+        compute_rsca(scenario_->demand().traffic_matrix()));
+    labels_ = scenario_->demand().archetype_labels();
+    ProfileParams pparams;
+    pparams.top_n = 8;
+    pparams.heatmap.max_antennas = 40;
+    profiles_ = new std::vector<ClusterProfile>(build_cluster_profiles(
+        *scenario_, *rsca_, labels_, 9, pparams));
+  }
+  static void TearDownTestSuite() {
+    delete profiles_;
+    delete rsca_;
+    delete scenario_;
+    profiles_ = nullptr;
+    rsca_ = nullptr;
+    scenario_ = nullptr;
+  }
+
+  static bool in_top(const ClusterProfile& p, const char* name) {
+    const auto idx = scenario_->catalog().index_of(name);
+    return idx && std::find(p.top_services.begin(), p.top_services.end(),
+                            *idx) != p.top_services.end();
+  }
+
+  static Scenario* scenario_;
+  static ml::Matrix* rsca_;
+  static std::vector<int> labels_;
+  static std::vector<ClusterProfile>* profiles_;
+};
+
+Scenario* ClusterProfilesTest::scenario_ = nullptr;
+ml::Matrix* ClusterProfilesTest::rsca_ = nullptr;
+std::vector<int> ClusterProfilesTest::labels_;
+std::vector<ClusterProfile>* ClusterProfilesTest::profiles_ = nullptr;
+
+TEST_F(ClusterProfilesTest, OneProfilePerClusterWithFullCoverage) {
+  ASSERT_EQ(profiles_->size(), 9u);
+  std::size_t total = 0;
+  for (const auto& p : *profiles_) total += p.size;
+  EXPECT_EQ(total, scenario_->num_antennas());
+}
+
+TEST_F(ClusterProfilesTest, CharacterizingServicesMatchArchetypes) {
+  EXPECT_TRUE(in_top((*profiles_)[3], "Microsoft Teams"));
+  EXPECT_TRUE(in_top((*profiles_)[3], "LinkedIn"));
+  EXPECT_TRUE(in_top((*profiles_)[2], "Google Play Store") ||
+              in_top((*profiles_)[2], "Shopping Websites"));
+  // Orange commuters: a music or niche-transport service tops the profile.
+  bool orange_music = false;
+  for (const char* svc : {"Spotify", "Deezer", "SoundCloud", "Apple Music",
+                          "Amazon Music", "Mappy", "RATP",
+                          "Transportation Websites"}) {
+    orange_music = orange_music || in_top((*profiles_)[0], svc);
+  }
+  EXPECT_TRUE(orange_music);
+}
+
+TEST_F(ClusterProfilesTest, TopServicesHavePositiveMeanRsca) {
+  for (const auto& p : *profiles_) {
+    for (const std::size_t j : p.top_services) {
+      double mean = 0.0;
+      std::size_t count = 0;
+      for (std::size_t i = 0; i < rsca_->rows(); ++i) {
+        if (labels_[i] == p.cluster) {
+          mean += (*rsca_)(i, j);
+          ++count;
+        }
+      }
+      EXPECT_GT(mean / static_cast<double>(count), 0.0)
+          << "cluster " << p.cluster << " service " << j;
+    }
+  }
+}
+
+TEST_F(ClusterProfilesTest, TemporalStatsMatchArchetypeSemantics) {
+  // Commuter cluster peaks in a commute window, workspace in office hours.
+  const auto& commuter = (*profiles_)[0];
+  EXPECT_TRUE((commuter.peak_hour >= 7 && commuter.peak_hour <= 9) ||
+              (commuter.peak_hour >= 17 && commuter.peak_hour <= 19))
+      << commuter.peak_hour;
+  const auto& office = (*profiles_)[3];
+  EXPECT_GE(office.peak_hour, 8);
+  EXPECT_LE(office.peak_hour, 18);
+  // Workspaces idle on weekends; general-use cluster 1 does not.
+  EXPECT_LT(office.weekend_ratio, 0.3);
+  EXPECT_GT((*profiles_)[1].weekend_ratio, 0.7);
+  // Hotels/hospitals (cluster 2) carry more night traffic than offices.
+  EXPECT_GT((*profiles_)[2].night_share, office.night_share);
+}
+
+TEST_F(ClusterProfilesTest, VenueClustersAreBurstiest) {
+  // Event-driven clusters 6/8 out-burst the diurnal clusters 1/2/3.
+  const double venue = std::max((*profiles_)[6].burstiness,
+                                (*profiles_)[8].burstiness);
+  const double diurnal = std::max({(*profiles_)[1].burstiness,
+                                   (*profiles_)[2].burstiness,
+                                   (*profiles_)[3].burstiness});
+  EXPECT_GT(venue, diurnal * 1.5);
+}
+
+TEST_F(ClusterProfilesTest, DescribeMentionsKeyFacts) {
+  const std::string text = describe_profile(*scenario_, (*profiles_)[3]);
+  EXPECT_NE(text.find("cluster 3"), std::string::npos);
+  EXPECT_NE(text.find("peak h"), std::string::npos);
+  EXPECT_NE(text.find("weekend"), std::string::npos);
+}
+
+TEST_F(ClusterProfilesTest, InputValidation) {
+  EXPECT_THROW(build_cluster_profiles(*scenario_, *rsca_,
+                                      std::vector<int>{0, 1}, 9),
+               icn::util::PreconditionError);
+  std::vector<int> bad = labels_;
+  bad[0] = 42;
+  EXPECT_THROW(build_cluster_profiles(*scenario_, *rsca_, bad, 9),
+               icn::util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace icn::core

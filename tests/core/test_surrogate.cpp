@@ -1,0 +1,126 @@
+#include "core/surrogate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace icn::core {
+namespace {
+
+/// Labeled data where cluster c over-expresses feature c (others ~0).
+ml::Matrix signature_data(std::size_t k, std::size_t per_cluster,
+                          std::size_t extra_features, std::uint64_t seed,
+                          std::vector<int>* labels) {
+  icn::util::Rng rng(seed);
+  const std::size_t m = k + extra_features;
+  ml::Matrix x(k * per_cluster, m);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      const std::size_t r = c * per_cluster + i;
+      for (std::size_t f = 0; f < m; ++f) {
+        x(r, f) = rng.normal(0.0, 0.15);
+      }
+      x(r, c) += 0.8;  // the defining signature feature
+      labels->push_back(static_cast<int>(c));
+    }
+  }
+  return x;
+}
+
+class SurrogateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    x_ = signature_data(4, 40, 3, 11, &labels_);
+    SurrogateParams params;
+    params.num_trees = 40;
+    surrogate_ = std::make_unique<SurrogateExplainer>(x_, labels_, 4, params);
+  }
+
+  ml::Matrix x_;
+  std::vector<int> labels_;
+  std::unique_ptr<SurrogateExplainer> surrogate_;
+};
+
+TEST_F(SurrogateTest, HighFidelityOnSeparableClusters) {
+  EXPECT_GT(surrogate_->fidelity(), 0.99);
+  EXPECT_GT(surrogate_->oob_accuracy(), 0.9);
+  EXPECT_EQ(surrogate_->num_clusters(), 4);
+}
+
+TEST_F(SurrogateTest, ClassifyReproducesTraining) {
+  const auto pred = surrogate_->classify(x_);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels_[i]) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / pred.size(), 0.99);
+}
+
+TEST_F(SurrogateTest, ShapRanksSignatureFeatureFirst) {
+  const auto summary = surrogate_->explain(x_, labels_, 30);
+  ASSERT_EQ(summary.per_cluster.size(), 4u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    // The defining feature of cluster c tops its beeswarm ranking.
+    EXPECT_EQ(summary.per_cluster[c].front().service, c) << "cluster " << c;
+    // High feature value drives membership: positive correlation and a
+    // positive mean value within the cluster.
+    EXPECT_GT(summary.per_cluster[c].front().value_shap_correlation, 0.5);
+    EXPECT_GT(summary.per_cluster[c].front().mean_value_in_cluster, 0.5);
+  }
+}
+
+TEST_F(SurrogateTest, ShapSummaryRanksDescending) {
+  const auto summary = surrogate_->explain(x_, labels_, 20);
+  for (const auto& impacts : summary.per_cluster) {
+    for (std::size_t r = 1; r < impacts.size(); ++r) {
+      EXPECT_GE(impacts[r - 1].mean_abs_shap, impacts[r].mean_abs_shap);
+    }
+  }
+}
+
+TEST_F(SurrogateTest, BaseValuesAreClassPriors) {
+  const auto summary = surrogate_->explain(x_, labels_, 10);
+  ASSERT_EQ(summary.base_values.size(), 4u);
+  double total = 0.0;
+  for (const double b : summary.base_values) {
+    EXPECT_GT(b, 0.0);
+    total += b;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Balanced training set -> priors near 1/4.
+  for (const double b : summary.base_values) EXPECT_NEAR(b, 0.25, 0.05);
+}
+
+TEST_F(SurrogateTest, NoiseFeaturesRankLow) {
+  const auto summary = surrogate_->explain(x_, labels_, 30);
+  // The three pure-noise features (indices 4, 5, 6) must never top a list.
+  for (const auto& impacts : summary.per_cluster) {
+    EXPECT_LT(impacts.front().service, 4u);
+  }
+}
+
+TEST_F(SurrogateTest, SampleCapRespected) {
+  const auto summary = surrogate_->explain(x_, labels_, 5);
+  EXPECT_LE(summary.samples_used, 5u * 4u);
+  EXPECT_GE(summary.samples_used, 4u);  // at least one per cluster
+}
+
+TEST_F(SurrogateTest, ExplainValidatesShapes) {
+  EXPECT_THROW(surrogate_->explain(x_, std::vector<int>{0, 1}, 10),
+               icn::util::PreconditionError);
+  EXPECT_THROW(surrogate_->explain(x_, labels_, 0),
+               icn::util::PreconditionError);
+}
+
+TEST(SurrogateConstructionTest, ShapeMismatchThrows) {
+  ml::Matrix x(4, 2);
+  const std::vector<int> labels = {0, 1};
+  EXPECT_THROW(SurrogateExplainer(x, labels, 2),
+               icn::util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace icn::core

@@ -1,0 +1,134 @@
+#include "core/temporal_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "util/error.h"
+
+namespace icn::core {
+namespace {
+
+class TemporalAnalysisTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ScenarioParams params;
+    params.seed = 17;
+    params.scale = 0.04;
+    params.outdoor_ratio = 0.0;
+    params.noise_shape = 0.0;  // deterministic curves for shape assertions
+    scenario_ = std::make_unique<Scenario>(Scenario::build(params));
+    labels_ = scenario_->demand().archetype_labels();
+  }
+
+  std::unique_ptr<Scenario> scenario_;
+  std::vector<int> labels_;
+};
+
+TEST_F(TemporalAnalysisTest, HeatmapShape) {
+  const auto map =
+      cluster_total_heatmap(scenario_->temporal(), labels_, 0);
+  EXPECT_EQ(map.days, 21u);
+  EXPECT_EQ(map.values.size(), 24u * 21u);
+  EXPECT_GT(map.peak_mb, 0.0);
+  double max_cell = 0.0;
+  for (const double v : map.values) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-12);
+    max_cell = std::max(max_cell, v);
+  }
+  EXPECT_NEAR(max_cell, 1.0, 1e-12);
+}
+
+TEST_F(TemporalAnalysisTest, CommuterClusterPeaksAtCommuteHours) {
+  const auto map =
+      cluster_total_heatmap(scenario_->temporal(), labels_, 0);
+  const auto profile = hour_of_day_profile(map);
+  // Peaks around 8h and 18h dominate 13h (paper Fig. 10a).
+  EXPECT_GT(profile[8], profile[13] * 1.5);
+  EXPECT_GT(profile[18], profile[13] * 1.5);
+  EXPECT_GT(profile[13], profile[3]);
+}
+
+TEST_F(TemporalAnalysisTest, WorkspaceClusterIdleOnWeekend) {
+  const auto map =
+      cluster_total_heatmap(scenario_->temporal(), labels_, 3);
+  const auto days = day_profile(map);
+  // Window starts Wed 04 Jan; Sat 07 Jan is day 3, Mon 09 Jan day 5.
+  EXPECT_GT(days[5], days[3] * 4.0);
+}
+
+TEST_F(TemporalAnalysisTest, StrikeDayVisibleInCommuterCluster) {
+  const auto map =
+      cluster_total_heatmap(scenario_->temporal(), labels_, 4);
+  const auto days = day_profile(map);
+  // 19 Jan is day 15 of the window (04 Jan + 15); 12 Jan is day 8.
+  EXPECT_LT(days[15], days[8] * 0.3);
+}
+
+TEST_F(TemporalAnalysisTest, ServiceHeatmapFollowsServiceProfile) {
+  const auto teams = scenario_->catalog().index_of("Microsoft Teams");
+  ASSERT_TRUE(teams.has_value());
+  const auto map = cluster_service_heatmap(scenario_->temporal(), labels_,
+                                           3, *teams);
+  const auto profile = hour_of_day_profile(map);
+  // Teams in the workspace cluster: office hours dwarf the evening.
+  EXPECT_GT(profile[11], profile[21] * 3.0);
+}
+
+TEST_F(TemporalAnalysisTest, NetflixQuietInWorkspacesDuringOfficeHours) {
+  const auto netflix = scenario_->catalog().index_of("Netflix");
+  ASSERT_TRUE(netflix.has_value());
+  const auto work = cluster_service_heatmap(scenario_->temporal(), labels_,
+                                            3, *netflix);
+  const auto hotelish = cluster_service_heatmap(scenario_->temporal(),
+                                                labels_, 2, *netflix);
+  // Cluster 2 (hotels/hospitals) streams at night; cluster 3 does not.
+  const auto work_profile = hour_of_day_profile(work);
+  const auto hotel_profile = hour_of_day_profile(hotelish);
+  EXPECT_GT(hotel_profile[22], hotel_profile[4]);
+  // Workspace Netflix rides the office-hours envelope (nothing at night).
+  EXPECT_GT(work_profile[12], work_profile[23]);
+}
+
+TEST_F(TemporalAnalysisTest, SamplingCapIsDeterministic) {
+  HeatmapParams params;
+  params.max_antennas = 5;
+  const auto a =
+      cluster_total_heatmap(scenario_->temporal(), labels_, 1, params);
+  const auto b =
+      cluster_total_heatmap(scenario_->temporal(), labels_, 1, params);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST_F(TemporalAnalysisTest, CustomWindow) {
+  HeatmapParams params;
+  params.window = icn::util::DateRange(icn::util::Date{2022, 12, 1},
+                                       icn::util::Date{2022, 12, 7});
+  const auto map =
+      cluster_total_heatmap(scenario_->temporal(), labels_, 1, params);
+  EXPECT_EQ(map.days, 7u);
+}
+
+TEST_F(TemporalAnalysisTest, WindowOutsidePeriodThrows) {
+  HeatmapParams params;
+  params.window = icn::util::DateRange(icn::util::Date{2023, 2, 1},
+                                       icn::util::Date{2023, 2, 7});
+  EXPECT_THROW(
+      cluster_total_heatmap(scenario_->temporal(), labels_, 0, params),
+      icn::util::PreconditionError);
+}
+
+TEST_F(TemporalAnalysisTest, EmptyClusterThrows) {
+  EXPECT_THROW(cluster_total_heatmap(scenario_->temporal(), labels_, 42),
+               icn::util::PreconditionError);
+}
+
+TEST_F(TemporalAnalysisTest, ProfileHelpersShapes) {
+  const auto map =
+      cluster_total_heatmap(scenario_->temporal(), labels_, 2);
+  EXPECT_EQ(hour_of_day_profile(map).size(), 24u);
+  EXPECT_EQ(day_profile(map).size(), map.days);
+}
+
+}  // namespace
+}  // namespace icn::core

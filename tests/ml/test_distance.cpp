@@ -1,0 +1,81 @@
+#include "ml/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace icn::ml {
+namespace {
+
+TEST(DistanceTest, SquaredEuclideanBasics) {
+  const std::vector<double> a = {0.0, 0.0};
+  const std::vector<double> b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(squared_euclidean(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(euclidean(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(euclidean(a, a), 0.0);
+}
+
+TEST(DistanceTest, RejectsDimensionMismatch) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(squared_euclidean(a, b), icn::util::PreconditionError);
+}
+
+TEST(CondensedDistancesTest, MatchesDirectComputation) {
+  icn::util::Rng rng(5);
+  Matrix x(10, 4);
+  for (auto& v : x.data()) v = rng.uniform(-2.0, 2.0);
+  const CondensedDistances d(x);
+  EXPECT_EQ(d.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      const double expected = euclidean(x.row(i), x.row(j));
+      // Stored in float: allow float rounding.
+      EXPECT_NEAR(d(i, j), expected, 1e-5);
+    }
+  }
+}
+
+TEST(CondensedDistancesTest, SymmetricAndZeroDiagonal) {
+  Matrix x(4, 2, {0, 0, 1, 0, 0, 1, 1, 1});
+  const CondensedDistances d(x);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(d(i, i), 0.0);
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(d(i, j), d(j, i));
+    }
+  }
+}
+
+TEST(CondensedDistancesTest, TriangleInequalityHolds) {
+  icn::util::Rng rng(9);
+  Matrix x(12, 3);
+  for (auto& v : x.data()) v = rng.normal();
+  const CondensedDistances d(x);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) {
+      for (std::size_t k = 0; k < 12; ++k) {
+        EXPECT_LE(d(i, j), d(i, k) + d(k, j) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(CondensedDistancesTest, IndexOutOfRangeThrows) {
+  Matrix x(3, 1, {0.0, 1.0, 2.0});
+  const CondensedDistances d(x);
+  EXPECT_THROW(d(0, 3), icn::util::PreconditionError);
+}
+
+TEST(CondensedDistancesTest, SinglePointHasNoPairs) {
+  Matrix x(1, 2, {1.0, 2.0});
+  const CondensedDistances d(x);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace icn::ml

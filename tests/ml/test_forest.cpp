@@ -1,0 +1,163 @@
+#include "ml/forest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/metrics.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace icn::ml {
+namespace {
+
+/// Three noisy Gaussian blobs in 4D (two informative dims, two noise).
+Matrix blob_data(std::size_t per_blob, double sigma, std::uint64_t seed,
+                 std::vector<int>* labels) {
+  icn::util::Rng rng(seed);
+  Matrix x(per_blob * 3, 4);
+  const double centers[3][2] = {{0.0, 0.0}, {4.0, 0.0}, {0.0, 4.0}};
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      const std::size_t r = b * per_blob + i;
+      x(r, 0) = centers[b][0] + rng.normal(0.0, sigma);
+      x(r, 1) = centers[b][1] + rng.normal(0.0, sigma);
+      x(r, 2) = rng.normal();  // noise
+      x(r, 3) = rng.normal();  // noise
+      labels->push_back(static_cast<int>(b));
+    }
+  }
+  return x;
+}
+
+TEST(RandomForestTest, FitsSeparableData) {
+  std::vector<int> y;
+  const Matrix x = blob_data(60, 0.5, 3, &y);
+  RandomForest forest;
+  RandomForest::Params params;
+  params.num_trees = 30;
+  forest.fit(x, y, 3, params);
+  EXPECT_TRUE(forest.is_fitted());
+  EXPECT_EQ(forest.trees().size(), 30u);
+  EXPECT_GT(accuracy(forest.predict_all(x), y), 0.99);
+}
+
+TEST(RandomForestTest, OobAccuracyIsReasonable) {
+  std::vector<int> y;
+  const Matrix x = blob_data(80, 0.5, 5, &y);
+  RandomForest forest;
+  RandomForest::Params params;
+  params.num_trees = 50;
+  forest.fit(x, y, 3, params);
+  EXPECT_GT(forest.oob_accuracy(), 0.9);
+  EXPECT_LE(forest.oob_accuracy(), 1.0);
+}
+
+TEST(RandomForestTest, OobNanWithoutBootstrap) {
+  std::vector<int> y;
+  const Matrix x = blob_data(20, 0.5, 7, &y);
+  RandomForest forest;
+  RandomForest::Params params;
+  params.num_trees = 5;
+  params.bootstrap = false;
+  forest.fit(x, y, 3, params);
+  EXPECT_TRUE(std::isnan(forest.oob_accuracy()));
+}
+
+TEST(RandomForestTest, ProbaIsAveragedAndNormalized) {
+  std::vector<int> y;
+  const Matrix x = blob_data(40, 0.7, 9, &y);
+  RandomForest forest;
+  RandomForest::Params params;
+  params.num_trees = 10;
+  forest.fit(x, y, 3, params);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto p = forest.predict_proba(x.row(i));
+    ASSERT_EQ(p.size(), 3u);
+    double total = 0.0;
+    for (const double v : p) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(RandomForestTest, DeterministicForFixedSeed) {
+  std::vector<int> y;
+  const Matrix x = blob_data(40, 0.8, 11, &y);
+  RandomForest a, b;
+  RandomForest::Params params;
+  params.num_trees = 12;
+  params.seed = 777;
+  a.fit(x, y, 3, params);
+  b.fit(x, y, 3, params);
+  EXPECT_EQ(a.predict_all(x), b.predict_all(x));
+  EXPECT_DOUBLE_EQ(a.oob_accuracy(), b.oob_accuracy());
+}
+
+TEST(RandomForestTest, SeedChangesEnsemble) {
+  std::vector<int> y;
+  const Matrix x = blob_data(40, 1.5, 13, &y);
+  RandomForest a, b;
+  RandomForest::Params params;
+  params.num_trees = 8;
+  params.seed = 1;
+  a.fit(x, y, 3, params);
+  params.seed = 2;
+  b.fit(x, y, 3, params);
+  // Noisy data: at least one prediction probability should differ.
+  bool differs = false;
+  for (std::size_t i = 0; i < x.rows() && !differs; ++i) {
+    differs = a.predict_proba(x.row(i)) != b.predict_proba(x.row(i));
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomForestTest, FeatureImportanceFindsInformativeDims) {
+  std::vector<int> y;
+  const Matrix x = blob_data(100, 0.5, 15, &y);
+  RandomForest forest;
+  RandomForest::Params params;
+  params.num_trees = 40;
+  forest.fit(x, y, 3, params);
+  const auto imp = forest.feature_importance();
+  ASSERT_EQ(imp.size(), 4u);
+  double total = 0.0;
+  for (const double v : imp) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Informative features 0 and 1 dominate the noise features 2 and 3.
+  EXPECT_GT(imp[0] + imp[1], 5.0 * (imp[2] + imp[3]));
+}
+
+TEST(RandomForestTest, MoreTreesImproveNoisyAccuracy) {
+  std::vector<int> y;
+  const Matrix x = blob_data(80, 1.8, 17, &y);
+  RandomForest small, large;
+  RandomForest::Params params;
+  params.num_trees = 1;
+  params.seed = 5;
+  small.fit(x, y, 3, params);
+  params.num_trees = 60;
+  large.fit(x, y, 3, params);
+  EXPECT_GE(large.oob_accuracy(), small.oob_accuracy() - 0.02);
+}
+
+TEST(RandomForestTest, InputValidation) {
+  RandomForest forest;
+  RandomForest::Params params;
+  Matrix x(2, 1, {0.0, 1.0});
+  params.num_trees = 0;
+  EXPECT_THROW(forest.fit(x, std::vector<int>{0, 1}, 2, params),
+               icn::util::PreconditionError);
+  params.num_trees = 1;
+  EXPECT_THROW(forest.fit(x, std::vector<int>{0}, 2, params),
+               icn::util::PreconditionError);
+  EXPECT_THROW(forest.predict(std::vector<double>{1.0}),
+               icn::util::PreconditionError);
+  EXPECT_THROW(forest.feature_importance(), icn::util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace icn::ml

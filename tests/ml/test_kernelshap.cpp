@@ -1,0 +1,179 @@
+#include "ml/kernelshap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/exactshap.h"
+#include "ml/forest.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace icn::ml {
+namespace {
+
+/// Linear two-output model used in several tests.
+std::vector<double> linear_model(std::span<const double> x) {
+  // out0 = 2 x0 - x1 + 0.5 x2 ; out1 = x1.
+  return {2.0 * x[0] - x[1] + 0.5 * x[2], x[1]};
+}
+
+Matrix random_background(std::size_t rows, std::size_t cols,
+                         std::uint64_t seed) {
+  icn::util::Rng rng(seed);
+  Matrix bg(rows, cols);
+  for (auto& v : bg.data()) v = rng.uniform(-1.0, 1.0);
+  return bg;
+}
+
+TEST(InterventionalValueTest, FullAndEmptyMasks) {
+  const Matrix bg = random_background(16, 3, 3);
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const auto v_full = interventional_value(linear_model, x,
+                                           bg, std::vector<bool>(3, true));
+  const auto direct = linear_model(x);
+  EXPECT_NEAR(v_full[0], direct[0], 1e-12);
+  EXPECT_NEAR(v_full[1], direct[1], 1e-12);
+
+  // Empty mask: mean of the model over the background.
+  const auto v_empty = interventional_value(linear_model, x, bg,
+                                            std::vector<bool>(3, false));
+  std::vector<double> acc(2, 0.0);
+  for (std::size_t b = 0; b < bg.rows(); ++b) {
+    const auto out = linear_model(bg.row(b));
+    acc[0] += out[0] / 16.0;
+    acc[1] += out[1] / 16.0;
+  }
+  EXPECT_NEAR(v_empty[0], acc[0], 1e-12);
+  EXPECT_NEAR(v_empty[1], acc[1], 1e-12);
+}
+
+TEST(KernelShapTest, LinearModelExactlyRecovered) {
+  // For a linear model with interventional value function, Shapley values
+  // are w_f * (x_f - mean(background_f)).
+  const Matrix bg = random_background(32, 3, 5);
+  const std::vector<double> x = {1.5, -0.5, 2.0};
+  const auto result = kernel_shap(linear_model, x, bg);
+  std::vector<double> bg_mean(3, 0.0);
+  for (std::size_t b = 0; b < bg.rows(); ++b) {
+    for (std::size_t f = 0; f < 3; ++f) bg_mean[f] += bg(b, f) / 32.0;
+  }
+  const double w0[3] = {2.0, -1.0, 0.5};
+  for (std::size_t f = 0; f < 3; ++f) {
+    EXPECT_NEAR(result.phi(f, 0), w0[f] * (x[f] - bg_mean[f]), 1e-9);
+  }
+  EXPECT_NEAR(result.phi(0, 1), 0.0, 1e-9);
+  EXPECT_NEAR(result.phi(1, 1), x[1] - bg_mean[1], 1e-9);
+  EXPECT_NEAR(result.phi(2, 1), 0.0, 1e-9);
+}
+
+TEST(KernelShapTest, MatchesExactShapleyForNonlinearModel) {
+  const std::size_t m = 4;
+  const ModelFunction model = [](std::span<const double> x) {
+    return std::vector<double>{x[0] * x[1] + std::sin(x[2]) + x[3]};
+  };
+  const Matrix bg = random_background(8, m, 7);
+  const std::vector<double> x = {0.7, -1.2, 0.4, 1.1};
+  const auto kernel = kernel_shap(model, x, bg);
+  const ValueFunction v = [&](const std::vector<bool>& present) {
+    return interventional_value(model, x, bg, present);
+  };
+  const Matrix exact = exact_shapley(v, m, 1);
+  for (std::size_t f = 0; f < m; ++f) {
+    // Full coalition enumeration -> the regression is exact.
+    EXPECT_NEAR(kernel.phi(f, 0), exact(f, 0), 1e-7) << "feature " << f;
+  }
+}
+
+TEST(KernelShapTest, EfficiencyHoldsByConstruction) {
+  const ModelFunction model = [](std::span<const double> x) {
+    return std::vector<double>{x[0] * x[0] + 2.0 * x[1]};
+  };
+  const Matrix bg = random_background(10, 2, 9);
+  const std::vector<double> x = {1.0, -2.0};
+  const auto result = kernel_shap(model, x, bg);
+  const auto v1 = interventional_value(model, x, bg,
+                                       std::vector<bool>(2, true));
+  double total = result.base[0];
+  for (std::size_t f = 0; f < 2; ++f) total += result.phi(f, 0);
+  EXPECT_NEAR(total, v1[0], 1e-9);
+}
+
+TEST(KernelShapTest, SingleFeatureShortcut) {
+  const ModelFunction model = [](std::span<const double> x) {
+    return std::vector<double>{3.0 * x[0]};
+  };
+  const Matrix bg = random_background(4, 1, 11);
+  const std::vector<double> x = {2.0};
+  const auto result = kernel_shap(model, x, bg);
+  double bg_mean = 0.0;
+  for (std::size_t b = 0; b < 4; ++b) bg_mean += bg(b, 0) / 4.0;
+  EXPECT_NEAR(result.phi(0, 0), 3.0 * (2.0 - bg_mean), 1e-12);
+}
+
+TEST(KernelShapTest, SampledRegimeApproximatesExact) {
+  // 12 features exceed the 2^12-2 > budget threshold with a small budget,
+  // forcing the sampled path.
+  const std::size_t m = 12;
+  const ModelFunction model = [](std::span<const double> x) {
+    double acc = 0.0;
+    for (std::size_t f = 0; f < x.size(); ++f) {
+      acc += (1.0 + 0.25 * static_cast<double>(f)) * x[f];
+    }
+    return std::vector<double>{acc};
+  };
+  Matrix bg(1, m);  // single background row keeps the value function cheap
+  for (std::size_t f = 0; f < m; ++f) bg(0, f) = 0.0;
+  std::vector<double> x(m, 1.0);
+  KernelShapParams params;
+  params.max_coalitions = 800;
+  params.seed = 3;
+  const auto result = kernel_shap(model, x, bg, params);
+  for (std::size_t f = 0; f < m; ++f) {
+    const double expected = 1.0 + 0.25 * static_cast<double>(f);
+    EXPECT_NEAR(result.phi(f, 0), expected, 0.15) << "feature " << f;
+  }
+}
+
+TEST(KernelShapTest, AgreesWithTreeShapOnSmoothForest) {
+  // TreeSHAP (path-dependent) and KernelSHAP (interventional, with the
+  // training data as background) measure slightly different things, but for
+  // a forest on independent features they should broadly agree in sign and
+  // ranking of the top feature.
+  icn::util::Rng rng(13);
+  const std::size_t n = 200, m = 4;
+  Matrix x(n, m);
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < m; ++f) x(i, f) = rng.uniform(-1.0, 1.0);
+    y[i] = x(i, 0) > 0.0 ? 1 : 0;
+  }
+  RandomForest forest;
+  RandomForest::Params fp;
+  fp.num_trees = 20;
+  forest.fit(x, y, 2, fp);
+
+  const ModelFunction model = [&](std::span<const double> row) {
+    return forest.predict_proba(row);
+  };
+  const std::vector<double> point = {0.8, 0.1, -0.2, 0.5};
+  const auto kernel = kernel_shap(model, point, x);
+
+  // Feature 0 dominates class-1 probability and has positive sign.
+  EXPECT_GT(kernel.phi(0, 1), 0.1);
+  for (std::size_t f = 1; f < m; ++f) {
+    EXPECT_GT(kernel.phi(0, 1), std::fabs(kernel.phi(f, 1)) * 2.0);
+  }
+}
+
+TEST(KernelShapTest, ValidatesInputs) {
+  const Matrix bg = random_background(4, 2, 15);
+  EXPECT_THROW(kernel_shap(linear_model, std::vector<double>{}, bg),
+               icn::util::PreconditionError);
+  const Matrix wrong = random_background(4, 5, 15);
+  EXPECT_THROW(kernel_shap(linear_model, std::vector<double>{1.0, 2.0}, wrong),
+               icn::util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace icn::ml

@@ -1,0 +1,96 @@
+#include "ml/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace icn::ml {
+namespace {
+
+TEST(SolveTest, TwoByTwo) {
+  Matrix a(2, 2, {2.0, 1.0, 1.0, 3.0});
+  const auto x = solve_linear_system(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveTest, Identity) {
+  Matrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) a(i, i) = 1.0;
+  const auto x = solve_linear_system(a, {7.0, -2.0, 0.5});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], -2.0, 1e-12);
+  EXPECT_NEAR(x[2], 0.5, 1e-12);
+}
+
+TEST(SolveTest, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Matrix a(2, 2, {0.0, 1.0, 1.0, 0.0});
+  const auto x = solve_linear_system(a, {3.0, 4.0});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveTest, RandomSystemsRoundTrip) {
+  icn::util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(8);
+    Matrix a(n, n);
+    for (auto& v : a.data()) v = rng.uniform(-2.0, 2.0);
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 3.0;  // well-conditioned
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = rng.uniform(-5.0, 5.0);
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b[i] += a(i, j) * x_true[j];
+    }
+    const auto x = solve_linear_system(a, b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], x_true[i], 1e-8);
+    }
+  }
+}
+
+TEST(SolveTest, SingularThrows) {
+  Matrix a(2, 2, {1.0, 2.0, 2.0, 4.0});
+  EXPECT_THROW(solve_linear_system(a, {1.0, 2.0}),
+               icn::util::PreconditionError);
+}
+
+TEST(SolveTest, ShapeChecks) {
+  Matrix a(2, 3);
+  EXPECT_THROW(solve_linear_system(a, {1.0, 2.0}),
+               icn::util::PreconditionError);
+  Matrix b(2, 2, {1.0, 0.0, 0.0, 1.0});
+  EXPECT_THROW(solve_linear_system(b, {1.0}), icn::util::PreconditionError);
+}
+
+TEST(WlsTest, ExactFitRecovered) {
+  // y = 2*x0 - x1, equal weights: regression is exact.
+  Matrix x(4, 2, {1, 0, 0, 1, 1, 1, 2, 1});
+  const std::vector<double> y = {2.0, -1.0, 1.0, 3.0};
+  const std::vector<double> w(4, 1.0);
+  const auto beta = weighted_least_squares(x, y, w);
+  EXPECT_NEAR(beta[0], 2.0, 1e-10);
+  EXPECT_NEAR(beta[1], -1.0, 1e-10);
+}
+
+TEST(WlsTest, ZeroWeightIgnoresPoint) {
+  // Third point is an outlier but has zero weight.
+  Matrix x(3, 1, {1.0, 2.0, 3.0});
+  const std::vector<double> y = {2.0, 4.0, 100.0};
+  const std::vector<double> w = {1.0, 1.0, 0.0};
+  const auto beta = weighted_least_squares(x, y, w);
+  EXPECT_NEAR(beta[0], 2.0, 1e-10);
+}
+
+TEST(WlsTest, NegativeWeightThrows) {
+  Matrix x(2, 1, {1.0, 2.0});
+  EXPECT_THROW(
+      weighted_least_squares(x, {1.0, 2.0}, {1.0, -1.0}),
+      icn::util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace icn::ml

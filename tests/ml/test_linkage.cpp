@@ -1,0 +1,227 @@
+#include "ml/linkage.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace icn::ml {
+namespace {
+
+Matrix random_matrix(std::size_t n, std::size_t m, std::uint64_t seed) {
+  icn::util::Rng rng(seed);
+  Matrix x(n, m);
+  for (auto& v : x.data()) v = rng.normal();
+  return x;
+}
+
+/// Three well-separated Gaussian blobs.
+Matrix blobs(std::size_t per_blob, std::uint64_t seed,
+             std::vector<int>* truth = nullptr) {
+  icn::util::Rng rng(seed);
+  Matrix x(per_blob * 3, 2);
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      const std::size_t r = b * per_blob + i;
+      x(r, 0) = centers[b][0] + rng.normal(0.0, 0.5);
+      x(r, 1) = centers[b][1] + rng.normal(0.0, 0.5);
+      if (truth) truth->push_back(static_cast<int>(b));
+    }
+  }
+  return x;
+}
+
+TEST(LinkageNameTest, AllNamed) {
+  EXPECT_STREQ(linkage_name(Linkage::kWard), "ward");
+  EXPECT_STREQ(linkage_name(Linkage::kComplete), "complete");
+  EXPECT_STREQ(linkage_name(Linkage::kAverage), "average");
+  EXPECT_STREQ(linkage_name(Linkage::kSingle), "single");
+}
+
+TEST(DendrogramTest, TwoSingletonsMergeAtEuclideanDistance) {
+  // SciPy height convention for Ward: singleton pairs merge at their
+  // Euclidean distance.
+  Matrix x(2, 2, {0.0, 0.0, 3.0, 4.0});
+  const Dendrogram d = agglomerative_cluster(x, Linkage::kWard);
+  ASSERT_EQ(d.merges().size(), 1u);
+  EXPECT_NEAR(d.merges()[0].height, 5.0, 1e-9);
+  EXPECT_EQ(d.merges()[0].size, 2u);
+}
+
+TEST(DendrogramTest, SingleLeafHierarchy) {
+  Matrix x(1, 3, {1.0, 2.0, 3.0});
+  const Dendrogram d = agglomerative_cluster(x, Linkage::kWard);
+  EXPECT_EQ(d.num_leaves(), 1u);
+  EXPECT_TRUE(d.merges().empty());
+  EXPECT_EQ(d.cut(1), std::vector<int>{0});
+}
+
+class LinkageParamTest : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(LinkageParamTest, ChainMatchesNaiveReference) {
+  const Matrix x = random_matrix(60, 5, 1234);
+  const Dendrogram fast = agglomerative_cluster(x, GetParam());
+  const Dendrogram naive = naive_agglomerative(x, GetParam());
+  ASSERT_EQ(fast.merges().size(), naive.merges().size());
+  // Same multiset of merge heights...
+  for (std::size_t t = 0; t < fast.merges().size(); ++t) {
+    EXPECT_NEAR(fast.merges()[t].height, naive.merges()[t].height, 1e-7)
+        << "merge step " << t;
+  }
+  // ... and identical partitions at several cut levels.
+  for (const std::size_t k : {2u, 3u, 5u, 9u}) {
+    const auto a = fast.cut(k);
+    const auto b = naive.cut(k);
+    EXPECT_DOUBLE_EQ(icn::util::adjusted_rand_index(a, b), 1.0)
+        << "cut k=" << k;
+  }
+}
+
+TEST_P(LinkageParamTest, MergeHeightsAreMonotonic) {
+  // All four linkages are reducible, so the sorted merge sequence has no
+  // inversions.
+  const Matrix x = random_matrix(80, 4, 99);
+  const Dendrogram d = agglomerative_cluster(x, GetParam());
+  for (std::size_t t = 1; t < d.merges().size(); ++t) {
+    EXPECT_GE(d.merges()[t].height, d.merges()[t - 1].height - 1e-12);
+  }
+}
+
+TEST_P(LinkageParamTest, MergeSizesAccumulateToN) {
+  const Matrix x = random_matrix(40, 3, 7);
+  const Dendrogram d = agglomerative_cluster(x, GetParam());
+  EXPECT_EQ(d.merges().back().size, 40u);
+  for (const Merge& m : d.merges()) {
+    EXPECT_GE(m.size, 2u);
+    EXPECT_LE(m.size, 40u);
+  }
+}
+
+TEST_P(LinkageParamTest, CutProducesExactlyKClusters) {
+  const Matrix x = random_matrix(30, 3, 8);
+  const Dendrogram d = agglomerative_cluster(x, GetParam());
+  for (std::size_t k = 1; k <= 30; ++k) {
+    const auto labels = d.cut(k);
+    std::set<int> distinct(labels.begin(), labels.end());
+    EXPECT_EQ(distinct.size(), k);
+    EXPECT_EQ(*distinct.begin(), 0);
+    EXPECT_EQ(*distinct.rbegin(), static_cast<int>(k) - 1);
+  }
+}
+
+TEST_P(LinkageParamTest, RecoversWellSeparatedBlobs) {
+  std::vector<int> truth;
+  const Matrix x = blobs(20, 17, &truth);
+  const Dendrogram d = agglomerative_cluster(x, GetParam());
+  const auto labels = d.cut(3);
+  EXPECT_DOUBLE_EQ(icn::util::adjusted_rand_index(labels, truth), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLinkages, LinkageParamTest,
+                         ::testing::Values(Linkage::kWard, Linkage::kComplete,
+                                           Linkage::kAverage,
+                                           Linkage::kSingle),
+                         [](const auto& info) {
+                           return linkage_name(info.param);
+                         });
+
+TEST(DendrogramTest, CutHeightSeparatesBlobs) {
+  const Matrix x = blobs(10, 3);
+  const Dendrogram d = agglomerative_cluster(x, Linkage::kWard);
+  // The 3->2 merge happens far above the within-blob merges.
+  EXPECT_GT(d.cut_height(2), d.cut_height(4) * 3.0);
+  EXPECT_THROW(d.cut_height(1), icn::util::PreconditionError);
+  EXPECT_THROW(d.cut_height(31), icn::util::PreconditionError);
+}
+
+TEST(DendrogramTest, CutRejectsBadK) {
+  const Matrix x = random_matrix(5, 2, 2);
+  const Dendrogram d = agglomerative_cluster(x, Linkage::kWard);
+  EXPECT_THROW(d.cut(0), icn::util::PreconditionError);
+  EXPECT_THROW(d.cut(6), icn::util::PreconditionError);
+}
+
+TEST(DendrogramTest, CutLabelsAreDeterministic) {
+  const Matrix x = random_matrix(25, 3, 55);
+  const Dendrogram d = agglomerative_cluster(x, Linkage::kWard);
+  EXPECT_EQ(d.cut(4), d.cut(4));
+  // Label 0 is always the component containing leaf 0.
+  EXPECT_EQ(d.cut(4)[0], 0);
+}
+
+TEST(DendrogramTest, RenderShowsRootStats) {
+  const Matrix x = blobs(5, 21);
+  const Dendrogram d = agglomerative_cluster(x, Linkage::kWard);
+  const std::string out = d.render(3);
+  EXPECT_NE(out.find("n=15"), std::string::npos);
+  EXPECT_NE(out.find("h="), std::string::npos);
+}
+
+TEST(DendrogramTest, ConstructorValidatesMergeCount) {
+  EXPECT_THROW(Dendrogram(3, {}), icn::util::PreconditionError);
+  std::vector<Dendrogram::RawMerge> bad = {{0, 1, 1.0}, {0, 1, 2.0}};
+  EXPECT_THROW(Dendrogram(3, bad), icn::util::PreconditionError);
+}
+
+TEST(DendrogramTest, WardHeightsMatchVarianceFormula) {
+  // Manual three-point example: heights can be derived by hand.
+  // Points: 0 at (0,0), 1 at (2,0), 2 at (10,0).
+  Matrix x(3, 2, {0, 0, 2, 0, 10, 0});
+  const Dendrogram d = agglomerative_cluster(x, Linkage::kWard);
+  ASSERT_EQ(d.merges().size(), 2u);
+  EXPECT_NEAR(d.merges()[0].height, 2.0, 1e-12);
+  // Merge of {0,1} (centroid (1,0), size 2) with {2}:
+  // sqrt(2*2*1/3) * 9 = sqrt(4/3) * 9.
+  EXPECT_NEAR(d.merges()[1].height, std::sqrt(4.0 / 3.0) * 9.0, 1e-9);
+}
+
+TEST(DendrogramTest, SingleLinkageEqualsMinimumSpanningEdgeHeights) {
+  // On a line, single linkage merges at consecutive gaps.
+  Matrix x(4, 1, {0.0, 1.0, 3.0, 7.0});
+  const Dendrogram d = agglomerative_cluster(x, Linkage::kSingle);
+  ASSERT_EQ(d.merges().size(), 3u);
+  EXPECT_NEAR(d.merges()[0].height, 1.0, 1e-12);
+  EXPECT_NEAR(d.merges()[1].height, 2.0, 1e-12);
+  EXPECT_NEAR(d.merges()[2].height, 4.0, 1e-12);
+}
+
+TEST(DendrogramTest, CompleteLinkageHeightsOnLine) {
+  Matrix x(3, 1, {0.0, 1.0, 10.0});
+  const Dendrogram d = agglomerative_cluster(x, Linkage::kComplete);
+  ASSERT_EQ(d.merges().size(), 2u);
+  EXPECT_NEAR(d.merges()[0].height, 1.0, 1e-12);
+  EXPECT_NEAR(d.merges()[1].height, 10.0, 1e-12);  // max(9, 10)
+}
+
+TEST(DendrogramTest, AverageLinkageHeightsOnLine) {
+  Matrix x(3, 1, {0.0, 1.0, 10.0});
+  const Dendrogram d = agglomerative_cluster(x, Linkage::kAverage);
+  ASSERT_EQ(d.merges().size(), 2u);
+  EXPECT_NEAR(d.merges()[1].height, 9.5, 1e-12);  // mean(9, 10)
+}
+
+TEST(AgglomerativeTest, RejectsEmptyInput) {
+  Matrix empty;
+  EXPECT_THROW(agglomerative_cluster(empty, Linkage::kWard),
+               icn::util::PreconditionError);
+}
+
+TEST(AgglomerativeTest, DuplicatePointsMergeAtZero) {
+  Matrix x(4, 2, {1, 1, 1, 1, 5, 5, 1, 1});
+  const Dendrogram d = agglomerative_cluster(x, Linkage::kWard);
+  EXPECT_NEAR(d.merges()[0].height, 0.0, 1e-12);
+  EXPECT_NEAR(d.merges()[1].height, 0.0, 1e-12);
+  const auto labels = d.cut(2);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[0], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+}  // namespace
+}  // namespace icn::ml

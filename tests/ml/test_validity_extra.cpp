@@ -1,0 +1,193 @@
+// Tests for the additional cluster-validity machinery: Davies-Bouldin,
+// Calinski-Harabasz, and the cophenetic correlation of dendrograms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/linkage.h"
+#include "ml/metrics.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace icn::ml {
+namespace {
+
+Matrix blobs(std::size_t per_blob, double separation, double sigma,
+             std::uint64_t seed, std::vector<int>* labels) {
+  icn::util::Rng rng(seed);
+  Matrix x(per_blob * 3, 2);
+  const double centers[3][2] = {{0.0, 0.0}, {separation, 0.0},
+                                {0.0, separation}};
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      const std::size_t r = b * per_blob + i;
+      x(r, 0) = centers[b][0] + rng.normal(0.0, sigma);
+      x(r, 1) = centers[b][1] + rng.normal(0.0, sigma);
+      labels->push_back(static_cast<int>(b));
+    }
+  }
+  return x;
+}
+
+TEST(DaviesBouldinTest, HandComputedTwoClusters) {
+  // Clusters {0, 2} and {10, 12} on a line: scatter = 1 each,
+  // centroid distance = 10 -> DB = (1+1)/10 = 0.2.
+  Matrix x(4, 1, {0.0, 2.0, 10.0, 12.0});
+  const std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_NEAR(davies_bouldin_index(x, labels), 0.2, 1e-12);
+}
+
+TEST(DaviesBouldinTest, LowerForBetterSeparation) {
+  std::vector<int> l1, l2;
+  const Matrix near = blobs(20, 4.0, 1.0, 3, &l1);
+  const Matrix far = blobs(20, 40.0, 1.0, 3, &l2);
+  EXPECT_LT(davies_bouldin_index(far, l2),
+            davies_bouldin_index(near, l1) / 2.0);
+}
+
+TEST(DaviesBouldinTest, CoincidentCentroidsThrow) {
+  Matrix x(4, 1, {0.0, 2.0, 0.0, 2.0});
+  const std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_THROW((void)davies_bouldin_index(x, labels),
+               icn::util::PreconditionError);
+}
+
+TEST(CalinskiHarabaszTest, HandComputedTwoClusters) {
+  // {0, 2} and {10, 12}: global mean 6; B = 2*(5-6+... )
+  // centroids 1 and 11: B = 2*25 + 2*25 = 100; W = 4*1 = 4.
+  // CH = (100/1) / (4/2) = 50.
+  Matrix x(4, 1, {0.0, 2.0, 10.0, 12.0});
+  const std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_NEAR(calinski_harabasz_index(x, labels), 50.0, 1e-9);
+}
+
+TEST(CalinskiHarabaszTest, HigherForBetterSeparation) {
+  std::vector<int> l1, l2;
+  const Matrix near = blobs(20, 4.0, 1.0, 5, &l1);
+  const Matrix far = blobs(20, 40.0, 1.0, 5, &l2);
+  EXPECT_GT(calinski_harabasz_index(far, l2),
+            calinski_harabasz_index(near, l1) * 5.0);
+}
+
+TEST(CalinskiHarabaszTest, PeaksAtTrueK) {
+  std::vector<int> truth;
+  const Matrix x = blobs(25, 15.0, 0.6, 7, &truth);
+  const Dendrogram tree = agglomerative_cluster(x, Linkage::kWard);
+  double best = 0.0;
+  std::size_t best_k = 0;
+  for (std::size_t k = 2; k <= 8; ++k) {
+    const double ch = calinski_harabasz_index(x, tree.cut(k));
+    if (ch > best) {
+      best = ch;
+      best_k = k;
+    }
+  }
+  EXPECT_EQ(best_k, 3u);
+}
+
+TEST(CalinskiHarabaszTest, RequiresKBelowN) {
+  Matrix x(3, 1, {0.0, 1.0, 2.0});
+  const std::vector<int> labels = {0, 1, 2};
+  EXPECT_THROW((void)calinski_harabasz_index(x, labels),
+               icn::util::PreconditionError);
+}
+
+TEST(CopheneticTest, HandComputedThreeLeaves) {
+  // Line points 0, 1, 10 with single linkage: (0,1) merge at 1;
+  // the third joins at 9. Cophenetic: d(0,1)=1, d(0,2)=d(1,2)=9.
+  Matrix x(3, 1, {0.0, 1.0, 10.0});
+  const Dendrogram tree = agglomerative_cluster(x, Linkage::kSingle);
+  const auto coph = cophenetic_distances(tree);
+  ASSERT_EQ(coph.size(), 3u);
+  EXPECT_FLOAT_EQ(coph[0], 1.0f);  // (0,1)
+  EXPECT_FLOAT_EQ(coph[1], 9.0f);  // (0,2)
+  EXPECT_FLOAT_EQ(coph[2], 9.0f);  // (1,2)
+}
+
+TEST(CopheneticTest, UltrametricProperty) {
+  // Cophenetic distances satisfy the strong triangle inequality:
+  // d(i,k) <= max(d(i,j), d(j,k)).
+  std::vector<int> truth;
+  const Matrix x = blobs(8, 10.0, 1.0, 9, &truth);
+  const Dendrogram tree = agglomerative_cluster(x, Linkage::kAverage);
+  const auto coph = cophenetic_distances(tree);
+  const std::size_t n = x.rows();
+  auto at = [&](std::size_t i, std::size_t j) {
+    if (i > j) std::swap(i, j);
+    return coph[i * n - i * (i + 1) / 2 + (j - i - 1)];
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        if (i == j || j == k || i == k) continue;
+        EXPECT_LE(at(i, k), std::max(at(i, j), at(j, k)) + 1e-6f);
+      }
+    }
+  }
+}
+
+TEST(CopheneticTest, CorrelationHighOnCleanStructure) {
+  std::vector<int> truth;
+  const Matrix x = blobs(20, 20.0, 0.5, 11, &truth);
+  const Dendrogram tree = agglomerative_cluster(x, Linkage::kAverage);
+  EXPECT_GT(cophenetic_correlation(tree, x), 0.95);
+}
+
+TEST(CopheneticTest, CorrelationLowerOnNoise) {
+  icn::util::Rng rng(13);
+  Matrix x(50, 3);
+  for (auto& v : x.data()) v = rng.normal();
+  const Dendrogram tree = agglomerative_cluster(x, Linkage::kWard);
+  std::vector<int> truth;
+  const Matrix structured = blobs(17, 20.0, 0.5, 15, &truth);
+  const Dendrogram clean = agglomerative_cluster(structured,
+                                                 Linkage::kWard);
+  EXPECT_LT(cophenetic_correlation(tree, x),
+            cophenetic_correlation(clean, structured));
+}
+
+TEST(CopheneticTest, ConsistentWithCuts) {
+  // Property: at any cut into k clusters, two leaves share a cluster iff
+  // their cophenetic distance is below the k-cut threshold.
+  std::vector<int> truth;
+  const Matrix x = blobs(10, 8.0, 1.0, 21, &truth);
+  const Dendrogram tree = agglomerative_cluster(x, Linkage::kWard);
+  const auto coph = cophenetic_distances(tree);
+  const std::size_t n = x.rows();
+  auto at = [&](std::size_t i, std::size_t j) {
+    if (i > j) std::swap(i, j);
+    return static_cast<double>(coph[i * n - i * (i + 1) / 2 + (j - i - 1)]);
+  };
+  for (const std::size_t k : {2u, 3u, 5u, 9u}) {
+    const auto labels = tree.cut(k);
+    const double threshold = tree.cut_height(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        // Cophenetic distances are stored in float: compare with a
+        // float-scale tolerance.
+        const double tol = 1e-5 * std::max(1.0, threshold);
+        if (labels[i] == labels[j]) {
+          EXPECT_LT(at(i, j), threshold + tol)
+              << "k=" << k << " pair " << i << "," << j;
+        } else {
+          EXPECT_GE(at(i, j), threshold - tol)
+              << "k=" << k << " pair " << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(CopheneticTest, InputValidation) {
+  Matrix one(1, 1, {0.0});
+  const Dendrogram tiny = agglomerative_cluster(one, Linkage::kWard);
+  EXPECT_THROW(cophenetic_distances(tiny), icn::util::PreconditionError);
+  Matrix x(3, 1, {0.0, 1.0, 2.0});
+  const Dendrogram tree = agglomerative_cluster(x, Linkage::kWard);
+  Matrix wrong(2, 1, {0.0, 1.0});
+  EXPECT_THROW((void)cophenetic_correlation(tree, wrong),
+               icn::util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace icn::ml

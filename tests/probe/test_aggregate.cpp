@@ -1,0 +1,100 @@
+#include "probe/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace icn::probe {
+namespace {
+
+ServiceSession session(std::uint32_t antenna, std::size_t service,
+                       std::int64_t hour, double mb) {
+  ServiceSession s;
+  s.antenna_id = antenna;
+  s.service = service;
+  s.hour = hour;
+  s.down_bytes = mb * 1.0e6 * 0.8;
+  s.up_bytes = mb * 1.0e6 * 0.2;
+  return s;
+}
+
+TEST(HourlyAggregatorTest, AccumulatesVolumes) {
+  const std::vector<std::uint32_t> ids = {10, 20};
+  HourlyAggregator agg(ids, 3, 48);
+  agg.add(session(10, 0, 5, 1.5));
+  agg.add(session(10, 0, 5, 0.5));
+  agg.add(session(10, 0, 7, 1.0));
+  agg.add(session(20, 2, 5, 4.0));
+  EXPECT_DOUBLE_EQ(agg.total(10, 0), 3.0);
+  EXPECT_DOUBLE_EQ(agg.total(20, 2), 4.0);
+  EXPECT_DOUBLE_EQ(agg.total(20, 0), 0.0);
+  const auto series = agg.series(10, 0);
+  EXPECT_DOUBLE_EQ(series[5], 2.0);
+  EXPECT_DOUBLE_EQ(series[7], 1.0);
+  EXPECT_DOUBLE_EQ(series[6], 0.0);
+}
+
+TEST(HourlyAggregatorTest, TrafficMatrixFollowsIdOrder) {
+  const std::vector<std::uint32_t> ids = {42, 7};
+  HourlyAggregator agg(ids, 2, 10);
+  agg.add(session(42, 1, 0, 2.0));
+  agg.add(session(7, 0, 9, 5.0));
+  const auto t = agg.traffic_matrix();
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(0, 1), 2.0);  // row 0 = antenna 42
+  EXPECT_DOUBLE_EQ(t(1, 0), 5.0);  // row 1 = antenna 7
+}
+
+TEST(HourlyAggregatorTest, UntrackedAntennaDropped) {
+  const std::vector<std::uint32_t> ids = {1};
+  HourlyAggregator agg(ids, 1, 10);
+  agg.add(session(99, 0, 0, 1.0));
+  EXPECT_EQ(agg.dropped(), 1u);
+  EXPECT_DOUBLE_EQ(agg.total(1, 0), 0.0);
+}
+
+TEST(HourlyAggregatorTest, AddAllBatches) {
+  const std::vector<std::uint32_t> ids = {1, 2};
+  HourlyAggregator agg(ids, 1, 10);
+  const std::vector<ServiceSession> sessions = {
+      session(1, 0, 0, 1.0), session(2, 0, 0, 2.0), session(3, 0, 0, 4.0)};
+  agg.add_all(sessions);
+  EXPECT_DOUBLE_EQ(agg.total(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(agg.total(2, 0), 2.0);
+  EXPECT_EQ(agg.dropped(), 1u);
+}
+
+TEST(HourlyAggregatorTest, OutOfRangeIndicesThrow) {
+  const std::vector<std::uint32_t> ids = {1};
+  HourlyAggregator agg(ids, 2, 10);
+  EXPECT_THROW(agg.add(session(1, 2, 0, 1.0)),
+               icn::util::PreconditionError);  // bad service
+  EXPECT_THROW(agg.add(session(1, 0, 10, 1.0)),
+               icn::util::PreconditionError);  // bad hour
+  EXPECT_THROW(agg.add(session(1, 0, -1, 1.0)),
+               icn::util::PreconditionError);
+  EXPECT_THROW(agg.total(9, 0), icn::util::PreconditionError);
+  EXPECT_THROW(agg.series(1, 5), icn::util::PreconditionError);
+}
+
+TEST(HourlyAggregatorTest, ConstructionValidation) {
+  const std::vector<std::uint32_t> empty;
+  EXPECT_THROW(HourlyAggregator(empty, 1, 1), icn::util::PreconditionError);
+  const std::vector<std::uint32_t> dup = {1, 1};
+  EXPECT_THROW(HourlyAggregator(dup, 1, 1), icn::util::PreconditionError);
+  const std::vector<std::uint32_t> ok = {1};
+  EXPECT_THROW(HourlyAggregator(ok, 0, 1), icn::util::PreconditionError);
+  EXPECT_THROW(HourlyAggregator(ok, 1, 0), icn::util::PreconditionError);
+}
+
+TEST(HourlyAggregatorTest, Accessors) {
+  const std::vector<std::uint32_t> ids = {3, 4, 5};
+  HourlyAggregator agg(ids, 7, 24);
+  EXPECT_EQ(agg.num_antennas(), 3u);
+  EXPECT_EQ(agg.num_services(), 7u);
+  EXPECT_EQ(agg.num_hours(), 24);
+}
+
+}  // namespace
+}  // namespace icn::probe

@@ -1,0 +1,56 @@
+#include "probe/dpi.h"
+
+#include <gtest/gtest.h>
+
+namespace icn::probe {
+namespace {
+
+class DpiClassifierTest : public ::testing::Test {
+ protected:
+  icn::traffic::ServiceCatalog catalog_;
+  DpiClassifier dpi_{catalog_};
+};
+
+TEST_F(DpiClassifierTest, ClassifiesKnownSignatures) {
+  const auto hit = dpi_.classify("netflix.com");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(catalog_.at(*hit).name, "Netflix");
+  EXPECT_EQ(dpi_.classified(), 1u);
+  EXPECT_EQ(dpi_.unmatched(), 0u);
+}
+
+TEST_F(DpiClassifierTest, ClassifiesSubdomains) {
+  const auto hit = dpi_.classify("api.cdn.netflix.com");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(catalog_.at(*hit).name, "Netflix");
+}
+
+TEST_F(DpiClassifierTest, CountsUnmatched) {
+  EXPECT_FALSE(dpi_.classify("totally-unknown.example").has_value());
+  EXPECT_FALSE(dpi_.classify("").has_value());
+  EXPECT_EQ(dpi_.classified(), 0u);
+  EXPECT_EQ(dpi_.unmatched(), 2u);
+}
+
+TEST_F(DpiClassifierTest, StatsAccumulateAndReset) {
+  (void)dpi_.classify("spotify.com");
+  (void)dpi_.classify("nope.example");
+  (void)dpi_.classify("waze.com");
+  EXPECT_EQ(dpi_.classified(), 2u);
+  EXPECT_EQ(dpi_.unmatched(), 1u);
+  dpi_.reset_stats();
+  EXPECT_EQ(dpi_.classified(), 0u);
+  EXPECT_EQ(dpi_.unmatched(), 0u);
+}
+
+TEST_F(DpiClassifierTest, EveryCatalogSignatureClassified) {
+  for (std::size_t j = 0; j < catalog_.size(); ++j) {
+    const auto hit = dpi_.classify(catalog_.at(j).signature);
+    ASSERT_TRUE(hit.has_value()) << catalog_.at(j).name;
+    EXPECT_EQ(*hit, j);
+  }
+  EXPECT_EQ(dpi_.classified(), catalog_.size());
+}
+
+}  // namespace
+}  // namespace icn::probe

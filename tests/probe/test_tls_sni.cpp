@@ -1,0 +1,113 @@
+#include "probe/tls_sni.h"
+
+#include <gtest/gtest.h>
+
+#include "probe/dpi.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace icn::probe {
+namespace {
+
+TEST(TlsSniTest, RoundTripSimpleHost) {
+  const auto record = build_client_hello("spotify.com");
+  const auto sni = extract_sni(record);
+  ASSERT_TRUE(sni.has_value());
+  EXPECT_EQ(*sni, "spotify.com");
+}
+
+TEST(TlsSniTest, RoundTripManyHosts) {
+  const char* hosts[] = {"a.b", "api.cdn.netflix.com", "x", "maps.google.com",
+                         "very-long-subdomain.level2.level1.example.org"};
+  for (const char* host : hosts) {
+    const auto record = build_client_hello(host, 99);
+    const auto sni = extract_sni(record);
+    ASSERT_TRUE(sni.has_value()) << host;
+    EXPECT_EQ(*sni, host);
+  }
+}
+
+TEST(TlsSniTest, SeedRandomizesBytesNotSemantics) {
+  const auto a = build_client_hello("x.example", 1);
+  const auto b = build_client_hello("x.example", 2);
+  EXPECT_NE(a, b);  // different client randoms / session ids
+  EXPECT_EQ(extract_sni(a), extract_sni(b));
+}
+
+TEST(TlsSniTest, BuildValidatesHost) {
+  EXPECT_THROW(build_client_hello(""), icn::util::PreconditionError);
+  EXPECT_THROW(build_client_hello(std::string(300, 'a')),
+               icn::util::PreconditionError);
+}
+
+TEST(TlsSniTest, TruncationAtEveryByteIsRejected) {
+  const auto record = build_client_hello("service.example.fr");
+  for (std::size_t cut = 0; cut < record.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(record.data(), cut);
+    EXPECT_FALSE(extract_sni(prefix).has_value()) << "cut at " << cut;
+  }
+  // The untruncated record parses.
+  EXPECT_TRUE(extract_sni(record).has_value());
+}
+
+TEST(TlsSniTest, NonHandshakeRecordRejected) {
+  auto record = build_client_hello("x.example");
+  record[0] = 23;  // application_data
+  EXPECT_FALSE(extract_sni(record).has_value());
+}
+
+TEST(TlsSniTest, NonClientHelloHandshakeRejected) {
+  auto record = build_client_hello("x.example");
+  record[5] = 2;  // ServerHello
+  EXPECT_FALSE(extract_sni(record).has_value());
+}
+
+TEST(TlsSniTest, RandomBytesNeverCrash) {
+  icn::util::Rng rng(0x715);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t len = rng.uniform_index(160);
+    std::vector<std::uint8_t> junk(len);
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    }
+    (void)extract_sni(junk);
+  }
+  SUCCEED();
+}
+
+TEST(TlsSniTest, BitFlippedRecordsNeverCrash) {
+  // Mutate one byte at a time of a valid record: the parser either still
+  // finds a name or cleanly rejects — never crashes or over-reads.
+  const auto record = build_client_hello("flip.example", 3);
+  for (std::size_t at = 0; at < record.size(); ++at) {
+    auto mutated = record;
+    mutated[at] ^= 0xFF;
+    (void)extract_sni(mutated);
+  }
+  SUCCEED();
+}
+
+TEST(TlsSniDpiTest, WireLevelClassificationPath) {
+  icn::traffic::ServiceCatalog catalog;
+  DpiClassifier dpi(catalog);
+  const auto record = build_client_hello("api.spotify.com", 5);
+  const auto service = dpi.classify_client_hello(record);
+  ASSERT_TRUE(service.has_value());
+  EXPECT_EQ(catalog.at(*service).name, "Spotify");
+  EXPECT_EQ(dpi.classified(), 1u);
+}
+
+TEST(TlsSniDpiTest, MalformedRecordCountsAsMiss) {
+  icn::traffic::ServiceCatalog catalog;
+  DpiClassifier dpi(catalog);
+  const std::vector<std::uint8_t> junk = {1, 2, 3};
+  EXPECT_FALSE(dpi.classify_client_hello(junk).has_value());
+  EXPECT_EQ(dpi.unmatched(), 1u);
+  // Valid TLS but unknown host: also a miss (via the SNI path).
+  const auto unknown = build_client_hello("unknown.invalid");
+  EXPECT_FALSE(dpi.classify_client_hello(unknown).has_value());
+  EXPECT_EQ(dpi.unmatched(), 2u);
+}
+
+}  // namespace
+}  // namespace icn::probe

@@ -1,0 +1,92 @@
+#include "probe/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+
+namespace icn::probe {
+namespace {
+
+class WirePathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    icn::core::ScenarioParams params;
+    params.seed = 55;
+    params.scale = 0.008;
+    params.outdoor_ratio = 0.0;
+    scenario_ = std::make_unique<icn::core::Scenario>(
+        icn::core::Scenario::build(params));
+    generator_ = std::make_unique<icn::traffic::FlowGenerator>(
+        scenario_->temporal(), 9);
+    decoder_.register_range(
+        generator_->ecgi_of(0),
+        static_cast<std::uint32_t>(scenario_->num_antennas()));
+  }
+
+  std::unique_ptr<icn::core::Scenario> scenario_;
+  std::unique_ptr<icn::traffic::FlowGenerator> generator_;
+  UliDecoder decoder_;
+};
+
+TEST_F(WirePathTest, WireAndStructuredPathsAgreeExactly) {
+  DpiClassifier dpi_structured(scenario_->catalog());
+  DpiClassifier dpi_wire(scenario_->catalog());
+  PassiveProbe probe(decoder_, dpi_structured);
+
+  const auto flows = generator_->flows_for_antenna(2, 0, 24);
+  ASSERT_FALSE(flows.empty());
+  for (const auto& flow : flows) {
+    const auto structured = probe.observe(flow);
+    const auto wire =
+        observe_wire(synthesize_wire(flow), decoder_, dpi_wire);
+    ASSERT_EQ(structured.has_value(), wire.has_value());
+    if (structured) {
+      EXPECT_EQ(structured->antenna_id, wire->antenna_id);
+      EXPECT_EQ(structured->service, wire->service);
+      EXPECT_EQ(structured->hour, wire->hour);
+      EXPECT_DOUBLE_EQ(structured->volume_mb(), wire->volume_mb());
+    }
+  }
+  EXPECT_EQ(dpi_structured.classified(), dpi_wire.classified());
+}
+
+TEST_F(WirePathTest, CaptureContainsRealProtocolBytes) {
+  const auto flows = generator_->flows_for_hour(0, 0, 10);
+  ASSERT_FALSE(flows.empty());
+  const auto capture = synthesize_wire(flows.front());
+  // GTP-C: version 2 with TEID flag; TLS: handshake record.
+  EXPECT_EQ(capture.gtpc[0], 0x48);
+  EXPECT_EQ(capture.gtpc[1], kCreateSessionRequest);
+  EXPECT_EQ(capture.client_hello[0], 22);
+  // Both parse independently.
+  EXPECT_TRUE(parse_gtpc(capture.gtpc).has_value());
+}
+
+TEST_F(WirePathTest, CorruptedGtpcIsDropped) {
+  DpiClassifier dpi(scenario_->catalog());
+  const auto flows = generator_->flows_for_hour(0, 0, 10);
+  auto capture = synthesize_wire(flows.front());
+  capture.gtpc[0] = 0x28;  // GTPv1
+  EXPECT_FALSE(observe_wire(capture, decoder_, dpi).has_value());
+}
+
+TEST_F(WirePathTest, CorruptedClientHelloIsDropped) {
+  DpiClassifier dpi(scenario_->catalog());
+  const auto flows = generator_->flows_for_hour(0, 0, 10);
+  auto capture = synthesize_wire(flows.front());
+  capture.client_hello.resize(capture.client_hello.size() / 2);
+  EXPECT_FALSE(observe_wire(capture, decoder_, dpi).has_value());
+  EXPECT_EQ(dpi.unmatched(), 1u);
+}
+
+TEST_F(WirePathTest, UnknownCellIsDropped) {
+  DpiClassifier dpi(scenario_->catalog());
+  const auto flows = generator_->flows_for_hour(0, 0, 10);
+  auto flow = flows.front();
+  flow.ecgi = 0x0FFFFFF0;  // unregistered cell
+  EXPECT_FALSE(
+      observe_wire(synthesize_wire(flow), decoder_, dpi).has_value());
+}
+
+}  // namespace
+}  // namespace icn::probe

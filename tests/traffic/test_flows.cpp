@@ -1,0 +1,185 @@
+#include "traffic/flows.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace icn::traffic {
+namespace {
+
+class FlowGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net::TopologyParams topo_params;
+    topo_params.seed = 31;
+    topo_params.scale = 0.02;
+    topo_params.outdoor_ratio = 0.0;
+    topology_ = net::Topology::generate(topo_params);
+    demand_ = std::make_unique<DemandModel>(topology_, archetypes_,
+                                            DemandParams{});
+    TemporalParams tp;
+    tp.noise_shape = 0.0;
+    temporal_ = std::make_unique<TemporalModel>(*demand_, tp);
+    generator_ = std::make_unique<FlowGenerator>(*temporal_, 5);
+  }
+
+  ServiceCatalog catalog_;
+  ArchetypeModel archetypes_{catalog_};
+  net::Topology topology_;
+  std::unique_ptr<DemandModel> demand_;
+  std::unique_ptr<TemporalModel> temporal_;
+  std::unique_ptr<FlowGenerator> generator_;
+};
+
+TEST_F(FlowGeneratorTest, FlowsPartitionHourVolumeExactly) {
+  const std::size_t antenna = 0;
+  const std::size_t service = 0;
+  const std::int64_t hour = 10;
+  const auto series = temporal_->hourly_service_series(antenna, service);
+  const auto flows = generator_->flows_for_hour(antenna, service, hour);
+  double total_bytes = 0.0;
+  for (const auto& f : flows) total_bytes += f.down_bytes + f.up_bytes;
+  EXPECT_NEAR(total_bytes / 1.0e6, series[10],
+              1e-9 * std::max(1.0, series[10]));
+}
+
+TEST_F(FlowGeneratorTest, DeterministicPerCell) {
+  const auto a = generator_->flows_for_hour(1, 2, 33);
+  const auto b = generator_->flows_for_hour(1, 2, 33);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sni, b[i].sni);
+    EXPECT_EQ(a[i].src_ip, b[i].src_ip);
+    EXPECT_DOUBLE_EQ(a[i].down_bytes, b[i].down_bytes);
+  }
+}
+
+TEST_F(FlowGeneratorTest, EcgiEncodesAntennaId) {
+  const std::uint32_t antenna_id = topology_.indoor()[3].id;
+  const auto flows = generator_->flows_for_hour(3, 0, 9);
+  for (const auto& f : flows) {
+    EXPECT_EQ(f.ecgi, generator_->ecgi_of(antenna_id));
+    EXPECT_EQ(f.start_hour, 9);
+  }
+}
+
+TEST_F(FlowGeneratorTest, SniMatchesServiceSignature) {
+  const std::size_t spotify = *catalog_.index_of("Spotify");
+  const auto flows = generator_->flows_for_hour(0, spotify, 9);
+  ASSERT_FALSE(flows.empty());
+  for (const auto& f : flows) {
+    EXPECT_TRUE(f.sni == "spotify.com" || f.sni.ends_with(".spotify.com"))
+        << f.sni;
+    EXPECT_EQ(f.dst_port, 443);
+  }
+}
+
+TEST_F(FlowGeneratorTest, DownlinkFractionFollowsCategory) {
+  // Video is downlink-heavy, cloud is upload-heavy.
+  const std::size_t netflix = *catalog_.index_of("Netflix");
+  const std::size_t icloud = *catalog_.index_of("iCloud");
+  double nf_down = 0.0, nf_total = 0.0, ic_down = 0.0, ic_total = 0.0;
+  for (std::int64_t h = 8; h < 24; ++h) {
+    for (const auto& f : generator_->flows_for_hour(0, netflix, h)) {
+      nf_down += f.down_bytes;
+      nf_total += f.down_bytes + f.up_bytes;
+    }
+    for (const auto& f : generator_->flows_for_hour(0, icloud, h)) {
+      ic_down += f.down_bytes;
+      ic_total += f.down_bytes + f.up_bytes;
+    }
+  }
+  ASSERT_GT(nf_total, 0.0);
+  ASSERT_GT(ic_total, 0.0);
+  EXPECT_NEAR(nf_down / nf_total, 0.96, 1e-9);
+  EXPECT_NEAR(ic_down / ic_total, 0.45, 1e-9);
+}
+
+TEST_F(FlowGeneratorTest, SrcIpsAreInPrivateTenRange) {
+  const auto flows = generator_->flows_for_hour(0, 0, 12);
+  for (const auto& f : flows) {
+    EXPECT_EQ(f.src_ip >> 24, 0x0AU) << "UE addresses come from 10.0.0.0/8";
+    EXPECT_GE(f.src_port, 49152);
+  }
+}
+
+TEST_F(FlowGeneratorTest, LargerVolumesYieldMoreFlows) {
+  // Mean flow count grows with volume: aggregate the 50 busiest vs the 50
+  // quietest hours of the highest-traffic antenna (single hours are too
+  // noisy for a Poisson count comparison).
+  std::size_t antenna = 0;
+  for (std::size_t i = 1; i < demand_->profiles().size(); ++i) {
+    if (demand_->profiles()[i].total_mb >
+        demand_->profiles()[antenna].total_mb) {
+      antenna = i;
+    }
+  }
+  const std::size_t video = 0;  // YouTube, the biggest service
+  auto series = temporal_->hourly_service_series(antenna, video);
+  std::vector<std::size_t> order(series.size());
+  for (std::size_t t = 0; t < order.size(); ++t) order[t] = t;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return series[a] > series[b];
+  });
+  std::size_t busy = 0, quiet = 0;
+  for (std::size_t r = 0; r < 50; ++r) {
+    busy += generator_
+                ->flows_for_hour(antenna, video,
+                                 static_cast<std::int64_t>(order[r]))
+                .size();
+    quiet += generator_
+                 ->flows_for_hour(
+                     antenna, video,
+                     static_cast<std::int64_t>(order[order.size() - 1 - r]))
+                 .size();
+  }
+  EXPECT_GT(busy, quiet);
+}
+
+TEST_F(FlowGeneratorTest, FlowsForAntennaCoversAllServices) {
+  const auto flows = generator_->flows_for_antenna(0, 0, 24);
+  // Every flow belongs to hour [0, 24) and carries a classifiable SNI.
+  std::size_t classified = 0;
+  for (const auto& f : flows) {
+    EXPECT_GE(f.start_hour, 0);
+    EXPECT_LT(f.start_hour, 24);
+    if (catalog_.classify_sni(f.sni).has_value()) ++classified;
+  }
+  EXPECT_EQ(classified, flows.size());
+  // Volumes over the day must equal the total-series day sum.
+  double mb = 0.0;
+  for (const auto& f : flows) mb += (f.down_bytes + f.up_bytes) / 1.0e6;
+  const auto series = temporal_->hourly_total_series(0);
+  double expected = 0.0;
+  for (std::size_t t = 0; t < 24; ++t) expected += series[t];
+  EXPECT_NEAR(mb, expected, 1e-6 * expected);
+}
+
+TEST_F(FlowGeneratorTest, HourRangeValidation) {
+  EXPECT_THROW(generator_->flows_for_hour(0, 0, -1),
+               icn::util::PreconditionError);
+  EXPECT_THROW(
+      generator_->flows_for_hour(0, 0, temporal_->period().num_hours()),
+      icn::util::PreconditionError);
+  EXPECT_THROW(generator_->flows_for_antenna(0, 10, 5),
+               icn::util::PreconditionError);
+}
+
+TEST(FlowHelpersTest, MeanFlowSizesOrdered) {
+  // Video flows are much larger than messaging flows.
+  EXPECT_GT(mean_flow_mb(ServiceCategory::kVideoStreaming),
+            mean_flow_mb(ServiceCategory::kMessaging) * 10.0);
+  for (int c = 0; c < static_cast<int>(kNumServiceCategories); ++c) {
+    EXPECT_GT(mean_flow_mb(static_cast<ServiceCategory>(c)), 0.0);
+    const double frac =
+        downlink_fraction(static_cast<ServiceCategory>(c));
+    EXPECT_GT(frac, 0.0);
+    EXPECT_LT(frac, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace icn::traffic

@@ -1,0 +1,46 @@
+#include "util/error.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace icn::util {
+namespace {
+
+TEST(RequireTest, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(ICN_REQUIRE(1 + 1 == 2, "math"));
+}
+
+TEST(RequireTest, FailingConditionThrowsPreconditionError) {
+  EXPECT_THROW(ICN_REQUIRE(false, "always fails"), PreconditionError);
+}
+
+TEST(RequireTest, MessageCarriesExpressionAndContext) {
+  try {
+    ICN_REQUIRE(2 > 3, "impossible comparison");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("impossible comparison"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(RequireTest, IsAnInvalidArgument) {
+  // Callers may catch the standard hierarchy.
+  EXPECT_THROW(ICN_REQUIRE(false, ""), std::invalid_argument);
+}
+
+TEST(RequireTest, ConditionEvaluatedOnce) {
+  int calls = 0;
+  auto count = [&]() {
+    ++calls;
+    return true;
+  };
+  ICN_REQUIRE(count(), "side effect");
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace icn::util

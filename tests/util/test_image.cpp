@@ -1,0 +1,68 @@
+#include "util/image.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace icn::util {
+namespace {
+
+TEST(PgmTest, HeaderAndPayload) {
+  const std::vector<double> values = {0.0, 0.5, 1.0, 0.25};
+  std::ostringstream out;
+  write_pgm(out, values, 2, 2, 0.0, 1.0);
+  const std::string s = out.str();
+  EXPECT_EQ(s.substr(0, 3), "P5\n");
+  EXPECT_NE(s.find("2 2\n255\n"), std::string::npos);
+  // Payload: 4 bytes after the header.
+  const auto header_end = s.find("255\n") + 4;
+  ASSERT_EQ(s.size() - header_end, 4u);
+  const auto px = [&](std::size_t i) {
+    return static_cast<unsigned char>(s[header_end + i]);
+  };
+  EXPECT_EQ(px(0), 0);
+  EXPECT_EQ(px(1), 128);  // 0.5 * 255 rounded
+  EXPECT_EQ(px(2), 255);
+  EXPECT_EQ(px(3), 64);
+}
+
+TEST(PgmTest, ClampsOutOfRange) {
+  const std::vector<double> values = {-10.0, 10.0};
+  std::ostringstream out;
+  write_pgm(out, values, 1, 2, 0.0, 1.0);
+  const std::string s = out.str();
+  const auto header_end = s.find("255\n") + 4;
+  EXPECT_EQ(static_cast<unsigned char>(s[header_end]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(s[header_end + 1]), 255);
+}
+
+TEST(PgmTest, ValidatesInput) {
+  const std::vector<double> values = {1.0, 2.0};
+  std::ostringstream out;
+  EXPECT_THROW(write_pgm(out, values, 2, 2, 0.0, 1.0), PreconditionError);
+  EXPECT_THROW(write_pgm(out, values, 0, 2, 0.0, 1.0), PreconditionError);
+  EXPECT_THROW(write_pgm(out, values, 1, 2, 1.0, 1.0), PreconditionError);
+}
+
+TEST(PgmTest, FileRoundTrip) {
+  const std::vector<double> values = {0.0, 1.0, 0.5, 0.5};
+  const std::string path = ::testing::TempDir() + "/icn_test.pgm";
+  ASSERT_TRUE(write_pgm_file(path, values, 2, 2, 0.0, 1.0));
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P5");
+}
+
+TEST(PgmTest, UnwritablePathReturnsFalse) {
+  const std::vector<double> values = {0.0};
+  EXPECT_FALSE(write_pgm_file("/nonexistent-dir/x.pgm", values, 1, 1, 0.0,
+                              1.0));
+}
+
+}  // namespace
+}  // namespace icn::util
