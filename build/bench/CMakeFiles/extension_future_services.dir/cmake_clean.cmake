@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_future_services.dir/extension_future_services.cpp.o"
+  "CMakeFiles/extension_future_services.dir/extension_future_services.cpp.o.d"
+  "extension_future_services"
+  "extension_future_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_future_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

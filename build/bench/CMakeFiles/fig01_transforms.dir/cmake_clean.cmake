@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_transforms.dir/fig01_transforms.cpp.o"
+  "CMakeFiles/fig01_transforms.dir/fig01_transforms.cpp.o.d"
+  "fig01_transforms"
+  "fig01_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_model_selection.dir/fig02_model_selection.cpp.o"
+  "CMakeFiles/fig02_model_selection.dir/fig02_model_selection.cpp.o.d"
+  "fig02_model_selection"
+  "fig02_model_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_model_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

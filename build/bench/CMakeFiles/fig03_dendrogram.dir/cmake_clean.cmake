@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_dendrogram.dir/fig03_dendrogram.cpp.o"
+  "CMakeFiles/fig03_dendrogram.dir/fig03_dendrogram.cpp.o.d"
+  "fig03_dendrogram"
+  "fig03_dendrogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_dendrogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_rsca_heatmap.dir/fig04_rsca_heatmap.cpp.o"
+  "CMakeFiles/fig04_rsca_heatmap.dir/fig04_rsca_heatmap.cpp.o.d"
+  "fig04_rsca_heatmap"
+  "fig04_rsca_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_rsca_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_shap.dir/fig05_shap.cpp.o"
+  "CMakeFiles/fig05_shap.dir/fig05_shap.cpp.o.d"
+  "fig05_shap"
+  "fig05_shap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_shap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_sankey.dir/fig06_sankey.cpp.o"
+  "CMakeFiles/fig06_sankey.dir/fig06_sankey.cpp.o.d"
+  "fig06_sankey"
+  "fig06_sankey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_sankey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cluster_envs.dir/fig07_cluster_envs.cpp.o"
+  "CMakeFiles/fig07_cluster_envs.dir/fig07_cluster_envs.cpp.o.d"
+  "fig07_cluster_envs"
+  "fig07_cluster_envs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cluster_envs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

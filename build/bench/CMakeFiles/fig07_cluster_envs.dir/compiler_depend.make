@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_cluster_envs.
+# This may be replaced when dependencies are built.

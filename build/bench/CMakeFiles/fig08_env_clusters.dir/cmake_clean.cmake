@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_env_clusters.dir/fig08_env_clusters.cpp.o"
+  "CMakeFiles/fig08_env_clusters.dir/fig08_env_clusters.cpp.o.d"
+  "fig08_env_clusters"
+  "fig08_env_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_env_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

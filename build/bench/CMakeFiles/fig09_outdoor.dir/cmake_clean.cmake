@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_outdoor.dir/fig09_outdoor.cpp.o"
+  "CMakeFiles/fig09_outdoor.dir/fig09_outdoor.cpp.o.d"
+  "fig09_outdoor"
+  "fig09_outdoor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_outdoor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cluster_temporal.dir/fig10_cluster_temporal.cpp.o"
+  "CMakeFiles/fig10_cluster_temporal.dir/fig10_cluster_temporal.cpp.o.d"
+  "fig10_cluster_temporal"
+  "fig10_cluster_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cluster_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_service_temporal.dir/fig11_service_temporal.cpp.o"
+  "CMakeFiles/fig11_service_temporal.dir/fig11_service_temporal.cpp.o.d"
+  "fig11_service_temporal"
+  "fig11_service_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_service_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

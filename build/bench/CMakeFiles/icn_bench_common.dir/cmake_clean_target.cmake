@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libicn_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_environments.dir/table1_environments.cpp.o"
+  "CMakeFiles/table1_environments.dir/table1_environments.cpp.o.d"
+  "table1_environments"
+  "table1_environments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_environments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

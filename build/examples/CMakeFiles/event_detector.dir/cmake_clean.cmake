@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_detector.dir/event_detector.cpp.o"
+  "CMakeFiles/event_detector.dir/event_detector.cpp.o.d"
+  "event_detector"
+  "event_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/forecasting.cpp" "examples/CMakeFiles/forecasting.dir/forecasting.cpp.o" "gcc" "examples/CMakeFiles/forecasting.dir/forecasting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/icn_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/icn_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/icn_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/icn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/icn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

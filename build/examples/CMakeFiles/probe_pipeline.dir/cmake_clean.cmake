@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_pipeline.dir/probe_pipeline.cpp.o"
+  "CMakeFiles/probe_pipeline.dir/probe_pipeline.cpp.o.d"
+  "probe_pipeline"
+  "probe_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

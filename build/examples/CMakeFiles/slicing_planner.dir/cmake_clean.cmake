@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slicing_planner.dir/slicing_planner.cpp.o"
+  "CMakeFiles/slicing_planner.dir/slicing_planner.cpp.o.d"
+  "slicing_planner"
+  "slicing_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slicing_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

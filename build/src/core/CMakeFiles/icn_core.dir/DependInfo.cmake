@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clustering.cpp" "src/core/CMakeFiles/icn_core.dir/clustering.cpp.o" "gcc" "src/core/CMakeFiles/icn_core.dir/clustering.cpp.o.d"
+  "/root/repo/src/core/environment_analysis.cpp" "src/core/CMakeFiles/icn_core.dir/environment_analysis.cpp.o" "gcc" "src/core/CMakeFiles/icn_core.dir/environment_analysis.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/core/CMakeFiles/icn_core.dir/export.cpp.o" "gcc" "src/core/CMakeFiles/icn_core.dir/export.cpp.o.d"
+  "/root/repo/src/core/forecast.cpp" "src/core/CMakeFiles/icn_core.dir/forecast.cpp.o" "gcc" "src/core/CMakeFiles/icn_core.dir/forecast.cpp.o.d"
+  "/root/repo/src/core/outdoor.cpp" "src/core/CMakeFiles/icn_core.dir/outdoor.cpp.o" "gcc" "src/core/CMakeFiles/icn_core.dir/outdoor.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/icn_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/icn_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/profiles.cpp" "src/core/CMakeFiles/icn_core.dir/profiles.cpp.o" "gcc" "src/core/CMakeFiles/icn_core.dir/profiles.cpp.o.d"
+  "/root/repo/src/core/rca.cpp" "src/core/CMakeFiles/icn_core.dir/rca.cpp.o" "gcc" "src/core/CMakeFiles/icn_core.dir/rca.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/icn_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/icn_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/surrogate.cpp" "src/core/CMakeFiles/icn_core.dir/surrogate.cpp.o" "gcc" "src/core/CMakeFiles/icn_core.dir/surrogate.cpp.o.d"
+  "/root/repo/src/core/temporal_analysis.cpp" "src/core/CMakeFiles/icn_core.dir/temporal_analysis.cpp.o" "gcc" "src/core/CMakeFiles/icn_core.dir/temporal_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/icn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/icn_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/icn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/icn_traffic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

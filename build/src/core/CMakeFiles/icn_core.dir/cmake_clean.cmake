@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icn_core.dir/clustering.cpp.o"
+  "CMakeFiles/icn_core.dir/clustering.cpp.o.d"
+  "CMakeFiles/icn_core.dir/environment_analysis.cpp.o"
+  "CMakeFiles/icn_core.dir/environment_analysis.cpp.o.d"
+  "CMakeFiles/icn_core.dir/export.cpp.o"
+  "CMakeFiles/icn_core.dir/export.cpp.o.d"
+  "CMakeFiles/icn_core.dir/forecast.cpp.o"
+  "CMakeFiles/icn_core.dir/forecast.cpp.o.d"
+  "CMakeFiles/icn_core.dir/outdoor.cpp.o"
+  "CMakeFiles/icn_core.dir/outdoor.cpp.o.d"
+  "CMakeFiles/icn_core.dir/pipeline.cpp.o"
+  "CMakeFiles/icn_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/icn_core.dir/profiles.cpp.o"
+  "CMakeFiles/icn_core.dir/profiles.cpp.o.d"
+  "CMakeFiles/icn_core.dir/rca.cpp.o"
+  "CMakeFiles/icn_core.dir/rca.cpp.o.d"
+  "CMakeFiles/icn_core.dir/scenario.cpp.o"
+  "CMakeFiles/icn_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/icn_core.dir/surrogate.cpp.o"
+  "CMakeFiles/icn_core.dir/surrogate.cpp.o.d"
+  "CMakeFiles/icn_core.dir/temporal_analysis.cpp.o"
+  "CMakeFiles/icn_core.dir/temporal_analysis.cpp.o.d"
+  "libicn_core.a"
+  "libicn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/distance.cpp" "src/ml/CMakeFiles/icn_ml.dir/distance.cpp.o" "gcc" "src/ml/CMakeFiles/icn_ml.dir/distance.cpp.o.d"
+  "/root/repo/src/ml/exactshap.cpp" "src/ml/CMakeFiles/icn_ml.dir/exactshap.cpp.o" "gcc" "src/ml/CMakeFiles/icn_ml.dir/exactshap.cpp.o.d"
+  "/root/repo/src/ml/forest.cpp" "src/ml/CMakeFiles/icn_ml.dir/forest.cpp.o" "gcc" "src/ml/CMakeFiles/icn_ml.dir/forest.cpp.o.d"
+  "/root/repo/src/ml/hungarian.cpp" "src/ml/CMakeFiles/icn_ml.dir/hungarian.cpp.o" "gcc" "src/ml/CMakeFiles/icn_ml.dir/hungarian.cpp.o.d"
+  "/root/repo/src/ml/kernelshap.cpp" "src/ml/CMakeFiles/icn_ml.dir/kernelshap.cpp.o" "gcc" "src/ml/CMakeFiles/icn_ml.dir/kernelshap.cpp.o.d"
+  "/root/repo/src/ml/linalg.cpp" "src/ml/CMakeFiles/icn_ml.dir/linalg.cpp.o" "gcc" "src/ml/CMakeFiles/icn_ml.dir/linalg.cpp.o.d"
+  "/root/repo/src/ml/linkage.cpp" "src/ml/CMakeFiles/icn_ml.dir/linkage.cpp.o" "gcc" "src/ml/CMakeFiles/icn_ml.dir/linkage.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/icn_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/icn_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/icn_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/icn_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/icn_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/icn_ml.dir/tree.cpp.o.d"
+  "/root/repo/src/ml/treeshap.cpp" "src/ml/CMakeFiles/icn_ml.dir/treeshap.cpp.o" "gcc" "src/ml/CMakeFiles/icn_ml.dir/treeshap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/icn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icn_ml.dir/distance.cpp.o"
+  "CMakeFiles/icn_ml.dir/distance.cpp.o.d"
+  "CMakeFiles/icn_ml.dir/exactshap.cpp.o"
+  "CMakeFiles/icn_ml.dir/exactshap.cpp.o.d"
+  "CMakeFiles/icn_ml.dir/forest.cpp.o"
+  "CMakeFiles/icn_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/icn_ml.dir/hungarian.cpp.o"
+  "CMakeFiles/icn_ml.dir/hungarian.cpp.o.d"
+  "CMakeFiles/icn_ml.dir/kernelshap.cpp.o"
+  "CMakeFiles/icn_ml.dir/kernelshap.cpp.o.d"
+  "CMakeFiles/icn_ml.dir/linalg.cpp.o"
+  "CMakeFiles/icn_ml.dir/linalg.cpp.o.d"
+  "CMakeFiles/icn_ml.dir/linkage.cpp.o"
+  "CMakeFiles/icn_ml.dir/linkage.cpp.o.d"
+  "CMakeFiles/icn_ml.dir/matrix.cpp.o"
+  "CMakeFiles/icn_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/icn_ml.dir/metrics.cpp.o"
+  "CMakeFiles/icn_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/icn_ml.dir/tree.cpp.o"
+  "CMakeFiles/icn_ml.dir/tree.cpp.o.d"
+  "CMakeFiles/icn_ml.dir/treeshap.cpp.o"
+  "CMakeFiles/icn_ml.dir/treeshap.cpp.o.d"
+  "libicn_ml.a"
+  "libicn_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icn_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

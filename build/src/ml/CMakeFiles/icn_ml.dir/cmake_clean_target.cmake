@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libicn_ml.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for icn_ml.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icn_net.dir/city.cpp.o"
+  "CMakeFiles/icn_net.dir/city.cpp.o.d"
+  "CMakeFiles/icn_net.dir/environment.cpp.o"
+  "CMakeFiles/icn_net.dir/environment.cpp.o.d"
+  "CMakeFiles/icn_net.dir/topology.cpp.o"
+  "CMakeFiles/icn_net.dir/topology.cpp.o.d"
+  "libicn_net.a"
+  "libicn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

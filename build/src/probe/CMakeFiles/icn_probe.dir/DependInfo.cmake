@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/probe/aggregate.cpp" "src/probe/CMakeFiles/icn_probe.dir/aggregate.cpp.o" "gcc" "src/probe/CMakeFiles/icn_probe.dir/aggregate.cpp.o.d"
+  "/root/repo/src/probe/dpi.cpp" "src/probe/CMakeFiles/icn_probe.dir/dpi.cpp.o" "gcc" "src/probe/CMakeFiles/icn_probe.dir/dpi.cpp.o.d"
+  "/root/repo/src/probe/gtp.cpp" "src/probe/CMakeFiles/icn_probe.dir/gtp.cpp.o" "gcc" "src/probe/CMakeFiles/icn_probe.dir/gtp.cpp.o.d"
+  "/root/repo/src/probe/gtpc_codec.cpp" "src/probe/CMakeFiles/icn_probe.dir/gtpc_codec.cpp.o" "gcc" "src/probe/CMakeFiles/icn_probe.dir/gtpc_codec.cpp.o.d"
+  "/root/repo/src/probe/probe.cpp" "src/probe/CMakeFiles/icn_probe.dir/probe.cpp.o" "gcc" "src/probe/CMakeFiles/icn_probe.dir/probe.cpp.o.d"
+  "/root/repo/src/probe/tls_sni.cpp" "src/probe/CMakeFiles/icn_probe.dir/tls_sni.cpp.o" "gcc" "src/probe/CMakeFiles/icn_probe.dir/tls_sni.cpp.o.d"
+  "/root/repo/src/probe/wire.cpp" "src/probe/CMakeFiles/icn_probe.dir/wire.cpp.o" "gcc" "src/probe/CMakeFiles/icn_probe.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/icn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/icn_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/icn_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/icn_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

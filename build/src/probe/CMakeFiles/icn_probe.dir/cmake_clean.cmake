@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icn_probe.dir/aggregate.cpp.o"
+  "CMakeFiles/icn_probe.dir/aggregate.cpp.o.d"
+  "CMakeFiles/icn_probe.dir/dpi.cpp.o"
+  "CMakeFiles/icn_probe.dir/dpi.cpp.o.d"
+  "CMakeFiles/icn_probe.dir/gtp.cpp.o"
+  "CMakeFiles/icn_probe.dir/gtp.cpp.o.d"
+  "CMakeFiles/icn_probe.dir/gtpc_codec.cpp.o"
+  "CMakeFiles/icn_probe.dir/gtpc_codec.cpp.o.d"
+  "CMakeFiles/icn_probe.dir/probe.cpp.o"
+  "CMakeFiles/icn_probe.dir/probe.cpp.o.d"
+  "CMakeFiles/icn_probe.dir/tls_sni.cpp.o"
+  "CMakeFiles/icn_probe.dir/tls_sni.cpp.o.d"
+  "CMakeFiles/icn_probe.dir/wire.cpp.o"
+  "CMakeFiles/icn_probe.dir/wire.cpp.o.d"
+  "libicn_probe.a"
+  "libicn_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icn_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/archetypes.cpp" "src/traffic/CMakeFiles/icn_traffic.dir/archetypes.cpp.o" "gcc" "src/traffic/CMakeFiles/icn_traffic.dir/archetypes.cpp.o.d"
+  "/root/repo/src/traffic/demand.cpp" "src/traffic/CMakeFiles/icn_traffic.dir/demand.cpp.o" "gcc" "src/traffic/CMakeFiles/icn_traffic.dir/demand.cpp.o.d"
+  "/root/repo/src/traffic/flows.cpp" "src/traffic/CMakeFiles/icn_traffic.dir/flows.cpp.o" "gcc" "src/traffic/CMakeFiles/icn_traffic.dir/flows.cpp.o.d"
+  "/root/repo/src/traffic/services.cpp" "src/traffic/CMakeFiles/icn_traffic.dir/services.cpp.o" "gcc" "src/traffic/CMakeFiles/icn_traffic.dir/services.cpp.o.d"
+  "/root/repo/src/traffic/temporal.cpp" "src/traffic/CMakeFiles/icn_traffic.dir/temporal.cpp.o" "gcc" "src/traffic/CMakeFiles/icn_traffic.dir/temporal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/icn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/icn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/icn_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

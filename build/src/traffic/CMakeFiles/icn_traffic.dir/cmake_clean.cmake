@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icn_traffic.dir/archetypes.cpp.o"
+  "CMakeFiles/icn_traffic.dir/archetypes.cpp.o.d"
+  "CMakeFiles/icn_traffic.dir/demand.cpp.o"
+  "CMakeFiles/icn_traffic.dir/demand.cpp.o.d"
+  "CMakeFiles/icn_traffic.dir/flows.cpp.o"
+  "CMakeFiles/icn_traffic.dir/flows.cpp.o.d"
+  "CMakeFiles/icn_traffic.dir/services.cpp.o"
+  "CMakeFiles/icn_traffic.dir/services.cpp.o.d"
+  "CMakeFiles/icn_traffic.dir/temporal.cpp.o"
+  "CMakeFiles/icn_traffic.dir/temporal.cpp.o.d"
+  "libicn_traffic.a"
+  "libicn_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icn_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icn_util.dir/ascii.cpp.o"
+  "CMakeFiles/icn_util.dir/ascii.cpp.o.d"
+  "CMakeFiles/icn_util.dir/calendar.cpp.o"
+  "CMakeFiles/icn_util.dir/calendar.cpp.o.d"
+  "CMakeFiles/icn_util.dir/csv.cpp.o"
+  "CMakeFiles/icn_util.dir/csv.cpp.o.d"
+  "CMakeFiles/icn_util.dir/image.cpp.o"
+  "CMakeFiles/icn_util.dir/image.cpp.o.d"
+  "CMakeFiles/icn_util.dir/rng.cpp.o"
+  "CMakeFiles/icn_util.dir/rng.cpp.o.d"
+  "CMakeFiles/icn_util.dir/stats.cpp.o"
+  "CMakeFiles/icn_util.dir/stats.cpp.o.d"
+  "CMakeFiles/icn_util.dir/table.cpp.o"
+  "CMakeFiles/icn_util.dir/table.cpp.o.d"
+  "libicn_util.a"
+  "libicn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_clustering.cpp" "tests/CMakeFiles/icn_tests.dir/core/test_clustering.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/core/test_clustering.cpp.o.d"
+  "/root/repo/tests/core/test_environment_analysis.cpp" "tests/CMakeFiles/icn_tests.dir/core/test_environment_analysis.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/core/test_environment_analysis.cpp.o.d"
+  "/root/repo/tests/core/test_export.cpp" "tests/CMakeFiles/icn_tests.dir/core/test_export.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/core/test_export.cpp.o.d"
+  "/root/repo/tests/core/test_forecast.cpp" "tests/CMakeFiles/icn_tests.dir/core/test_forecast.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/core/test_forecast.cpp.o.d"
+  "/root/repo/tests/core/test_outdoor.cpp" "tests/CMakeFiles/icn_tests.dir/core/test_outdoor.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/core/test_outdoor.cpp.o.d"
+  "/root/repo/tests/core/test_paper_claims.cpp" "tests/CMakeFiles/icn_tests.dir/core/test_paper_claims.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/core/test_paper_claims.cpp.o.d"
+  "/root/repo/tests/core/test_pipeline.cpp" "tests/CMakeFiles/icn_tests.dir/core/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/core/test_pipeline.cpp.o.d"
+  "/root/repo/tests/core/test_profiles.cpp" "tests/CMakeFiles/icn_tests.dir/core/test_profiles.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/core/test_profiles.cpp.o.d"
+  "/root/repo/tests/core/test_rca.cpp" "tests/CMakeFiles/icn_tests.dir/core/test_rca.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/core/test_rca.cpp.o.d"
+  "/root/repo/tests/core/test_scenario.cpp" "tests/CMakeFiles/icn_tests.dir/core/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/core/test_scenario.cpp.o.d"
+  "/root/repo/tests/core/test_surrogate.cpp" "tests/CMakeFiles/icn_tests.dir/core/test_surrogate.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/core/test_surrogate.cpp.o.d"
+  "/root/repo/tests/core/test_temporal_analysis.cpp" "tests/CMakeFiles/icn_tests.dir/core/test_temporal_analysis.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/core/test_temporal_analysis.cpp.o.d"
+  "/root/repo/tests/ml/test_distance.cpp" "tests/CMakeFiles/icn_tests.dir/ml/test_distance.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/ml/test_distance.cpp.o.d"
+  "/root/repo/tests/ml/test_forest.cpp" "tests/CMakeFiles/icn_tests.dir/ml/test_forest.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/ml/test_forest.cpp.o.d"
+  "/root/repo/tests/ml/test_hungarian.cpp" "tests/CMakeFiles/icn_tests.dir/ml/test_hungarian.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/ml/test_hungarian.cpp.o.d"
+  "/root/repo/tests/ml/test_kernelshap.cpp" "tests/CMakeFiles/icn_tests.dir/ml/test_kernelshap.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/ml/test_kernelshap.cpp.o.d"
+  "/root/repo/tests/ml/test_linalg.cpp" "tests/CMakeFiles/icn_tests.dir/ml/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/ml/test_linalg.cpp.o.d"
+  "/root/repo/tests/ml/test_linkage.cpp" "tests/CMakeFiles/icn_tests.dir/ml/test_linkage.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/ml/test_linkage.cpp.o.d"
+  "/root/repo/tests/ml/test_matrix.cpp" "tests/CMakeFiles/icn_tests.dir/ml/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/ml/test_matrix.cpp.o.d"
+  "/root/repo/tests/ml/test_metrics.cpp" "tests/CMakeFiles/icn_tests.dir/ml/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/ml/test_metrics.cpp.o.d"
+  "/root/repo/tests/ml/test_tree.cpp" "tests/CMakeFiles/icn_tests.dir/ml/test_tree.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/ml/test_tree.cpp.o.d"
+  "/root/repo/tests/ml/test_treeshap.cpp" "tests/CMakeFiles/icn_tests.dir/ml/test_treeshap.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/ml/test_treeshap.cpp.o.d"
+  "/root/repo/tests/ml/test_validity_extra.cpp" "tests/CMakeFiles/icn_tests.dir/ml/test_validity_extra.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/ml/test_validity_extra.cpp.o.d"
+  "/root/repo/tests/net/test_city.cpp" "tests/CMakeFiles/icn_tests.dir/net/test_city.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/net/test_city.cpp.o.d"
+  "/root/repo/tests/net/test_environment.cpp" "tests/CMakeFiles/icn_tests.dir/net/test_environment.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/net/test_environment.cpp.o.d"
+  "/root/repo/tests/net/test_topology.cpp" "tests/CMakeFiles/icn_tests.dir/net/test_topology.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/net/test_topology.cpp.o.d"
+  "/root/repo/tests/probe/test_aggregate.cpp" "tests/CMakeFiles/icn_tests.dir/probe/test_aggregate.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/probe/test_aggregate.cpp.o.d"
+  "/root/repo/tests/probe/test_dpi.cpp" "tests/CMakeFiles/icn_tests.dir/probe/test_dpi.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/probe/test_dpi.cpp.o.d"
+  "/root/repo/tests/probe/test_failure_injection.cpp" "tests/CMakeFiles/icn_tests.dir/probe/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/probe/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/probe/test_gtp.cpp" "tests/CMakeFiles/icn_tests.dir/probe/test_gtp.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/probe/test_gtp.cpp.o.d"
+  "/root/repo/tests/probe/test_gtpc_codec.cpp" "tests/CMakeFiles/icn_tests.dir/probe/test_gtpc_codec.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/probe/test_gtpc_codec.cpp.o.d"
+  "/root/repo/tests/probe/test_probe.cpp" "tests/CMakeFiles/icn_tests.dir/probe/test_probe.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/probe/test_probe.cpp.o.d"
+  "/root/repo/tests/probe/test_tls_sni.cpp" "tests/CMakeFiles/icn_tests.dir/probe/test_tls_sni.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/probe/test_tls_sni.cpp.o.d"
+  "/root/repo/tests/probe/test_wire.cpp" "tests/CMakeFiles/icn_tests.dir/probe/test_wire.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/probe/test_wire.cpp.o.d"
+  "/root/repo/tests/traffic/test_archetypes.cpp" "tests/CMakeFiles/icn_tests.dir/traffic/test_archetypes.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/traffic/test_archetypes.cpp.o.d"
+  "/root/repo/tests/traffic/test_demand.cpp" "tests/CMakeFiles/icn_tests.dir/traffic/test_demand.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/traffic/test_demand.cpp.o.d"
+  "/root/repo/tests/traffic/test_flows.cpp" "tests/CMakeFiles/icn_tests.dir/traffic/test_flows.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/traffic/test_flows.cpp.o.d"
+  "/root/repo/tests/traffic/test_services.cpp" "tests/CMakeFiles/icn_tests.dir/traffic/test_services.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/traffic/test_services.cpp.o.d"
+  "/root/repo/tests/traffic/test_temporal.cpp" "tests/CMakeFiles/icn_tests.dir/traffic/test_temporal.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/traffic/test_temporal.cpp.o.d"
+  "/root/repo/tests/util/test_ascii.cpp" "tests/CMakeFiles/icn_tests.dir/util/test_ascii.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/util/test_ascii.cpp.o.d"
+  "/root/repo/tests/util/test_calendar.cpp" "tests/CMakeFiles/icn_tests.dir/util/test_calendar.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/util/test_calendar.cpp.o.d"
+  "/root/repo/tests/util/test_csv.cpp" "tests/CMakeFiles/icn_tests.dir/util/test_csv.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/util/test_csv.cpp.o.d"
+  "/root/repo/tests/util/test_error.cpp" "tests/CMakeFiles/icn_tests.dir/util/test_error.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/util/test_error.cpp.o.d"
+  "/root/repo/tests/util/test_image.cpp" "tests/CMakeFiles/icn_tests.dir/util/test_image.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/util/test_image.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/icn_tests.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/icn_tests.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/icn_tests.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/icn_tests.dir/util/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/icn_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/icn_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/icn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/icn_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/icn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
