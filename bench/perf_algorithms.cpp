@@ -16,6 +16,7 @@
 #include "probe/gtp.h"
 #include "probe/probe.h"
 #include "traffic/flows.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace {
@@ -53,6 +54,22 @@ void BM_WardNnChain(benchmark::State& state) {
 BENCHMARK(BM_WardNnChain)->Arg(250)->Arg(500)->Arg(1000)->Arg(2000)
     ->Unit(benchmark::kMillisecond)->Complexity();
 
+// Threaded variants pin the pool size via ScopedOverride, so the numbers are
+// comparable regardless of ICN_THREADS or the machine's core count.
+// args: {n, threads}
+void BM_WardNnChainThreads(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const ml::Matrix x = random_features(n, 73);
+  icn::util::ThreadPool::ScopedOverride pool(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::agglomerative_cluster(x, ml::Linkage::kWard));
+  }
+}
+BENCHMARK(BM_WardNnChainThreads)
+    ->ArgsProduct({{2000}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SilhouetteScore(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const ml::Matrix x = random_features(n, 73);
@@ -63,6 +80,21 @@ void BM_SilhouetteScore(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SilhouetteScore)->Arg(500)->Arg(1000)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SilhouetteScoreThreads(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const ml::Matrix x = random_features(n, 73);
+  const auto labels = random_labels(n, 9);
+  const ml::CondensedDistances dist(x);
+  icn::util::ThreadPool::ScopedOverride pool(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::silhouette_score(dist, labels));
+  }
+}
+BENCHMARK(BM_SilhouetteScoreThreads)
+    ->ArgsProduct({{2000}, {1, 2, 4, 8}})
     ->Unit(benchmark::kMillisecond);
 
 void BM_RscaTransform(benchmark::State& state) {
@@ -93,6 +125,25 @@ void BM_ForestTraining(benchmark::State& state) {
 BENCHMARK(BM_ForestTraining)->Arg(10)->Arg(50)->Arg(100)
     ->Unit(benchmark::kMillisecond);
 
+// args: {trees, threads}
+void BM_ForestTrainingThreads(benchmark::State& state) {
+  const auto trees = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const ml::Matrix x = random_features(1000, 73);
+  const auto y = random_labels(1000, 9);
+  icn::util::ThreadPool::ScopedOverride pool(threads);
+  for (auto _ : state) {
+    ml::RandomForest forest;
+    ml::RandomForest::Params params;
+    params.num_trees = trees;
+    forest.fit(x, y, 9, params);
+    benchmark::DoNotOptimize(forest);
+  }
+}
+BENCHMARK(BM_ForestTrainingThreads)
+    ->ArgsProduct({{100}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
 class ShapFixture : public benchmark::Fixture {
  public:
   void SetUp(const benchmark::State&) override {
@@ -115,6 +166,23 @@ BENCHMARK_F(ShapFixture, BM_TreeShapPerSample)(benchmark::State& state) {
     row = (row + 1) % x.rows();
   }
 }
+
+BENCHMARK_DEFINE_F(ShapFixture, BM_TreeShapBatchThreads)
+(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::vector<std::size_t> rows(64);
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i * 3;
+  const ml::Matrix batch = x.select_rows(rows);
+  icn::util::ThreadPool::ScopedOverride pool(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::forest_shap_batch(forest, batch));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rows.size()));
+}
+BENCHMARK_REGISTER_F(ShapFixture, BM_TreeShapBatchThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_F(ShapFixture, BM_KernelShapPerSample)(benchmark::State& state) {
   // Model-agnostic path, budgeted at 512 coalitions with a 16-row

@@ -55,14 +55,18 @@ ShapSummary SurrogateExplainer::explain(const ml::Matrix& features,
     }
   }
 
-  // One SHAP evaluation per sampled row covers all clusters at once.
-  // Accumulate, per (cluster, feature): sum|phi|, and the moments needed for
-  // the value/phi correlation.
+  // One SHAP evaluation per sampled row covers all clusters at once; the
+  // batch runs the per-sample explanations in parallel. Accumulate, per
+  // (cluster, feature): sum|phi|, and the moments needed for the value/phi
+  // correlation.
   const std::size_t s = sample.size();
   std::vector<std::vector<double>> phi_rows(s);  // s x (m*k), row-major
-  for (std::size_t r = 0; r < s; ++r) {
-    const ml::Matrix phi = ml::forest_shap(forest_, features.row(sample[r]));
-    phi_rows[r].assign(phi.data().begin(), phi.data().end());
+  {
+    const auto phis =
+        ml::forest_shap_batch(forest_, features.select_rows(sample));
+    for (std::size_t r = 0; r < s; ++r) {
+      phi_rows[r].assign(phis[r].data().begin(), phis[r].data().end());
+    }
   }
 
   // Per-cluster mean RSCA value of each feature over that cluster's rows

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace icn::ml {
 
@@ -24,24 +25,16 @@ double euclidean(std::span<const double> a, std::span<const double> b) {
 CondensedDistances::CondensedDistances(const Matrix& x) : n_(x.rows()) {
   ICN_REQUIRE(n_ >= 1, "CondensedDistances needs >= 1 point");
   d_.resize(n_ * (n_ - 1) / 2);
-  for (std::size_t i = 0; i < n_; ++i) {
-    const auto ri = x.row(i);
-    for (std::size_t j = i + 1; j < n_; ++j) {
-      d_[index(i, j)] = static_cast<float>(euclidean(ri, x.row(j)));
+  // Row i fills the disjoint slice d_[index(i, i+1) .. index(i, n-1)]; the
+  // small grain load-balances the shrinking upper-triangle rows.
+  icn::util::parallel_for(0, n_, 4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto ri = x.row(i);
+      for (std::size_t j = i + 1; j < n_; ++j) {
+        d_[index(i, j)] = euclidean(ri, x.row(j));
+      }
     }
-  }
-}
-
-std::size_t CondensedDistances::index(std::size_t i, std::size_t j) const {
-  // i < j assumed by callers after the swap in operator().
-  return i * n_ - i * (i + 1) / 2 + (j - i - 1);
-}
-
-double CondensedDistances::operator()(std::size_t i, std::size_t j) const {
-  ICN_REQUIRE(i < n_ && j < n_, "distance index");
-  if (i == j) return 0.0;
-  if (i > j) std::swap(i, j);
-  return static_cast<double>(d_[index(i, j)]);
+  });
 }
 
 }  // namespace icn::ml

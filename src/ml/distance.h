@@ -4,9 +4,11 @@
 
 #include <cstddef>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "ml/matrix.h"
+#include "util/error.h"
 
 namespace icn::ml {
 
@@ -19,8 +21,9 @@ namespace icn::ml {
                                std::span<const double> b);
 
 /// Upper-triangle (i < j) pairwise Euclidean distances of the rows of X,
-/// stored condensed in float to halve memory at nationwide scale
-/// (N = 4,762 -> ~45 MB).
+/// stored condensed in double (N = 4,762 -> ~90 MB) so lookups agree exactly
+/// with the double-precision working distances of the linkage code. Rows are
+/// computed in parallel; the result is identical for every thread count.
 class CondensedDistances {
  public:
   /// Computes all pairwise distances of X's rows. Requires X.rows() >= 1.
@@ -29,14 +32,23 @@ class CondensedDistances {
   /// Number of points.
   [[nodiscard]] std::size_t size() const { return n_; }
 
-  /// Distance between points i and j (0 when i == j).
-  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const;
+  /// Distance between points i and j (0 when i == j). Bounds are checked in
+  /// debug builds only: this accessor runs O(N^2) times per silhouette score.
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const {
+    ICN_DBG_REQUIRE(i < n_ && j < n_, "distance index");
+    if (i == j) return 0.0;
+    if (i > j) std::swap(i, j);
+    return d_[index(i, j)];
+  }
 
  private:
   std::size_t n_ = 0;
-  std::vector<float> d_;
+  std::vector<double> d_;
 
-  [[nodiscard]] std::size_t index(std::size_t i, std::size_t j) const;
+  // i < j assumed by callers after the swap in operator().
+  [[nodiscard]] std::size_t index(std::size_t i, std::size_t j) const {
+    return i * n_ - i * (i + 1) / 2 + (j - i - 1);
+  }
 };
 
 }  // namespace icn::ml

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace icn::ml {
 
@@ -29,41 +30,54 @@ void RandomForest::fit(const Matrix& x, std::span<const int> y,
                        std::sqrt(static_cast<double>(x.cols()))));
 
   const std::size_t n = x.rows();
-  // Per-row OOB vote accumulation (class counts).
-  std::vector<std::vector<double>> oob_votes(
-      n, std::vector<double>(static_cast<std::size_t>(num_classes), 0.0));
-  std::vector<bool> oob_touched(n, false);
 
-  std::vector<std::size_t> sample;
-  std::vector<bool> in_bag(n);
-  for (std::size_t t = 0; t < params.num_trees; ++t) {
-    icn::util::Rng rng(icn::util::derive_seed(params.seed, t));
-    sample.clear();
-    if (params.bootstrap) {
-      std::fill(in_bag.begin(), in_bag.end(), false);
-      for (std::size_t i = 0; i < n; ++i) {
-        const std::size_t pick = rng.uniform_index(n);
-        sample.push_back(pick);
-        in_bag[pick] = true;
-      }
-    } else {
-      sample.resize(n);
-      std::iota(sample.begin(), sample.end(), std::size_t{0});
-    }
-    trees_[t].fit(x, y, num_classes, tree_params, rng, sample);
-    if (params.bootstrap) {
-      for (std::size_t i = 0; i < n; ++i) {
-        if (in_bag[i]) continue;
-        const auto proba = trees_[t].predict_proba(x.row(i));
-        for (std::size_t c = 0; c < proba.size(); ++c) {
-          oob_votes[i][c] += proba[c];
+  // Each tree's randomness comes from its own seed stream derived up front
+  // (never from a shared generator), so trees can be fitted in any order —
+  // and on any number of threads — and come out identical to a serial build.
+  // The bootstrap membership of every tree is kept so the OOB pass below can
+  // run per row.
+  std::vector<std::vector<bool>> in_bag;
+  if (params.bootstrap) in_bag.resize(params.num_trees);
+  icn::util::parallel_for(
+      0, params.num_trees, 1, [&](std::size_t lo, std::size_t hi) {
+        std::vector<std::size_t> sample;
+        for (std::size_t t = lo; t < hi; ++t) {
+          icn::util::Rng rng(icn::util::derive_seed(params.seed, t));
+          sample.clear();
+          if (params.bootstrap) {
+            in_bag[t].assign(n, false);
+            for (std::size_t i = 0; i < n; ++i) {
+              const std::size_t pick = rng.uniform_index(n);
+              sample.push_back(pick);
+              in_bag[t][pick] = true;
+            }
+          } else {
+            sample.resize(n);
+            std::iota(sample.begin(), sample.end(), std::size_t{0});
+          }
+          trees_[t].fit(x, y, num_classes, tree_params, rng, sample);
         }
-        oob_touched[i] = true;
-      }
-    }
-  }
+      });
 
   if (params.bootstrap) {
+    // OOB votes accumulate per row over the trees in index order (the same
+    // addition order as a serial tree-major loop for any fixed row), so the
+    // estimate does not depend on the thread count.
+    std::vector<std::vector<double>> oob_votes(
+        n, std::vector<double>(static_cast<std::size_t>(num_classes), 0.0));
+    std::vector<bool> oob_touched(n, false);
+    icn::util::parallel_for(0, n, 64, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        for (std::size_t t = 0; t < params.num_trees; ++t) {
+          if (in_bag[t][i]) continue;
+          const auto proba = trees_[t].predict_proba(x.row(i));
+          for (std::size_t c = 0; c < proba.size(); ++c) {
+            oob_votes[i][c] += proba[c];
+          }
+          oob_touched[i] = true;
+        }
+      }
+    });
     std::size_t covered = 0, hits = 0;
     for (std::size_t i = 0; i < n; ++i) {
       if (!oob_touched[i]) continue;
@@ -103,7 +117,12 @@ int RandomForest::predict(std::span<const double> x) const {
 
 std::vector<int> RandomForest::predict_all(const Matrix& x) const {
   std::vector<int> out(x.rows());
-  for (std::size_t i = 0; i < x.rows(); ++i) out[i] = predict(x.row(i));
+  icn::util::parallel_for(0, x.rows(), 32,
+                          [&](std::size_t lo, std::size_t hi) {
+                            for (std::size_t i = lo; i < hi; ++i) {
+                              out[i] = predict(x.row(i));
+                            }
+                          });
   return out;
 }
 

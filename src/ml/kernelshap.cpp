@@ -5,6 +5,7 @@
 
 #include "ml/linalg.h"
 #include "util/error.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace icn::ml {
@@ -156,6 +157,26 @@ KernelShapResult kernel_shap(const ModelFunction& model,
     result.phi(m - 1, c) = delta - acc;
   }
   return result;
+}
+
+std::vector<KernelShapResult> kernel_shap_batch(const ModelFunction& model,
+                                                const Matrix& x,
+                                                const Matrix& background,
+                                                const KernelShapParams& params) {
+  ICN_REQUIRE(background.rows() > 0 && background.cols() == x.cols(),
+              "background shape");
+  std::vector<KernelShapResult> out(x.rows());
+  icn::util::parallel_for(0, x.rows(), 1,
+                          [&](std::size_t lo, std::size_t hi) {
+                            for (std::size_t r = lo; r < hi; ++r) {
+                              KernelShapParams row_params = params;
+                              row_params.seed =
+                                  icn::util::derive_seed(params.seed, r);
+                              out[r] = kernel_shap(model, x.row(r), background,
+                                                   row_params);
+                            }
+                          });
+  return out;
 }
 
 }  // namespace icn::ml

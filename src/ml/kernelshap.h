@@ -44,6 +44,16 @@ struct KernelShapResult {
                                            const Matrix& background,
                                            const KernelShapParams& params = {});
 
+/// kernel_shap for every row of x, computed in parallel. Row r samples its
+/// coalitions from the derived seed stream derive_seed(params.seed, r), so
+/// explanations are independent of both the thread count and the batch
+/// composition (and the exact-enumeration regime ignores seeds entirely).
+/// The model is invoked from multiple threads concurrently and must be
+/// thread-safe for const-style calls (RandomForest::predict_proba is).
+[[nodiscard]] std::vector<KernelShapResult> kernel_shap_batch(
+    const ModelFunction& model, const Matrix& x, const Matrix& background,
+    const KernelShapParams& params = {});
+
 /// The interventional value function used by kernel_shap, exposed so tests
 /// can feed it to exact_shapley(). Output size = model output size.
 [[nodiscard]] std::vector<double> interventional_value(

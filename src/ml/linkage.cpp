@@ -9,9 +9,22 @@
 
 #include "ml/distance.h"
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace icn::ml {
 namespace {
+
+/// Chunk size of the parallel nearest-neighbour scans. Fixed (independent of
+/// the thread count) so the chunk decomposition — and with it every
+/// floating-point fold — is reproducible on any machine.
+constexpr std::size_t kScanGrain = 256;
+
+/// Winner of a nearest-neighbour scan: smallest distance, earliest index on
+/// ties (matching the serial strict-< scan).
+struct BestNeighbour {
+  double d = std::numeric_limits<double>::infinity();
+  std::size_t b = static_cast<std::size_t>(-1);
+};
 
 /// Disjoint-set over leaves, tracking the smallest leaf index per component.
 class UnionFind {
@@ -71,13 +84,17 @@ class WorkingDistances {
  public:
   WorkingDistances(const Matrix& x, bool squared) : n_(x.rows()) {
     d_.resize(n_ * (n_ - 1) / 2);
-    for (std::size_t i = 0; i < n_; ++i) {
-      const auto ri = x.row(i);
-      for (std::size_t j = i + 1; j < n_; ++j) {
-        const double sq = squared_euclidean(ri, x.row(j));
-        d_[index(i, j)] = squared ? sq : std::sqrt(sq);
+    // Row i fills the disjoint slice index(i, i+1) .. index(i, n-1); the
+    // small grain load-balances the shrinking upper-triangle rows.
+    icn::util::parallel_for(0, n_, 4, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const auto ri = x.row(i);
+        for (std::size_t j = i + 1; j < n_; ++j) {
+          const double sq = squared_euclidean(ri, x.row(j));
+          d_[index(i, j)] = squared ? sq : std::sqrt(sq);
+        }
       }
-    }
+    });
   }
 
   double get(std::size_t i, std::size_t j) const {
@@ -143,20 +160,35 @@ std::vector<Dendrogram::RawMerge> ward_nn_chain(const Matrix& x) {
     const std::size_t prev =
         chain.size() >= 2 ? chain[chain.size() - 2] : static_cast<std::size_t>(-1);
     // Nearest alive neighbour of a, preferring prev on ties so the chain
-    // terminates deterministically.
+    // terminates deterministically. The scan is the O(N * M) hot loop of the
+    // chain: chunks scan disjoint slot ranges and the chunk winners fold in
+    // slot order, reproducing the serial strict-< scan exactly.
     std::size_t best = static_cast<std::size_t>(-1);
     double best_d = std::numeric_limits<double>::infinity();
     if (prev != static_cast<std::size_t>(-1)) {
       best = prev;
       best_d = ward_d2(a, prev);
     }
-    for (std::size_t b = 0; b < n; ++b) {
-      if (!alive[b] || b == a || b == prev) continue;
-      const double d = ward_d2(a, b);
-      if (d < best_d) {
-        best_d = d;
-        best = b;
-      }
+    const BestNeighbour nn = icn::util::parallel_reduce(
+        std::size_t{0}, n, kScanGrain, BestNeighbour{},
+        [&](std::size_t lo, std::size_t hi) {
+          BestNeighbour win;
+          for (std::size_t b = lo; b < hi; ++b) {
+            if (!alive[b] || b == a || b == prev) continue;
+            const double d = ward_d2(a, b);
+            if (d < win.d) {
+              win.d = d;
+              win.b = b;
+            }
+          }
+          return win;
+        },
+        [](BestNeighbour acc, BestNeighbour win) {
+          return win.d < acc.d ? win : acc;
+        });
+    if (nn.d < best_d) {
+      best_d = nn.d;
+      best = nn.b;
     }
     if (best == prev) {
       // Reciprocal nearest neighbours: merge a and prev.
@@ -212,13 +244,28 @@ std::vector<Dendrogram::RawMerge> matrix_nn_chain(const Matrix& x,
       best = prev;
       best_d = dist.get(a, prev);
     }
-    for (std::size_t b = 0; b < n; ++b) {
-      if (!alive[b] || b == a || b == prev) continue;
-      const double d = dist.get(a, b);
-      if (d < best_d) {
-        best_d = d;
-        best = b;
-      }
+    // O(1) distance lookups per slot: a coarser grain than the Ward scan
+    // keeps the chunk dispatch cheaper than the work it covers.
+    const BestNeighbour nn = icn::util::parallel_reduce(
+        std::size_t{0}, n, 4 * kScanGrain, BestNeighbour{},
+        [&](std::size_t lo, std::size_t hi) {
+          BestNeighbour win;
+          for (std::size_t b = lo; b < hi; ++b) {
+            if (!alive[b] || b == a || b == prev) continue;
+            const double d = dist.get(a, b);
+            if (d < win.d) {
+              win.d = d;
+              win.b = b;
+            }
+          }
+          return win;
+        },
+        [](BestNeighbour acc, BestNeighbour win) {
+          return win.d < acc.d ? win : acc;
+        });
+    if (nn.d < best_d) {
+      best_d = nn.d;
+      best = nn.b;
     }
     if (best == prev) {
       chain.pop_back();

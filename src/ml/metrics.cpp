@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace icn::ml {
 namespace {
@@ -33,27 +34,34 @@ double silhouette_score(const CondensedDistances& dist,
   const auto counts = cluster_counts(labels);
   const std::size_t n = labels.size();
   const std::size_t k = counts.size();
+  // s(i) depends only on row i of the distance matrix: compute the rows in
+  // parallel, then fold the per-point values serially in index order so the
+  // sum is bit-identical to the serial loop on any thread count.
+  std::vector<double> s(n, 0.0);
+  icn::util::parallel_for(0, n, 16, [&](std::size_t lo, std::size_t hi) {
+    std::vector<double> sums(k);
+    for (std::size_t i = lo; i < hi; ++i) {
+      std::fill(sums.begin(), sums.end(), 0.0);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        sums[static_cast<std::size_t>(labels[j])] += dist(i, j);
+      }
+      const auto own = static_cast<std::size_t>(labels[i]);
+      if (counts[own] == 1) {
+        continue;  // s(i) = 0 for singletons
+      }
+      const double a = sums[own] / static_cast<double>(counts[own] - 1);
+      double b = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        if (c == own) continue;
+        b = std::min(b, sums[c] / static_cast<double>(counts[c]));
+      }
+      const double denom = std::max(a, b);
+      if (denom > 0.0) s[i] = (b - a) / denom;
+    }
+  });
   double total = 0.0;
-  std::vector<double> sums(k);
-  for (std::size_t i = 0; i < n; ++i) {
-    std::fill(sums.begin(), sums.end(), 0.0);
-    for (std::size_t j = 0; j < n; ++j) {
-      if (i == j) continue;
-      sums[static_cast<std::size_t>(labels[j])] += dist(i, j);
-    }
-    const auto own = static_cast<std::size_t>(labels[i]);
-    if (counts[own] == 1) {
-      continue;  // s(i) = 0 for singletons
-    }
-    const double a = sums[own] / static_cast<double>(counts[own] - 1);
-    double b = std::numeric_limits<double>::infinity();
-    for (std::size_t c = 0; c < k; ++c) {
-      if (c == own) continue;
-      b = std::min(b, sums[c] / static_cast<double>(counts[c]));
-    }
-    const double denom = std::max(a, b);
-    if (denom > 0.0) total += (b - a) / denom;
-  }
+  for (const double v : s) total += v;
   return total / static_cast<double>(n);
 }
 
@@ -62,20 +70,35 @@ double dunn_index(const CondensedDistances& dist,
   ICN_REQUIRE(labels.size() == dist.size(), "labels vs distances size");
   (void)cluster_counts(labels);
   const std::size_t n = labels.size();
-  double min_inter = std::numeric_limits<double>::infinity();
-  double max_diam = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double d = dist(i, j);
-      if (labels[i] == labels[j]) {
-        max_diam = std::max(max_diam, d);
-      } else {
-        min_inter = std::min(min_inter, d);
-      }
-    }
-  }
-  if (max_diam == 0.0) return std::numeric_limits<double>::infinity();
-  return min_inter / max_diam;
+  // Min/max reductions are order-independent, so per-chunk extrema combined
+  // in any order give the exact serial result.
+  struct Extrema {
+    double min_inter = std::numeric_limits<double>::infinity();
+    double max_diam = 0.0;
+  };
+  const Extrema ex = icn::util::parallel_reduce(
+      std::size_t{0}, n, 8, Extrema{},
+      [&](std::size_t lo, std::size_t hi) {
+        Extrema e;
+        for (std::size_t i = lo; i < hi; ++i) {
+          for (std::size_t j = i + 1; j < n; ++j) {
+            const double d = dist(i, j);
+            if (labels[i] == labels[j]) {
+              e.max_diam = std::max(e.max_diam, d);
+            } else {
+              e.min_inter = std::min(e.min_inter, d);
+            }
+          }
+        }
+        return e;
+      },
+      [](Extrema acc, Extrema e) {
+        acc.min_inter = std::min(acc.min_inter, e.min_inter);
+        acc.max_diam = std::max(acc.max_diam, e.max_diam);
+        return acc;
+      });
+  if (ex.max_diam == 0.0) return std::numeric_limits<double>::infinity();
+  return ex.min_inter / ex.max_diam;
 }
 
 double silhouette_score(const Matrix& x, std::span<const int> labels) {

@@ -3,6 +3,7 @@
 #include <cstddef>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace icn::ml {
 namespace {
@@ -169,6 +170,19 @@ Matrix forest_shap(const RandomForest& forest, std::span<const double> x) {
   const double inv = 1.0 / static_cast<double>(forest.trees().size());
   for (auto& v : acc.data()) v *= inv;
   return acc;
+}
+
+std::vector<Matrix> forest_shap_batch(const RandomForest& forest,
+                                      const Matrix& x) {
+  ICN_REQUIRE(forest.is_fitted(), "forest_shap_batch on unfitted forest");
+  std::vector<Matrix> out(x.rows());
+  icn::util::parallel_for(0, x.rows(), 1,
+                          [&](std::size_t lo, std::size_t hi) {
+                            for (std::size_t r = lo; r < hi; ++r) {
+                              out[r] = forest_shap(forest, x.row(r));
+                            }
+                          });
+  return out;
 }
 
 std::vector<double> forest_base_values(const RandomForest& forest) {

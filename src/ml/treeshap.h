@@ -40,6 +40,12 @@ namespace icn::ml {
 [[nodiscard]] std::vector<double> forest_base_values(
     const RandomForest& forest);
 
+/// forest_shap for every row of x, computed in parallel (one explanation per
+/// row; each row still accumulates trees in index order, so the result is
+/// bit-identical to calling forest_shap row by row).
+[[nodiscard]] std::vector<Matrix> forest_shap_batch(const RandomForest& forest,
+                                                    const Matrix& x);
+
 /// The tree-path-dependent value function v(S) = E[f(x) | x_S]: features with
 /// present[f] == true follow x, absent features average the children weighted
 /// by training cover. Size-K output. Requires present.size() == #features.

@@ -1,6 +1,7 @@
 #include "probe/aggregate.h"
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace icn::probe {
 
@@ -72,15 +73,21 @@ std::vector<double> HourlyAggregator::series(std::uint32_t antenna_id,
 
 ml::Matrix HourlyAggregator::traffic_matrix() const {
   ml::Matrix out(ids_.size(), num_services_);
-  for (std::size_t r = 0; r < ids_.size(); ++r) {
-    for (std::size_t j = 0; j < num_services_; ++j) {
-      double acc = 0.0;
-      for (std::int64_t t = 0; t < num_hours_; ++t) {
-        acc += tensor_[index(r, j, t)];
-      }
-      out(r, j) = acc;
-    }
-  }
+  // Each antenna row folds its own (service, hour) slab of the tensor in the
+  // serial order; rows are independent, so the matrix is bit-identical on
+  // any thread count.
+  icn::util::parallel_for(
+      0, ids_.size(), 8, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          for (std::size_t j = 0; j < num_services_; ++j) {
+            double acc = 0.0;
+            for (std::int64_t t = 0; t < num_hours_; ++t) {
+              acc += tensor_[index(r, j, t)];
+            }
+            out(r, j) = acc;
+          }
+        }
+      });
   return out;
 }
 

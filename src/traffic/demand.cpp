@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/error.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace icn::traffic {
@@ -70,10 +71,15 @@ DemandModel::DemandModel(const net::Topology& topology,
   const std::size_t m = archetypes.catalog().size();
   ICN_REQUIRE(n > 0, "topology has no indoor antennas");
 
-  profiles_.reserve(n);
-  labels_.reserve(n);
+  // Every antenna draws from its own seed stream keyed by its id, so the
+  // rows can be generated on any number of threads (each iteration writes
+  // only row i of the tensor and slot i of the profile/label vectors) and
+  // the tensor is bit-identical to a serial fill.
+  profiles_.resize(n);
+  labels_.resize(n);
   traffic_ = ml::Matrix(n, m);
-  for (std::size_t i = 0; i < n; ++i) {
+  icn::util::parallel_for(0, n, 16, [&](std::size_t lo, std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) {
     const net::Antenna& ant = indoor[i];
     Rng rng(icn::util::derive_seed(params.seed, kIndoorStream, ant.id));
     const auto mix =
@@ -113,9 +119,10 @@ DemandModel::DemandModel(const net::Topology& topology,
     for (std::size_t j = 0; j < m; ++j) {
       traffic_(i, j) = profile.total_mb * profile.shares[j];
     }
-    labels_.push_back(archetype);
-    profiles_.push_back(std::move(profile));
+    labels_[i] = archetype;
+    profiles_[i] = std::move(profile);
   }
+  });
 
   // Outdoor antennas: general-purpose mix around the global popularity
   // shares, mildly tilted towards outdoor-typical services (vehicular
@@ -141,8 +148,10 @@ DemandModel::DemandModel(const net::Topology& topology,
     for (double& v : outdoor_mix) v /= total;
   }
   outdoor_traffic_ = ml::Matrix(outdoor.size(), m);
+  icn::util::parallel_for(
+      0, outdoor.size(), 32, [&](std::size_t lo, std::size_t hi) {
   std::vector<double> blended(m);
-  for (std::size_t i = 0; i < outdoor.size(); ++i) {
+  for (std::size_t i = lo; i < hi; ++i) {
     Rng rng(icn::util::derive_seed(params.seed, kOutdoorStream,
                                    outdoor[i].id));
     const double mu = std::log(2.0e5) -
@@ -177,6 +186,7 @@ DemandModel::DemandModel(const net::Topology& topology,
       outdoor_traffic_(i, j) = total_mb * shares[j];
     }
   }
+      });
 }
 
 }  // namespace icn::traffic

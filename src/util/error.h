@@ -34,3 +34,12 @@ class PreconditionError : public std::invalid_argument {
       ::icn::util::fail_precondition(#expr, __FILE__, __LINE__, msg); \
     }                                                                 \
   } while (false)
+
+/// Debug-only precondition for per-element hot paths (e.g. the O(N^2)
+/// condensed-distance accessor), where the branch costs as much as the work
+/// it guards. Active in debug builds, compiled out under NDEBUG.
+#ifdef NDEBUG
+#define ICN_DBG_REQUIRE(expr, msg) ((void)0)
+#else
+#define ICN_DBG_REQUIRE(expr, msg) ICN_REQUIRE(expr, msg)
+#endif

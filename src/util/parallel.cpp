@@ -1,0 +1,203 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace icn::util {
+namespace {
+
+/// Set while a thread is executing pool chunks (worker threads permanently,
+/// submitters for the duration of their job); nested parallel calls from such
+/// threads run inline instead of deadlocking on the busy pool.
+thread_local bool t_in_pool = false;
+
+/// Pool swapped in by ThreadPool::ScopedOverride (tests / scaling benches).
+ThreadPool* g_override = nullptr;
+
+ThreadPool& active_pool() {
+  return g_override != nullptr ? *g_override : ThreadPool::instance();
+}
+
+}  // namespace
+
+/// One chunked job: an atomic cursor over the chunk indices plus the
+/// bookkeeping the submitter needs to wait for stragglers. Completion is
+/// "cursor exhausted and no worker inside": an exception cancels unclaimed
+/// chunks by pushing the cursor past the end.
+struct ThreadPool::Job {
+  std::size_t num_chunks = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};  ///< Next chunk index to claim.
+  std::size_t active_workers = 0;    ///< Workers inside the job (pool mu_).
+  std::exception_ptr error;          ///< First chunk exception (error_mu).
+  std::mutex error_mu;
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads) : num_threads_(num_threads) {
+  ICN_REQUIRE(num_threads >= 1, "ThreadPool needs >= 1 thread");
+  workers_.reserve(num_threads - 1);
+  for (std::size_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(configured_threads());
+  return pool;
+}
+
+std::size_t ThreadPool::configured_threads() {
+  const std::size_t from_env = parse_thread_count(std::getenv("ICN_THREADS"));
+  if (from_env > 0) return from_env;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+std::size_t ThreadPool::parse_thread_count(const char* value) {
+  if (value == nullptr) return 0;
+  // strtoull silently accepts a leading minus sign and wraps; only a plain
+  // non-empty digit string (optionally space-prefixed) is a valid count.
+  const char* p = value;
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p < '0' || *p > '9') return 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(p, &end, 10);
+  if (end == p || *end != '\0') return 0;
+  // Cap at a sane bound: a typo like ICN_THREADS=10000 should not try to
+  // spawn ten thousand OS threads.
+  constexpr unsigned long long kMaxThreads = 512;
+  return static_cast<std::size_t>(std::min(parsed, kMaxThreads));
+}
+
+ThreadPool::ScopedOverride::ScopedOverride(std::size_t num_threads)
+    : pool_(std::make_unique<ThreadPool>(num_threads)), previous_(g_override) {
+  g_override = pool_.get();
+}
+
+ThreadPool::ScopedOverride::~ScopedOverride() { g_override = previous_; }
+
+void ThreadPool::work_on(Job& job) {
+  for (;;) {
+    const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.num_chunks) break;
+    try {
+      (*job.fn)(c);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(job.error_mu);
+        if (!job.error) job.error = std::current_exception();
+      }
+      // Cancel the chunks nobody claimed yet; in-flight ones finish normally.
+      job.next.store(job.num_chunks, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  t_in_pool = true;
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      wake_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+      if (job == nullptr) continue;  // job already drained and detached
+      ++job->active_workers;
+    }
+    work_on(*job);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --job->active_workers;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::run_chunks(std::size_t num_chunks,
+                            const std::function<void(std::size_t)>& fn) {
+  if (num_chunks == 0) return;
+  if (workers_.empty() || num_chunks == 1 || t_in_pool) {
+    // Serial pool, trivial job, or nested call from inside a pool task: run
+    // inline. Chunk outputs are identical either way.
+    std::exception_ptr error;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      try {
+        fn(c);
+      } catch (...) {
+        error = std::current_exception();
+        break;  // match the pooled path: later chunks are cancelled
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit_lk(submit_mu_);
+  Job job;
+  job.num_chunks = num_chunks;
+  job.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &job;
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+
+  // The submitting thread is one of the lanes; mark it as in-pool so nested
+  // parallel calls from the body run inline.
+  t_in_pool = true;
+  work_on(job);
+  t_in_pool = false;
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] {
+      return job.next.load(std::memory_order_relaxed) >= job.num_chunks &&
+             job.active_workers == 0;
+    });
+    job_ = nullptr;  // detach before the stack Job dies
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+namespace detail {
+
+void run_chunked(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& chunk) {
+  ICN_REQUIRE(grain > 0, "parallel grain must be positive");
+  ICN_REQUIRE(begin <= end, "parallel range");
+  if (begin == end) return;
+  const std::size_t chunks = num_chunks(begin, end, grain);
+  active_pool().run_chunks(chunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * grain;
+    const std::size_t hi = std::min(lo + grain, end);
+    chunk(c, lo, hi);
+  });
+}
+
+}  // namespace detail
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  ICN_REQUIRE(grain > 0, "parallel_for grain must be positive");
+  ICN_REQUIRE(begin <= end, "parallel_for range");
+  detail::run_chunked(begin, end, grain,
+                      [&](std::size_t, std::size_t lo, std::size_t hi) {
+                        body(lo, hi);
+                      });
+}
+
+}  // namespace icn::util

@@ -1,0 +1,190 @@
+// Determinism across thread counts: every parallelized kernel must produce
+// bit-identical output whether the pool has 1 thread (pure serial) or 8
+// (oversubscribed on small machines). Chunk boundaries depend only on the
+// grain and partials fold in a fixed order, so these are exact-equality
+// checks, not tolerances.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/distance.h"
+#include "ml/forest.h"
+#include "ml/kernelshap.h"
+#include "ml/linkage.h"
+#include "ml/matrix.h"
+#include "ml/metrics.h"
+#include "ml/treeshap.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace icn::ml {
+namespace {
+
+using icn::util::ThreadPool;
+
+/// Mildly noisy Gaussian blobs: enough structure for clustering/forests,
+/// enough noise that any scheduling-dependent arithmetic would show up.
+Matrix blob_data(std::size_t per_blob, std::size_t dims, double sigma,
+                 std::uint64_t seed, std::vector<int>* labels = nullptr) {
+  icn::util::Rng rng(seed);
+  Matrix x(per_blob * 3, dims);
+  const double centers[3][2] = {{0.0, 0.0}, {6.0, 0.0}, {0.0, 6.0}};
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      const std::size_t r = b * per_blob + i;
+      x(r, 0) = centers[b][0] + rng.normal(0.0, sigma);
+      x(r, 1) = centers[b][1] + rng.normal(0.0, sigma);
+      for (std::size_t f = 2; f < dims; ++f) x(r, f) = rng.normal();
+      if (labels) labels->push_back(static_cast<int>(b));
+    }
+  }
+  return x;
+}
+
+template <typename Fn>
+auto with_threads(std::size_t num_threads, Fn&& fn) {
+  ThreadPool::ScopedOverride pool(num_threads);
+  return fn();
+}
+
+TEST(ThreadDeterminismTest, CondensedDistancesBitIdentical) {
+  const Matrix x = blob_data(40, 6, 1.2, 101);
+  const auto serial = with_threads(1, [&] { return CondensedDistances(x); });
+  const auto threaded =
+      with_threads(8, [&] { return CondensedDistances(x); });
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = i + 1; j < x.rows(); ++j) {
+      ASSERT_EQ(serial(i, j), threaded(i, j)) << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(ThreadDeterminismTest, ClusteringLabelsBitIdentical) {
+  const Matrix x = blob_data(50, 4, 1.5, 202);
+  for (const Linkage linkage : {Linkage::kWard, Linkage::kComplete}) {
+    const auto serial = with_threads(1, [&] {
+      return agglomerative_cluster(x, linkage);
+    });
+    const auto threaded = with_threads(8, [&] {
+      return agglomerative_cluster(x, linkage);
+    });
+    ASSERT_EQ(serial.merges().size(), threaded.merges().size());
+    for (std::size_t t = 0; t < serial.merges().size(); ++t) {
+      EXPECT_EQ(serial.merges()[t].height, threaded.merges()[t].height)
+          << linkage_name(linkage) << " merge " << t;
+    }
+    for (const std::size_t k : {2u, 3u, 5u, 8u}) {
+      EXPECT_EQ(serial.cut(k), threaded.cut(k))
+          << linkage_name(linkage) << " cut k=" << k;
+    }
+  }
+}
+
+TEST(ThreadDeterminismTest, SilhouetteAndDunnBitIdentical) {
+  std::vector<int> y;
+  const Matrix x = blob_data(40, 4, 1.0, 303, &y);
+  const CondensedDistances dist(x);
+  const double s1 = with_threads(1, [&] { return silhouette_score(dist, y); });
+  const double s8 = with_threads(8, [&] { return silhouette_score(dist, y); });
+  EXPECT_EQ(s1, s8);
+  const double d1 = with_threads(1, [&] { return dunn_index(dist, y); });
+  const double d8 = with_threads(8, [&] { return dunn_index(dist, y); });
+  EXPECT_EQ(d1, d8);
+}
+
+TEST(ThreadDeterminismTest, ForestBitIdentical) {
+  std::vector<int> y;
+  const Matrix x = blob_data(50, 4, 1.3, 404, &y);
+  RandomForest::Params params;
+  params.num_trees = 24;
+  params.seed = 99;
+  auto fit = [&](std::size_t threads) {
+    return with_threads(threads, [&] {
+      RandomForest forest;
+      forest.fit(x, y, 3, params);
+      return forest;
+    });
+  };
+  const RandomForest serial = fit(1);
+  const RandomForest threaded = fit(8);
+  EXPECT_EQ(serial.oob_accuracy(), threaded.oob_accuracy());
+  const auto pred1 = with_threads(1, [&] { return serial.predict_all(x); });
+  const auto pred8 = with_threads(8, [&] { return threaded.predict_all(x); });
+  EXPECT_EQ(pred1, pred8);
+  for (std::size_t i = 0; i < x.rows(); i += 7) {
+    const auto p1 = serial.predict_proba(x.row(i));
+    const auto p8 = threaded.predict_proba(x.row(i));
+    ASSERT_EQ(p1, p8) << "row " << i;
+  }
+}
+
+TEST(ThreadDeterminismTest, TreeShapBatchBitIdentical) {
+  std::vector<int> y;
+  const Matrix x = blob_data(30, 4, 1.2, 505, &y);
+  RandomForest forest;
+  RandomForest::Params params;
+  params.num_trees = 10;
+  forest.fit(x, y, 3, params);
+  const auto shap1 =
+      with_threads(1, [&] { return forest_shap_batch(forest, x); });
+  const auto shap8 =
+      with_threads(8, [&] { return forest_shap_batch(forest, x); });
+  ASSERT_EQ(shap1.size(), shap8.size());
+  for (std::size_t r = 0; r < shap1.size(); ++r) {
+    const auto a = shap1[r].data();
+    const auto b = shap8[r].data();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "row " << r << " slot " << i;
+    }
+  }
+  // The batch is also bit-identical to the serial row-by-row reference.
+  for (std::size_t r = 0; r < x.rows(); r += 11) {
+    const Matrix ref = forest_shap(forest, x.row(r));
+    const auto got = shap8[r].data();
+    ASSERT_EQ(ref.data().size(), got.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(ref.data()[i], got[i]) << "row " << r << " slot " << i;
+    }
+  }
+}
+
+TEST(ThreadDeterminismTest, KernelShapBatchBitIdentical) {
+  std::vector<int> y;
+  const Matrix x = blob_data(12, 4, 1.0, 606, &y);
+  RandomForest forest;
+  RandomForest::Params params;
+  params.num_trees = 8;
+  forest.fit(x, y, 3, params);
+  const ModelFunction model = [&](std::span<const double> row) {
+    return forest.predict_proba(row);
+  };
+  const std::vector<std::size_t> bg_rows = {0, 3, 6, 9};
+  const std::vector<std::size_t> query_rows = {1, 4, 7};
+  const Matrix background = x.select_rows(bg_rows);
+  const Matrix queries = x.select_rows(query_rows);
+  KernelShapParams shap_params;
+  shap_params.max_coalitions = 32;
+  const auto run = [&](std::size_t threads) {
+    return with_threads(threads, [&] {
+      return kernel_shap_batch(model, queries, background, shap_params);
+    });
+  };
+  const auto serial = run(1);
+  const auto threaded = run(8);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t r = 0; r < serial.size(); ++r) {
+    ASSERT_EQ(serial[r].base, threaded[r].base) << "row " << r;
+    const auto a = serial[r].phi.data();
+    const auto b = threaded[r].phi.data();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "row " << r << " slot " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace icn::ml

@@ -33,8 +33,8 @@ TEST(CondensedDistancesTest, MatchesDirectComputation) {
   for (std::size_t i = 0; i < 10; ++i) {
     for (std::size_t j = 0; j < 10; ++j) {
       const double expected = euclidean(x.row(i), x.row(j));
-      // Stored in float: allow float rounding.
-      EXPECT_NEAR(d(i, j), expected, 1e-5);
+      // Stored in double: lookups are exact.
+      EXPECT_DOUBLE_EQ(d(i, j), expected);
     }
   }
 }
@@ -64,10 +64,16 @@ TEST(CondensedDistancesTest, TriangleInequalityHolds) {
   }
 }
 
-TEST(CondensedDistancesTest, IndexOutOfRangeThrows) {
+TEST(CondensedDistancesTest, IndexOutOfRangeThrowsInDebug) {
+  // The per-call bounds check runs O(N^2) times per silhouette score, so it
+  // is a debug-only assert (ICN_DBG_REQUIRE) and compiled out under NDEBUG.
+#ifdef NDEBUG
+  GTEST_SKIP() << "bounds check compiled out in NDEBUG builds";
+#else
   Matrix x(3, 1, {0.0, 1.0, 2.0});
   const CondensedDistances d(x);
   EXPECT_THROW(d(0, 3), icn::util::PreconditionError);
+#endif
 }
 
 TEST(CondensedDistancesTest, SinglePointHasNoPairs) {
