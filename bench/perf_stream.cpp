@@ -1,0 +1,141 @@
+// Performance microbenches (google-benchmark) for the streaming subsystem:
+// ingest throughput vs shard count, checkpointed ingest (fsync per window),
+// and snapshot mmap load vs regenerating the same tensor from the scenario.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "probe/probe.h"
+#include "store/snapshot.h"
+#include "stream/ingest.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace icn;
+
+constexpr std::size_t kAntennas = 64;
+constexpr std::size_t kServices = 73;
+constexpr std::int64_t kHours = 48;
+
+std::vector<std::uint32_t> antenna_ids() {
+  std::vector<std::uint32_t> ids(kAntennas);
+  for (std::size_t i = 0; i < kAntennas; ++i) {
+    ids[i] = static_cast<std::uint32_t>(i);
+  }
+  return ids;
+}
+
+/// One synthetic batch per hour, ~records_per_hour sessions each.
+std::vector<std::vector<probe::ServiceSession>> hourly_batches(
+    std::size_t records_per_hour, std::uint64_t seed = 7) {
+  icn::util::Rng rng(seed);
+  std::vector<std::vector<probe::ServiceSession>> batches(
+      static_cast<std::size_t>(kHours));
+  for (auto& batch : batches) {
+    batch.resize(records_per_hour);
+  }
+  for (std::int64_t h = 0; h < kHours; ++h) {
+    for (auto& s : batches[static_cast<std::size_t>(h)]) {
+      s.antenna_id = static_cast<std::uint32_t>(rng.uniform_index(kAntennas));
+      s.service = rng.uniform_index(kServices);
+      s.hour = h;
+      s.down_bytes = rng.uniform(1.0e3, 8.0e6);
+      s.up_bytes = rng.uniform(1.0e2, 1.0e6);
+    }
+  }
+  return batches;
+}
+
+stream::IngestParams ingest_params(std::size_t shards) {
+  stream::IngestParams params;
+  params.antenna_ids = antenna_ids();
+  params.num_services = kServices;
+  params.num_hours = kHours;
+  params.num_shards = shards;
+  return params;
+}
+
+void BM_StreamIngestShards(benchmark::State& state) {
+  // Ingest throughput (records/sec) at the given shard count; the output is
+  // bit-identical at every point on this curve.
+  static const auto batches = hourly_batches(4096);
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  std::int64_t records = 0;
+  for (auto _ : state) {
+    stream::StreamIngestor ingest(ingest_params(shards));
+    for (const auto& batch : batches) {
+      ingest.push(batch);
+      records += static_cast<std::int64_t>(batch.size());
+    }
+    ingest.finish();
+    benchmark::DoNotOptimize(ingest.traffic_matrix());
+  }
+  state.SetItemsProcessed(records);
+}
+BENCHMARK(BM_StreamIngestShards)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StreamIngestCheckpointed(benchmark::State& state) {
+  // Same stream with a durable checkpoint: every closed window is appended
+  // and fsync'd. The gap to BM_StreamIngestShards/4 is the price of
+  // crash-safety.
+  static const auto batches = hourly_batches(4096);
+  const std::string path = "bench_stream_ckpt.snap";
+  std::int64_t records = 0;
+  for (auto _ : state) {
+    auto writer = stream::begin_checkpoint(path, ingest_params(4));
+    stream::StreamIngestor ingest(ingest_params(4), &writer);
+    for (const auto& batch : batches) {
+      ingest.push(batch);
+      records += static_cast<std::int64_t>(batch.size());
+    }
+    ingest.finish();
+    writer.close();
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(records);
+}
+BENCHMARK(BM_StreamIngestCheckpointed)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  // mmap + CRC validation + materializing the T matrix from a snapshot.
+  core::ScenarioParams params;
+  params.scale = 0.05;
+  params.outdoor_ratio = 0.0;
+  static const core::Scenario scenario = core::Scenario::build(params);
+  const std::string path = "bench_snapshot_load.snap";
+  {
+    store::SnapshotWriter writer(path);
+    writer.append_matrix(scenario.demand().traffic_matrix());
+    writer.close();
+  }
+  for (auto _ : state) {
+    const store::MappedSnapshot snapshot(path);
+    benchmark::DoNotOptimize(snapshot.matrix()->to_matrix());
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotLoad)->Unit(benchmark::kMicrosecond);
+
+void BM_SnapshotRegenerate(benchmark::State& state) {
+  // The alternative to loading the snapshot: re-synthesizing the scenario
+  // from its seed. The ratio to BM_SnapshotLoad is what the store buys.
+  core::ScenarioParams params;
+  params.scale = 0.05;
+  params.outdoor_ratio = 0.0;
+  for (auto _ : state) {
+    const core::Scenario scenario = core::Scenario::build(params);
+    benchmark::DoNotOptimize(scenario.demand().traffic_matrix());
+  }
+}
+BENCHMARK(BM_SnapshotRegenerate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

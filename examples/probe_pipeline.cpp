@@ -8,8 +8,10 @@
 // it cross-checks the probe-side matrix against the generator's ground
 // truth.
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "core/clustering.h"
 #include "core/rca.h"
@@ -19,6 +21,7 @@
 #include "probe/gtp.h"
 #include "probe/probe.h"
 #include "probe/wire.h"
+#include "store/snapshot.h"
 #include "traffic/flows.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -102,6 +105,33 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nmax relative error probe-vs-generator: " << max_rel_err
             << (max_rel_err < 1e-6 ? "  (exact match)" : "") << "\n";
+
+  // Persist the measured matrix as a columnar snapshot, mmap it back, and
+  // confirm the round trip is bit-exact — the artifact a production probe
+  // would ship to the analysis plant instead of raw flows.
+  {
+    const std::string snap_path = "probe_pipeline.snap";
+    store::SnapshotWriter writer(snap_path);
+    writer.append_matrix(measured);
+    writer.sync();
+    writer.close();
+
+    const store::MappedSnapshot snapshot(snap_path);
+    const auto view = snapshot.matrix();
+    std::size_t mismatched = 0;
+    if (view) {
+      const ml::Matrix reloaded = view->to_matrix();
+      for (std::size_t i = 0; i < measured.data().size(); ++i) {
+        if (reloaded.data()[i] != measured.data()[i]) ++mismatched;
+      }
+    }
+    std::cout << "\nsnapshot round trip: " << snapshot.file_size()
+              << " bytes on disk, "
+              << (view && mismatched == 0 ? "bit-identical reload"
+                                          : "MISMATCH")
+              << "\n";
+    std::remove(snap_path.c_str());
+  }
 
   // And the analysis front-end runs directly on the probe output.
   const ml::Matrix rsca = core::compute_rsca(measured);

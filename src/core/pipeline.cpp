@@ -4,33 +4,64 @@
 
 #include "core/rca.h"
 #include "ml/hungarian.h"
+#include "store/snapshot.h"
+#include "stream/ingest.h"
 #include "util/stats.h"
 
 namespace icn::core {
 
+TrafficAnalysis analyze_traffic(const ml::Matrix& traffic_mb,
+                                const PipelineParams& params,
+                                const std::vector<int>* archetype_truth) {
+  TrafficAnalysis analysis;
+  analysis.rsca = compute_rsca(traffic_mb);
+  analysis.clusters = analyze_clusters(analysis.rsca, params.clustering);
+
+  const std::size_t k = analysis.clusters.chosen_k;
+  // Identity map by default.
+  analysis.label_map.resize(k);
+  std::iota(analysis.label_map.begin(), analysis.label_map.end(), 0);
+  if (params.align_to_archetypes && archetype_truth != nullptr &&
+      k == traffic::kNumArchetypes) {
+    analysis.label_map = ml::align_labels(analysis.clusters.labels,
+                                          *archetype_truth,
+                                          static_cast<int>(k));
+    analysis.clusters.labels =
+        ml::apply_label_map(analysis.clusters.labels, analysis.label_map);
+  }
+  analysis.surrogate = std::make_unique<SurrogateExplainer>(
+      analysis.rsca, analysis.clusters.labels, static_cast<int>(k),
+      params.surrogate);
+  return analysis;
+}
+
 PipelineResult run_pipeline(const PipelineParams& params) {
   PipelineResult result{Scenario::build(params.scenario), {}, {}, {}, nullptr};
-  result.rsca = compute_rsca(result.scenario.demand().traffic_matrix());
-  result.clusters = analyze_clusters(result.rsca, params.clustering);
-
   const auto& truth = result.scenario.demand().archetype_labels();
-  const std::size_t k = result.clusters.chosen_k;
-
-  // Identity map by default.
-  result.label_map.resize(k);
-  std::iota(result.label_map.begin(), result.label_map.end(), 0);
-  if (params.align_to_archetypes && k == traffic::kNumArchetypes) {
-    result.label_map = ml::align_labels(result.clusters.labels, truth,
-                                        static_cast<int>(k));
-    result.clusters.labels =
-        ml::apply_label_map(result.clusters.labels, result.label_map);
-  }
+  TrafficAnalysis analysis = analyze_traffic(
+      result.scenario.demand().traffic_matrix(), params, &truth);
+  result.rsca = std::move(analysis.rsca);
+  result.clusters = std::move(analysis.clusters);
+  result.label_map = std::move(analysis.label_map);
+  result.surrogate = std::move(analysis.surrogate);
   result.ari_vs_archetypes =
       icn::util::adjusted_rand_index(result.clusters.labels, truth);
+  return result;
+}
 
-  result.surrogate = std::make_unique<SurrogateExplainer>(
-      result.rsca, result.clusters.labels, static_cast<int>(k),
-      params.surrogate);
+SnapshotPipelineResult run_pipeline_from_snapshot(
+    const std::string& path, const PipelineParams& params) {
+  const store::MappedSnapshot snapshot(path);
+  SnapshotPipelineResult result;
+  if (const auto matrix = snapshot.matrix()) {
+    result.traffic = matrix->to_matrix();
+  } else if (snapshot.stream_meta()) {
+    result.traffic = stream::totals_from_snapshot(snapshot);
+  } else {
+    throw store::SnapshotError("snapshot " + path +
+                               ": no kMatrix or kStreamMeta section");
+  }
+  result.analysis = analyze_traffic(result.traffic, params);
   return result;
 }
 

@@ -2,9 +2,15 @@
 //   synthetic study -> T matrix -> RSCA -> Ward clustering + k sweep ->
 //   label alignment -> random-forest surrogate -> ready for SHAP /
 //   environment / temporal / outdoor analyses.
+//
+// Two entry points share the analysis back-end: run_pipeline synthesizes the
+// study in memory, run_pipeline_from_snapshot feeds the same analyses from a
+// mmap-loaded store snapshot (the durable artifact of a streaming ingest),
+// producing bit-identical outputs for the same T matrix.
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/clustering.h"
@@ -26,6 +32,23 @@ struct PipelineParams {
   bool align_to_archetypes = true;
 };
 
+/// The analysis outputs computed from a T matrix (no scenario attached).
+struct TrafficAnalysis {
+  ml::Matrix rsca;                ///< N x M RSCA feature matrix.
+  ClusterAnalysisResult clusters; ///< Labels already aligned when requested.
+  std::vector<int> label_map;     ///< raw dendrogram label -> reported label.
+  std::unique_ptr<SurrogateExplainer> surrogate;  ///< Trained on the labels.
+};
+
+/// Runs RSCA -> clustering -> (optional archetype alignment) -> surrogate on
+/// an already-aggregated T matrix. `archetype_truth` (labels per antenna row)
+/// enables the alignment step; pass nullptr when no ground truth exists
+/// (e.g. a matrix loaded from a measurement snapshot). Deterministic: the
+/// same matrix bits produce the same outputs.
+[[nodiscard]] TrafficAnalysis analyze_traffic(
+    const ml::Matrix& traffic_mb, const PipelineParams& params,
+    const std::vector<int>* archetype_truth = nullptr);
+
 /// Everything the analyses need, with stable ownership.
 struct PipelineResult {
   Scenario scenario;
@@ -38,5 +61,19 @@ struct PipelineResult {
 
 /// Runs the full pipeline. Deterministic for fixed params.
 [[nodiscard]] PipelineResult run_pipeline(const PipelineParams& params);
+
+/// A pipeline run fed from a snapshot instead of in-memory synthesis.
+struct SnapshotPipelineResult {
+  ml::Matrix traffic;        ///< The T matrix loaded from the snapshot.
+  TrafficAnalysis analysis;  ///< Same back-end as run_pipeline.
+};
+
+/// Loads the demand T matrix from a store snapshot at `path` — either a
+/// kMatrix section or, for ingest checkpoints, the fold of all kWindow
+/// sections — and runs the analysis back-end on it. params.scenario is
+/// ignored (the snapshot replaces synthesis). Throws store::SnapshotError on
+/// a corrupt/truncated snapshot or one carrying no tensor.
+[[nodiscard]] SnapshotPipelineResult run_pipeline_from_snapshot(
+    const std::string& path, const PipelineParams& params);
 
 }  // namespace icn::core

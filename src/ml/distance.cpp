@@ -5,17 +5,79 @@
 #include "util/error.h"
 #include "util/parallel.h"
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 namespace icn::ml {
 
-double squared_euclidean(std::span<const double> a,
-                         std::span<const double> b) {
-  ICN_REQUIRE(a.size() == b.size(), "distance dimensions");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
+namespace {
+
+// Both paths below accumulate in the same canonical 4-wide order: lane k
+// sums the squared differences of elements i == k (mod 4), the lanes
+// combine as (s0 + s2) + (s1 + s3), and the remaining 0-3 tail elements
+// are added sequentially. Fixing one order — instead of matching whatever
+// a serial loop would do — is what lets the vector and scalar builds
+// produce the same bits.
+
+#if defined(__SSE2__)
+
+double squared_euclidean_kernel(const double* a, const double* b,
+                                std::size_t n) {
+  __m128d acc01 = _mm_setzero_pd();  // lanes 0, 1
+  __m128d acc23 = _mm_setzero_pd();  // lanes 2, 3
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128d d01 = _mm_sub_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i));
+    const __m128d d23 =
+        _mm_sub_pd(_mm_loadu_pd(a + i + 2), _mm_loadu_pd(b + i + 2));
+    acc01 = _mm_add_pd(acc01, _mm_mul_pd(d01, d01));
+    acc23 = _mm_add_pd(acc23, _mm_mul_pd(d23, d23));
+  }
+  alignas(16) double s01[2];
+  alignas(16) double s23[2];
+  _mm_store_pd(s01, acc01);
+  _mm_store_pd(s23, acc23);
+  double acc = (s01[0] + s23[0]) + (s01[1] + s23[1]);
+  for (; i < n; ++i) {
     const double d = a[i] - b[i];
     acc += d * d;
   }
   return acc;
+}
+
+#else
+
+double squared_euclidean_kernel(const double* a, const double* b,
+                                std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = a[i] - b[i];
+    const double d1 = a[i + 1] - b[i + 1];
+    const double d2 = a[i + 2] - b[i + 2];
+    const double d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  double acc = (s0 + s2) + (s1 + s3);
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+#endif
+
+}  // namespace
+
+double squared_euclidean(std::span<const double> a,
+                         std::span<const double> b) {
+  ICN_REQUIRE(a.size() == b.size(), "distance dimensions");
+  return squared_euclidean_kernel(a.data(), b.data(), a.size());
 }
 
 double euclidean(std::span<const double> a, std::span<const double> b) {

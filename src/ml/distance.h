@@ -12,7 +12,11 @@
 
 namespace icn::ml {
 
-/// Squared Euclidean distance between two equal-length vectors.
+/// Squared Euclidean distance between two equal-length vectors. The inner
+/// loop is SIMD (4-wide) where available; the accumulation order is fixed —
+/// lane k sums elements i == k (mod 4), lanes combine as (s0+s2)+(s1+s3),
+/// tail elements add sequentially — so the vector and scalar builds return
+/// the same bits.
 [[nodiscard]] double squared_euclidean(std::span<const double> a,
                                        std::span<const double> b);
 

@@ -447,25 +447,46 @@ double cophenetic_correlation(const Dendrogram& tree, const Matrix& x) {
   ICN_REQUIRE(x.rows() == tree.num_leaves() && x.rows() >= 2,
               "cophenetic correlation input");
   const auto coph = cophenetic_distances(tree);
-  // Streaming Pearson against the original pairwise distances.
-  double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+  // Streaming Pearson against the original pairwise distances, reduced over
+  // row chunks of the upper triangle. Row i owns the condensed slice
+  // starting at i*n - i*(i+1)/2, so chunks touch disjoint pairs and the
+  // partials fold left-to-right — the result depends only on the grain,
+  // never on the thread count.
+  struct PearsonSums {
+    double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+  };
+  const std::size_t n = x.rows();
+  const auto sums = icn::util::parallel_reduce(
+      std::size_t{0}, n, 4, PearsonSums{},
+      [&](std::size_t lo, std::size_t hi) {
+        PearsonSums p;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto ri = x.row(i);
+          std::size_t idx = i * n - i * (i + 1) / 2;
+          for (std::size_t j = i + 1; j < n; ++j, ++idx) {
+            const double a = euclidean(ri, x.row(j));
+            const double b = static_cast<double>(coph[idx]);
+            p.sx += a;
+            p.sy += b;
+            p.sxx += a * a;
+            p.syy += b * b;
+            p.sxy += a * b;
+          }
+        }
+        return p;
+      },
+      [](PearsonSums acc, PearsonSums p) {
+        acc.sx += p.sx;
+        acc.sy += p.sy;
+        acc.sxx += p.sxx;
+        acc.syy += p.syy;
+        acc.sxy += p.sxy;
+        return acc;
+      });
   const double count = static_cast<double>(coph.size());
-  std::size_t idx = 0;
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    const auto ri = x.row(i);
-    for (std::size_t j = i + 1; j < x.rows(); ++j, ++idx) {
-      const double a = euclidean(ri, x.row(j));
-      const double b = static_cast<double>(coph[idx]);
-      sx += a;
-      sy += b;
-      sxx += a * a;
-      syy += b * b;
-      sxy += a * b;
-    }
-  }
-  const double cov = sxy - sx * sy / count;
-  const double va = sxx - sx * sx / count;
-  const double vb = syy - sy * sy / count;
+  const double cov = sums.sxy - sums.sx * sums.sy / count;
+  const double va = sums.sxx - sums.sx * sums.sx / count;
+  const double vb = sums.syy - sums.sy * sums.sy / count;
   if (va <= 0.0 || vb <= 0.0) return 0.0;
   return cov / std::sqrt(va * vb);
 }

@@ -1,0 +1,61 @@
+#include "store/crc32c.h"
+
+#include <array>
+
+namespace icn::store {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 reflected.
+
+/// 8 slicing tables: table[0] is the classic byte-at-a-time table, table[k]
+/// advances a byte through k+1 zero bytes.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+  constexpr Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (std::size_t k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFF] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+constexpr Tables kTables{};
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t crc,
+                            std::span<const std::uint8_t> bytes) {
+  const auto& t = kTables.t;
+  crc = ~crc;
+  const std::uint8_t* p = bytes.data();
+  std::size_t n = bytes.size();
+  // Slicing-by-8 over the aligned middle; byte-at-a-time for the tail.
+  while (n >= 8) {
+    const std::uint32_t lo =
+        crc ^ (static_cast<std::uint32_t>(p[0]) |
+               (static_cast<std::uint32_t>(p[1]) << 8) |
+               (static_cast<std::uint32_t>(p[2]) << 16) |
+               (static_cast<std::uint32_t>(p[3]) << 24));
+    crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+          t[4][lo >> 24] ^ t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace icn::store

@@ -1,0 +1,25 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41 reflected) — the checksum the
+// snapshot store stamps on every section so bit rot, torn writes and
+// truncated tails are detected before any payload byte reaches the analysis
+// code. Software slicing-by-8 implementation; no hardware or library
+// dependency, identical output on every platform.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace icn::store {
+
+/// Incremental CRC32C: feed `crc` from a previous call (or 0 to start) and
+/// the next chunk of bytes. The final value is the standard CRC32C of the
+/// concatenated input (as produced by e.g. SSE4.2 crc32 or leveldb).
+[[nodiscard]] std::uint32_t crc32c_extend(std::uint32_t crc,
+                                          std::span<const std::uint8_t> bytes);
+
+/// One-shot CRC32C of a buffer.
+[[nodiscard]] inline std::uint32_t crc32c(std::span<const std::uint8_t> bytes) {
+  return crc32c_extend(0, bytes);
+}
+
+}  // namespace icn::store

@@ -1,0 +1,443 @@
+#include "store/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+#include "store/crc32c.h"
+#include "util/error.h"
+
+// The format is defined little-endian and the read path is zero-copy
+// (reinterpreting mapped bytes as doubles), so a big-endian host would need a
+// byte-swapping load path that nothing here provides.
+static_assert(std::endian::native == std::endian::little,
+              "snapshot store requires a little-endian host");
+
+namespace icn::store {
+namespace {
+
+constexpr std::size_t kFileHeaderSize = 16;
+constexpr std::size_t kSectionHeaderSize = 24;
+constexpr char kMagic[8] = {'I', 'C', 'N', 'S', 'N', 'A', 'P', '1'};
+
+std::size_t padded(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const auto at = out.size();
+  out.resize(at + 4);
+  std::memcpy(out.data() + at, &v, 4);
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const auto at = out.size();
+  out.resize(at + 8);
+  std::memcpy(out.data() + at, &v, 8);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw SnapshotError("snapshot " + path + ": " + what);
+}
+
+[[noreturn]] void fail_errno(const std::string& path, const char* op) {
+  fail(path, std::string(op) + " failed: " + std::strerror(errno));
+}
+
+void check_header(const std::string& path, const std::uint8_t* data,
+                  std::size_t size) {
+  if (size < kFileHeaderSize) fail(path, "truncated file header");
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    fail(path, "bad magic (not a snapshot file)");
+  }
+  const std::uint32_t version = get_u32(data + 8);
+  if (version != kSnapshotVersion) {
+    fail(path, "unsupported version " + std::to_string(version));
+  }
+}
+
+/// Scan outcome shared by the strict reader and the recovery path.
+struct Scan {
+  std::vector<SectionView> sections;
+  std::uint64_t valid_bytes = kFileHeaderSize;
+  bool clean = true;      ///< Whole file is valid sections.
+  std::string error;      ///< First problem when !clean.
+};
+
+Scan scan_sections(const std::uint8_t* data, std::size_t size) {
+  Scan scan;
+  std::size_t at = kFileHeaderSize;
+  while (at < size) {
+    if (at + kSectionHeaderSize > size) {
+      scan.clean = false;
+      scan.error = "truncated section header at offset " + std::to_string(at);
+      return scan;
+    }
+    const std::uint8_t* hdr = data + at;
+    const std::uint32_t header_crc = get_u32(hdr + 20);
+    if (crc32c({hdr, 20}) != header_crc) {
+      scan.clean = false;
+      scan.error = "corrupt section header at offset " + std::to_string(at);
+      return scan;
+    }
+    const std::uint64_t payload_size = get_u64(hdr + 8);
+    const std::uint64_t stored = padded(payload_size);
+    if (stored < payload_size ||
+        at + kSectionHeaderSize + stored > size) {
+      scan.clean = false;
+      scan.error = "truncated section payload at offset " + std::to_string(at);
+      return scan;
+    }
+    const std::uint8_t* payload = hdr + kSectionHeaderSize;
+    if (crc32c({payload, payload_size}) != get_u32(hdr + 16)) {
+      scan.clean = false;
+      scan.error = "section payload CRC mismatch at offset " +
+                   std::to_string(at);
+      return scan;
+    }
+    scan.sections.push_back(
+        {static_cast<SectionType>(get_u32(hdr)), {payload, payload_size}});
+    at += kSectionHeaderSize + stored;
+    scan.valid_bytes = at;
+  }
+  return scan;
+}
+
+/// Minimal RAII read-only mapping used by both readers.
+struct Mapping {
+  void* map = MAP_FAILED;
+  std::size_t size = 0;
+
+  explicit Mapping(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) fail_errno(path, "open");
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      fail_errno(path, "fstat");
+    }
+    size = static_cast<std::size_t>(st.st_size);
+    if (size > 0) {
+      map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (map == MAP_FAILED) {
+        ::close(fd);
+        fail_errno(path, "mmap");
+      }
+    }
+    ::close(fd);
+  }
+  ~Mapping() {
+    if (map != MAP_FAILED && size > 0) ::munmap(map, size);
+  }
+  Mapping(const Mapping&) = delete;
+  Mapping& operator=(const Mapping&) = delete;
+
+  [[nodiscard]] const std::uint8_t* data() const {
+    return static_cast<const std::uint8_t*>(map);
+  }
+  /// Releases ownership (caller munmaps).
+  void release() { map = MAP_FAILED; }
+};
+
+template <typename T>
+std::span<const T> payload_span(std::span<const std::uint8_t> payload,
+                                std::size_t byte_offset, std::size_t count) {
+  // Alignment holds by construction: the file header and every stored
+  // section are multiples of 8 bytes, so payloads start 8-aligned.
+  ICN_DBG_REQUIRE(
+      reinterpret_cast<std::uintptr_t>(payload.data() + byte_offset) %
+              alignof(T) ==
+          0,
+      "snapshot payload alignment");
+  return {reinterpret_cast<const T*>(payload.data() + byte_offset), count};
+}
+
+WindowView parse_window(const std::string& ctx, const SectionView& s) {
+  if (s.payload.size() < 8 || (s.payload.size() - 8) % 8 != 0) {
+    throw SnapshotError(ctx + ": malformed kWindow payload size " +
+                        std::to_string(s.payload.size()));
+  }
+  WindowView w;
+  std::int64_t hour;
+  std::memcpy(&hour, s.payload.data(), 8);
+  w.hour = hour;
+  w.cells = payload_span<double>(s.payload, 8, (s.payload.size() - 8) / 8);
+  return w;
+}
+
+}  // namespace
+
+ml::Matrix MatrixView::to_matrix() const {
+  return ml::Matrix(rows, cols, std::vector<double>(values.begin(),
+                                                    values.end()));
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotWriter
+
+SnapshotWriter::SnapshotWriter(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) fail_errno(path_, "open");
+  std::vector<std::uint8_t> header(kMagic, kMagic + sizeof(kMagic));
+  put_u32(header, kSnapshotVersion);
+  put_u32(header, 0);  // reserved
+  write_all(header);
+}
+
+SnapshotWriter SnapshotWriter::append_to(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_APPEND | O_CLOEXEC);
+  if (fd < 0) fail_errno(path, "open for append");
+  std::uint8_t header[kFileHeaderSize];
+  const ssize_t got = ::pread(fd, header, kFileHeaderSize, 0);
+  if (got != static_cast<ssize_t>(kFileHeaderSize)) {
+    ::close(fd);
+    fail(path, "truncated file header");
+  }
+  try {
+    check_header(path, header, kFileHeaderSize);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  return SnapshotWriter(path, fd);
+}
+
+SnapshotWriter::~SnapshotWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+SnapshotWriter::SnapshotWriter(SnapshotWriter&& other) noexcept
+    : path_(std::move(other.path_)), fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+SnapshotWriter& SnapshotWriter::operator=(SnapshotWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void SnapshotWriter::write_all(std::span<const std::uint8_t> bytes) {
+  ICN_REQUIRE(fd_ >= 0, "snapshot writer is closed");
+  const std::uint8_t* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno(path_, "write");
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void SnapshotWriter::append_section(SectionType type,
+                                    std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> header;
+  header.reserve(kSectionHeaderSize);
+  put_u32(header, static_cast<std::uint32_t>(type));
+  put_u32(header, 0);  // reserved
+  put_u64(header, payload.size());
+  put_u32(header, crc32c(payload));
+  put_u32(header, crc32c(header));
+  write_all(header);
+  write_all(payload);
+  const std::size_t pad = padded(payload.size()) - payload.size();
+  if (pad > 0) {
+    const std::uint8_t zeros[8] = {};
+    write_all({zeros, pad});
+  }
+}
+
+void SnapshotWriter::append_matrix(const ml::Matrix& m) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(16 + m.data().size() * 8);
+  put_u64(payload, m.rows());
+  put_u64(payload, m.cols());
+  const auto at = payload.size();
+  payload.resize(at + m.data().size() * 8);
+  std::memcpy(payload.data() + at, m.data().data(), m.data().size() * 8);
+  append_section(SectionType::kMatrix, payload);
+}
+
+void SnapshotWriter::append_stream_meta(
+    std::span<const std::uint32_t> antenna_ids, std::size_t num_services,
+    std::int64_t num_hours) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(24 + antenna_ids.size() * 4);
+  put_u64(payload, antenna_ids.size());
+  put_u64(payload, num_services);
+  put_u64(payload, static_cast<std::uint64_t>(num_hours));
+  const auto at = payload.size();
+  payload.resize(at + antenna_ids.size() * 4);
+  std::memcpy(payload.data() + at, antenna_ids.data(), antenna_ids.size() * 4);
+  append_section(SectionType::kStreamMeta, payload);
+}
+
+void SnapshotWriter::append_window(std::int64_t hour,
+                                   std::span<const double> cells) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(8 + cells.size() * 8);
+  put_u64(payload, static_cast<std::uint64_t>(hour));
+  const auto at = payload.size();
+  payload.resize(at + cells.size() * 8);
+  std::memcpy(payload.data() + at, cells.data(), cells.size() * 8);
+  append_section(SectionType::kWindow, payload);
+}
+
+void SnapshotWriter::sync() {
+  ICN_REQUIRE(fd_ >= 0, "snapshot writer is closed");
+  if (::fsync(fd_) != 0) fail_errno(path_, "fsync");
+}
+
+void SnapshotWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MappedSnapshot
+
+MappedSnapshot::MappedSnapshot(const std::string& path) {
+  Mapping mapping(path);
+  check_header(path, mapping.data(), mapping.size);
+  Scan scan = scan_sections(mapping.data(), mapping.size);
+  if (!scan.clean) fail(path, scan.error);
+  sections_ = std::move(scan.sections);
+  map_ = mapping.map;
+  size_ = mapping.size;
+  mapping.release();
+}
+
+MappedSnapshot::~MappedSnapshot() {
+  if (map_ != nullptr && map_ != MAP_FAILED && size_ > 0) {
+    ::munmap(map_, size_);
+  }
+}
+
+MappedSnapshot::MappedSnapshot(MappedSnapshot&& other) noexcept
+    : map_(other.map_),
+      size_(other.size_),
+      sections_(std::move(other.sections_)) {
+  other.map_ = nullptr;
+  other.size_ = 0;
+  other.sections_.clear();
+}
+
+MappedSnapshot& MappedSnapshot::operator=(MappedSnapshot&& other) noexcept {
+  if (this != &other) {
+    if (map_ != nullptr && map_ != MAP_FAILED && size_ > 0) {
+      ::munmap(map_, size_);
+    }
+    map_ = other.map_;
+    size_ = other.size_;
+    sections_ = std::move(other.sections_);
+    other.map_ = nullptr;
+    other.size_ = 0;
+    other.sections_.clear();
+  }
+  return *this;
+}
+
+std::optional<MatrixView> MappedSnapshot::matrix() const {
+  for (const auto& s : sections_) {
+    if (s.type != SectionType::kMatrix) continue;
+    if (s.payload.size() < 16) {
+      throw SnapshotError("malformed kMatrix payload (short header)");
+    }
+    MatrixView view;
+    view.rows = static_cast<std::size_t>(get_u64(s.payload.data()));
+    view.cols = static_cast<std::size_t>(get_u64(s.payload.data() + 8));
+    const std::size_t want = view.rows * view.cols * 8;
+    if (view.cols != 0 && view.rows != want / 8 / view.cols) {
+      throw SnapshotError("malformed kMatrix payload (shape overflow)");
+    }
+    if (s.payload.size() != 16 + want) {
+      throw SnapshotError("malformed kMatrix payload (size/shape mismatch)");
+    }
+    view.values = payload_span<double>(s.payload, 16, view.rows * view.cols);
+    return view;
+  }
+  return std::nullopt;
+}
+
+std::optional<StreamMetaView> MappedSnapshot::stream_meta() const {
+  for (const auto& s : sections_) {
+    if (s.type != SectionType::kStreamMeta) continue;
+    if (s.payload.size() < 24) {
+      throw SnapshotError("malformed kStreamMeta payload (short header)");
+    }
+    const std::size_t num_antennas =
+        static_cast<std::size_t>(get_u64(s.payload.data()));
+    if (s.payload.size() != 24 + num_antennas * 4) {
+      throw SnapshotError("malformed kStreamMeta payload (size mismatch)");
+    }
+    StreamMetaView view;
+    view.num_services = static_cast<std::size_t>(get_u64(s.payload.data() + 8));
+    view.num_hours = static_cast<std::int64_t>(get_u64(s.payload.data() + 16));
+    view.antenna_ids = payload_span<std::uint32_t>(s.payload, 24, num_antennas);
+    return view;
+  }
+  return std::nullopt;
+}
+
+std::vector<WindowView> MappedSnapshot::windows() const {
+  std::vector<WindowView> out;
+  for (const auto& s : sections_) {
+    if (s.type == SectionType::kWindow) {
+      out.push_back(parse_window("mapped snapshot", s));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+RecoveryResult recover_snapshot(const std::string& path) {
+  RecoveryResult result;
+  {
+    Mapping mapping(path);
+    check_header(path, mapping.data(), mapping.size);
+    const Scan scan = scan_sections(mapping.data(), mapping.size);
+    result.valid_bytes = scan.valid_bytes;
+    result.valid_sections = scan.sections.size();
+    result.truncated = !scan.clean;
+    for (const auto& s : scan.sections) {
+      if (s.type == SectionType::kWindow) {
+        result.last_window_hour = parse_window(path, s).hour;
+      }
+    }
+  }
+  if (result.truncated) {
+    if (::truncate(path.c_str(), static_cast<off_t>(result.valid_bytes)) !=
+        0) {
+      fail_errno(path, "truncate");
+    }
+  }
+  return result;
+}
+
+}  // namespace icn::store

@@ -1,0 +1,184 @@
+// Binary columnar snapshot store for demand tensors and closed ingest
+// windows — the durable artifact of the measurement plant (the paper's
+// two-month study boils down to hourly (antenna x service) tensors, and this
+// is the file those tensors live in between runs).
+//
+// Wire format (all integers little-endian; full spec in DESIGN.md §7):
+//
+//   file    := header section*
+//   header  := magic[8]="ICNSNAP1"  u32 version=1  u32 reserved=0
+//   section := u32 type  u32 reserved  u64 payload_size
+//              u32 payload_crc32c  u32 header_crc32c
+//              payload (padded with zeros to a multiple of 8 bytes)
+//
+// The 16-byte file header and the 24-byte section headers keep every payload
+// 8-byte aligned in the file, so a mmap'd snapshot hands out
+// std::span<const double> views straight into the page cache — the zero-copy
+// read path. `header_crc32c` covers the 20 bytes before it, so a torn or
+// corrupted section header is distinguished from a valid one without trusting
+// `payload_size`; `payload_crc32c` covers the unpadded payload bytes.
+//
+// Sections are an append log: SnapshotWriter::sync() is the checkpoint
+// barrier (fsync), and recover_snapshot() scans for the longest valid prefix
+// and truncates a torn tail, which is how a killed ingest resumes from its
+// last durable window.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace icn::store {
+
+/// Thrown on any structural or integrity problem with a snapshot file.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Section payload types.
+enum class SectionType : std::uint32_t {
+  /// u64 rows, u64 cols, f64 values[rows * cols] (row-major).
+  kMatrix = 1,
+  /// u64 num_antennas, u64 num_services, u64 num_hours,
+  /// u32 antenna_ids[num_antennas].
+  kStreamMeta = 2,
+  /// i64 hour, f64 cells[num_antennas * num_services] (row-major MB).
+  kWindow = 3,
+};
+
+/// One raw validated section of a mapped snapshot.
+struct SectionView {
+  SectionType type{};
+  std::span<const std::uint8_t> payload;  ///< Unpadded payload bytes.
+};
+
+/// Zero-copy view of a kMatrix section.
+struct MatrixView {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::span<const double> values;  ///< rows * cols, row-major, 8-aligned.
+
+  /// Materializes an owning matrix (copies out of the mapping).
+  [[nodiscard]] ml::Matrix to_matrix() const;
+};
+
+/// Zero-copy view of a kStreamMeta section.
+struct StreamMetaView {
+  std::span<const std::uint32_t> antenna_ids;
+  std::size_t num_services = 0;
+  std::int64_t num_hours = 0;
+};
+
+/// Zero-copy view of a kWindow section.
+struct WindowView {
+  std::int64_t hour = 0;
+  std::span<const double> cells;  ///< num_antennas * num_services, row-major.
+};
+
+/// Appends sections to a snapshot file. All write errors throw SnapshotError.
+class SnapshotWriter {
+ public:
+  /// Creates (or truncates) `path` and writes the file header.
+  explicit SnapshotWriter(const std::string& path);
+
+  /// Opens an existing snapshot for append (after recover_snapshot), keeping
+  /// its contents. The header must be valid.
+  static SnapshotWriter append_to(const std::string& path);
+
+  ~SnapshotWriter();
+  SnapshotWriter(SnapshotWriter&& other) noexcept;
+  SnapshotWriter& operator=(SnapshotWriter&& other) noexcept;
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  /// Appends one section (header + payload + zero padding to 8 bytes).
+  void append_section(SectionType type, std::span<const std::uint8_t> payload);
+
+  /// Appends a kMatrix section.
+  void append_matrix(const ml::Matrix& m);
+
+  /// Appends a kStreamMeta section.
+  void append_stream_meta(std::span<const std::uint32_t> antenna_ids,
+                          std::size_t num_services, std::int64_t num_hours);
+
+  /// Appends a kWindow section.
+  void append_window(std::int64_t hour, std::span<const double> cells);
+
+  /// Durability barrier: flushes the file to stable storage (fsync). A
+  /// snapshot is recoverable up to its last sync even if the process dies
+  /// mid-append afterwards.
+  void sync();
+
+  /// Closes the file (idempotent; also called by the destructor).
+  void close();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  SnapshotWriter(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+  void write_all(std::span<const std::uint8_t> bytes);
+
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Read-only mmap of a snapshot. The constructor validates the header and
+/// every section CRC eagerly and throws SnapshotError on corruption or
+/// truncation; afterwards all accessors are zero-copy views into the mapping
+/// (valid for the lifetime of this object).
+class MappedSnapshot {
+ public:
+  explicit MappedSnapshot(const std::string& path);
+  ~MappedSnapshot();
+  MappedSnapshot(MappedSnapshot&& other) noexcept;
+  MappedSnapshot& operator=(MappedSnapshot&& other) noexcept;
+  MappedSnapshot(const MappedSnapshot&) = delete;
+  MappedSnapshot& operator=(const MappedSnapshot&) = delete;
+
+  [[nodiscard]] const std::vector<SectionView>& sections() const {
+    return sections_;
+  }
+
+  /// First kMatrix section, if any. Throws SnapshotError on a malformed
+  /// payload (size not matching rows * cols).
+  [[nodiscard]] std::optional<MatrixView> matrix() const;
+
+  /// First kStreamMeta section, if any.
+  [[nodiscard]] std::optional<StreamMetaView> stream_meta() const;
+
+  /// All kWindow sections in file (= closing) order.
+  [[nodiscard]] std::vector<WindowView> windows() const;
+
+  [[nodiscard]] std::size_t file_size() const { return size_; }
+
+ private:
+  void* map_ = nullptr;
+  std::size_t size_ = 0;
+  std::vector<SectionView> sections_;
+};
+
+/// Result of a crash-recovery scan.
+struct RecoveryResult {
+  std::uint64_t valid_bytes = 0;  ///< Length of the longest valid prefix.
+  std::size_t valid_sections = 0;
+  bool truncated = false;  ///< True when a torn/corrupt tail was dropped.
+  /// Hour of the last valid kWindow section — the checkpoint a killed ingest
+  /// resumes after. Empty when no window survived.
+  std::optional<std::int64_t> last_window_hour;
+};
+
+/// Scans `path` for the longest valid prefix (header + whole valid sections)
+/// and truncates the file to it, dropping a torn tail left by a crash
+/// mid-append. Throws SnapshotError when even the file header is unusable.
+RecoveryResult recover_snapshot(const std::string& path);
+
+}  // namespace icn::store

@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <numeric>
 
 #include "core/environment_analysis.h"
+#include "store/snapshot.h"
 #include "core/rca.h"
 #include "ml/metrics.h"
 #include "probe/aggregate.h"
@@ -154,6 +156,65 @@ TEST(ProbePathTest, ProbeAggregationReproducesGeneratorTensor) {
       }
     }
   }
+}
+
+TEST(SnapshotPipelineTest, SnapshotFedRunIsBitIdenticalToInMemoryRun) {
+  // Acceptance: persist the demand T matrix, mmap it back, and the whole
+  // analysis chain (RSCA -> clustering -> surrogate) must reproduce the
+  // in-memory run bit for bit.
+  PipelineParams params;
+  params.scenario.seed = 2023;
+  params.scenario.scale = 0.05;
+  params.scenario.outdoor_ratio = 0.0;
+  params.align_to_archetypes = false;  // no ground truth in a snapshot
+  params.surrogate.num_trees = 10;
+  const auto live = run_pipeline(params);
+
+  const std::string path = ::testing::TempDir() + "icn_pipeline_rt.snap";
+  std::remove(path.c_str());
+  {
+    store::SnapshotWriter writer(path);
+    writer.append_matrix(live.scenario.demand().traffic_matrix());
+    writer.close();
+  }
+  const auto from_snapshot = run_pipeline_from_snapshot(path, params);
+  std::remove(path.c_str());
+
+  // The loaded matrix is the same bits...
+  const auto& original = live.scenario.demand().traffic_matrix();
+  ASSERT_EQ(from_snapshot.traffic.rows(), original.rows());
+  ASSERT_EQ(from_snapshot.traffic.cols(), original.cols());
+  for (std::size_t i = 0; i < original.data().size(); ++i) {
+    ASSERT_EQ(from_snapshot.traffic.data()[i], original.data()[i]);
+  }
+  // ...so every analysis output is too.
+  EXPECT_EQ(from_snapshot.analysis.clusters.chosen_k,
+            live.clusters.chosen_k);
+  EXPECT_EQ(from_snapshot.analysis.clusters.labels, live.clusters.labels);
+  ASSERT_EQ(from_snapshot.analysis.clusters.sweep.size(),
+            live.clusters.sweep.size());
+  for (std::size_t i = 0; i < live.clusters.sweep.size(); ++i) {
+    EXPECT_EQ(from_snapshot.analysis.clusters.sweep[i].silhouette,
+              live.clusters.sweep[i].silhouette);
+  }
+  for (std::size_t i = 0; i < live.rsca.data().size(); ++i) {
+    ASSERT_EQ(from_snapshot.analysis.rsca.data()[i], live.rsca.data()[i]);
+  }
+  EXPECT_EQ(from_snapshot.analysis.surrogate->fidelity(),
+            live.surrogate->fidelity());
+}
+
+TEST(SnapshotPipelineTest, SnapshotWithoutTensorIsRejected) {
+  const std::string path = ::testing::TempDir() + "icn_pipeline_empty.snap";
+  std::remove(path.c_str());
+  {
+    store::SnapshotWriter writer(path);
+    writer.close();
+  }
+  PipelineParams params;
+  EXPECT_THROW(run_pipeline_from_snapshot(path, params),
+               store::SnapshotError);
+  std::remove(path.c_str());
 }
 
 TEST(PipelineDeterminismTest, TwoRunsIdentical) {

@@ -5,7 +5,9 @@
 // checks, not tolerances.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "ml/distance.h"
@@ -48,6 +50,55 @@ auto with_threads(std::size_t num_threads, Fn&& fn) {
   return fn();
 }
 
+/// Reference implementation of squared_euclidean's documented canonical
+/// accumulation order (lane k sums elements i == k (mod 4), lanes combine
+/// as (s0+s2)+(s1+s3), sequential tail). The shipped kernel — SIMD or
+/// scalar, whichever this build selected — must match it bit for bit.
+double squared_euclidean_reference(std::span<const double> a,
+                                   std::span<const double> b) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= a.size(); i += 4) {
+    const double d0 = a[i] - b[i];
+    const double d1 = a[i + 1] - b[i + 1];
+    const double d2 = a[i + 2] - b[i + 2];
+    const double d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  double acc = (s0 + s2) + (s1 + s3);
+  for (; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+TEST(SimdDeterminismTest, SquaredEuclideanMatchesCanonicalOrderBitForBit) {
+  icn::util::Rng rng(7701);
+  // Every tail length 0..3 and short vectors that never enter the 4-wide
+  // loop, with values spanning many orders of magnitude so an accumulation
+  // reorder cannot hide in rounding slack.
+  for (const std::size_t dims : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 15u, 16u,
+                                 17u, 64u, 73u, 101u}) {
+    for (int rep = 0; rep < 25; ++rep) {
+      std::vector<double> a(dims), b(dims);
+      for (std::size_t i = 0; i < dims; ++i) {
+        const double scale = std::pow(10.0, rng.uniform(-6.0, 6.0));
+        a[i] = rng.normal() * scale;
+        b[i] = rng.normal() * scale;
+      }
+      ASSERT_EQ(squared_euclidean(a, b), squared_euclidean_reference(a, b))
+          << "dims " << dims << " rep " << rep;
+      ASSERT_EQ(euclidean(a, b),
+                std::sqrt(squared_euclidean_reference(a, b)))
+          << "dims " << dims << " rep " << rep;
+    }
+  }
+}
+
 TEST(ThreadDeterminismTest, CondensedDistancesBitIdentical) {
   const Matrix x = blob_data(40, 6, 1.2, 101);
   const auto serial = with_threads(1, [&] { return CondensedDistances(x); });
@@ -79,6 +130,20 @@ TEST(ThreadDeterminismTest, ClusteringLabelsBitIdentical) {
       EXPECT_EQ(serial.cut(k), threaded.cut(k))
           << linkage_name(linkage) << " cut k=" << k;
     }
+  }
+}
+
+TEST(ThreadDeterminismTest, CopheneticCorrelationBitIdentical) {
+  // Sizes straddling the grain-4 chunk boundary, including n < grain
+  // (pure tail) and n not a multiple of the grain.
+  for (const std::size_t per_blob : {1u, 2u, 13u, 40u}) {
+    const Matrix x = blob_data(per_blob, 5, 1.1, 707);
+    const Dendrogram tree = agglomerative_cluster(x, Linkage::kWard);
+    const double c1 =
+        with_threads(1, [&] { return cophenetic_correlation(tree, x); });
+    const double c8 =
+        with_threads(8, [&] { return cophenetic_correlation(tree, x); });
+    EXPECT_EQ(c1, c8) << "n = " << x.rows();
   }
 }
 

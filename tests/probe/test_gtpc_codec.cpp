@@ -173,6 +173,122 @@ TEST(GtpcCodecTest, RandomBytesNeverCrash) {
   SUCCEED();
 }
 
+TEST(MalformedInputTest, ZeroLengthBuffersAreRejected) {
+  const std::span<const std::uint8_t> empty;
+  EXPECT_FALSE(parse_gtpc(empty).has_value());
+  EXPECT_FALSE(find_uli(empty).has_value());
+  EXPECT_FALSE(parse_plmn(empty).has_value());
+}
+
+TEST(MalformedInputTest, IeLengthOverrunningBufferIsRejected) {
+  // A ULI IE whose declared length runs past the end of the buffer must be
+  // rejected without reading the missing bytes.
+  std::vector<std::uint8_t> ies;
+  append_uli_ie(ies, sample_uli());
+  for (const std::uint16_t lied : {1, 2, 16, 255, 0xFFFF}) {
+    auto bad = ies;
+    const auto claimed = static_cast<std::uint16_t>(
+        (bad[1] << 8 | bad[2]) + lied);
+    bad[1] = static_cast<std::uint8_t>(claimed >> 8);
+    bad[2] = static_cast<std::uint8_t>(claimed & 0xFF);
+    EXPECT_FALSE(find_uli(bad).has_value()) << "length +" << lied;
+  }
+}
+
+TEST(MalformedInputTest, PrecedingIeWithBadLengthCannotSkipOutOfBounds) {
+  // An unknown IE whose length points past the buffer end must stop the
+  // scan cleanly, not jump the cursor out of bounds.
+  std::vector<std::uint8_t> ies = {0x47, 0xFF, 0xFF, 0x00};
+  append_uli_ie(ies, sample_uli());
+  EXPECT_FALSE(find_uli(ies).has_value());
+}
+
+TEST(MalformedInputTest, UliPayloadShorterThanFlagsClaimIsRejected) {
+  // Flags advertise TAI + ECGI but the payload carries fewer bytes than the
+  // fixed-size locations need.
+  for (const std::uint8_t flags : {0x08, 0x10, 0x18}) {
+    for (std::size_t have = 0; have < 12; ++have) {
+      std::vector<std::uint8_t> ies = {kIeTypeUli, 0x00,
+                                       static_cast<std::uint8_t>(1 + have),
+                                       0x00, flags};
+      // Valid-looking PLMN bytes so only the truncation can fail the parse.
+      for (std::size_t i = 0; i < have; ++i) {
+        ies.push_back(static_cast<std::uint8_t>(i % 9));
+      }
+      const std::size_t need =
+          ((flags & 0x08) ? 5u : 0u) + ((flags & 0x10) ? 7u : 0u);
+      const auto parsed = find_uli(ies);
+      if (have < need) {
+        EXPECT_FALSE(parsed.has_value())
+            << "flags " << int(flags) << " have " << have;
+      }
+    }
+  }
+}
+
+TEST(MalformedInputTest, ZeroLengthUliPayloadIsRejected) {
+  // A ULI IE with length 0 has no flags byte at all.
+  const std::vector<std::uint8_t> ies = {kIeTypeUli, 0x00, 0x00, 0x00};
+  EXPECT_FALSE(find_uli(ies).has_value());
+  // And flags = 0 (no location present) is semantically invalid.
+  const std::vector<std::uint8_t> no_loc = {kIeTypeUli, 0x00, 0x01, 0x00,
+                                            0x00};
+  EXPECT_FALSE(find_uli(no_loc).has_value());
+}
+
+TEST(MalformedInputTest, GtpcLengthFieldLyingIsRejected) {
+  GtpcMessage msg;
+  append_uli_ie(msg.ies, sample_uli());
+  const auto wire = encode_gtpc(msg);
+  // Length claiming more bytes than the buffer holds.
+  auto longer = wire;
+  longer[2] = 0xFF;
+  longer[3] = 0xFF;
+  EXPECT_FALSE(parse_gtpc(longer).has_value());
+  // Length below the minimum body (8 bytes after the 4-byte prefix).
+  for (const std::uint8_t len : {0, 1, 7}) {
+    auto shorter = wire;
+    shorter[2] = 0x00;
+    shorter[3] = len;
+    EXPECT_FALSE(parse_gtpc(shorter).has_value()) << "length " << int(len);
+  }
+}
+
+TEST(MalformedInputTest, MutatedValidMessagesNeverCrash) {
+  // Mutation fuzz: corrupt a few bytes of a well-formed Create Session
+  // Request and require the decoders to either reject it or return a
+  // structurally valid message — never crash or read out of bounds.
+  GtpcMessage msg;
+  msg.message_type = kCreateSessionRequest;
+  msg.teid = 0x01020304;
+  append_uli_ie(msg.ies, sample_uli());
+  const auto wire = encode_gtpc(msg);
+
+  icn::util::Rng rng(0xBADC0DE);
+  for (int trial = 0; trial < 4000; ++trial) {
+    auto mutated = wire;
+    const std::size_t flips = 1 + rng.uniform_index(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t at = rng.uniform_index(mutated.size());
+      mutated[at] = static_cast<std::uint8_t>(rng.uniform_index(256));
+    }
+    // Occasionally also chop the tail.
+    if (rng.bernoulli(0.25)) {
+      mutated.resize(rng.uniform_index(mutated.size() + 1));
+    }
+    const auto parsed = parse_gtpc(mutated);
+    if (parsed.has_value()) {
+      const auto uli = find_uli(parsed->ies);
+      if (uli.has_value()) {
+        EXPECT_TRUE(uli->tai.has_value() || uli->ecgi.has_value());
+        if (uli->ecgi) EXPECT_LE(uli->ecgi->eci, 0x0FFFFFFFu);
+      }
+    }
+    (void)find_uli(mutated);
+  }
+  SUCCEED();
+}
+
 TEST(GtpcCodecTest, ProbeEndToEndOverWire) {
   // The full control-plane trick the paper relies on: the generator encodes
   // the serving cell into a Create Session Request; the probe parses the

@@ -1,0 +1,300 @@
+// Snapshot store: CRC32C vectors, round-trip fidelity, corruption and
+// truncation detection, crash recovery (longest-valid-prefix + truncate),
+// and the append path a resumed ingest uses.
+#include "store/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "store/crc32c.h"
+#include "util/rng.h"
+
+namespace icn::store {
+namespace {
+
+/// Unique file path in the test temp dir; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(::testing::TempDir() + "icn_snapshot_" + name) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+ml::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                         std::uint64_t seed) {
+  icn::util::Rng rng(seed);
+  ml::Matrix m(rows, cols);
+  for (auto& v : m.data()) v = rng.uniform(0.0, 1000.0);
+  return m;
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // Standard CRC32C check value for "123456789".
+  const std::string digits = "123456789";
+  EXPECT_EQ(crc32c({reinterpret_cast<const std::uint8_t*>(digits.data()),
+                    digits.size()}),
+            0xE3069283u);
+  EXPECT_EQ(crc32c({}), 0u);
+  // 32 zero bytes (iSCSI test vector).
+  const std::vector<std::uint8_t> zeros(32, 0);
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+  const std::vector<std::uint8_t> ffs(32, 0xFF);
+  EXPECT_EQ(crc32c(ffs), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  icn::util::Rng rng(42);
+  std::vector<std::uint8_t> data(1025);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  const std::uint32_t whole = crc32c(data);
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{1},
+                                std::size_t{7}, std::size_t{512},
+                                data.size()}) {
+    const std::uint32_t a = crc32c_extend(0, {data.data(), cut});
+    const std::uint32_t b =
+        crc32c_extend(a, {data.data() + cut, data.size() - cut});
+    EXPECT_EQ(b, whole) << "cut " << cut;
+  }
+}
+
+TEST(SnapshotTest, MatrixRoundTripIsBitIdentical) {
+  TempFile file("matrix_roundtrip");
+  const ml::Matrix original = random_matrix(37, 11, 7);
+  {
+    SnapshotWriter writer(file.path());
+    writer.append_matrix(original);
+    writer.sync();
+  }
+  const MappedSnapshot snapshot(file.path());
+  ASSERT_EQ(snapshot.sections().size(), 1u);
+  const auto view = snapshot.matrix();
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->rows, 37u);
+  EXPECT_EQ(view->cols, 11u);
+  // Zero-copy view is 8-aligned and bit-identical.
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(view->values.data()) % 8, 0u);
+  ASSERT_EQ(view->values.size(), original.data().size());
+  for (std::size_t i = 0; i < view->values.size(); ++i) {
+    EXPECT_EQ(view->values[i], original.data()[i]) << "slot " << i;
+  }
+  const ml::Matrix copy = view->to_matrix();
+  EXPECT_EQ(copy.rows(), original.rows());
+  for (std::size_t i = 0; i < copy.data().size(); ++i) {
+    ASSERT_EQ(copy.data()[i], original.data()[i]);
+  }
+}
+
+TEST(SnapshotTest, StreamMetaAndWindowsRoundTrip) {
+  TempFile file("meta_windows");
+  const std::vector<std::uint32_t> ids = {3, 9, 27, 81};
+  const std::vector<double> cells0 = {1.5, 0.0, 2.25, 3.0, 0.5, 4.0, 8.0, 9.0};
+  const std::vector<double> cells5 = {0.0, 7.5, 0.125, 6.0, 1.0, 2.0, 3.0, 4.5};
+  {
+    SnapshotWriter writer(file.path());
+    writer.append_stream_meta(ids, 2, 24);
+    writer.append_window(0, cells0);
+    writer.append_window(5, cells5);
+    writer.sync();
+  }
+  const MappedSnapshot snapshot(file.path());
+  const auto meta = snapshot.stream_meta();
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(meta->num_services, 2u);
+  EXPECT_EQ(meta->num_hours, 24);
+  ASSERT_EQ(meta->antenna_ids.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(meta->antenna_ids[i], ids[i]);
+  }
+  const auto windows = snapshot.windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].hour, 0);
+  EXPECT_EQ(windows[1].hour, 5);
+  ASSERT_EQ(windows[1].cells.size(), cells5.size());
+  for (std::size_t i = 0; i < cells5.size(); ++i) {
+    EXPECT_EQ(windows[1].cells[i], cells5[i]);
+  }
+}
+
+TEST(SnapshotTest, HeaderOnlyFileIsValidAndEmpty) {
+  TempFile file("header_only");
+  { SnapshotWriter writer(file.path()); }
+  const MappedSnapshot snapshot(file.path());
+  EXPECT_TRUE(snapshot.sections().empty());
+  EXPECT_FALSE(snapshot.matrix().has_value());
+  EXPECT_TRUE(snapshot.windows().empty());
+}
+
+TEST(SnapshotTest, EveryFlippedByteIsDetected) {
+  TempFile file("bitflip");
+  {
+    SnapshotWriter writer(file.path());
+    writer.append_window(3, std::vector<double>{1.0, 2.0, 3.0});
+  }
+  const auto good = read_file(file.path());
+  // Flip each byte in turn (skip the file header's 4 reserved bytes, the
+  // only field no CRC covers): the reader must reject every corruption.
+  for (std::size_t at = 0; at < good.size(); ++at) {
+    if (at >= 12 && at < 16) continue;  // file-header reserved field
+    auto bad = good;
+    bad[at] ^= 0x40;
+    write_file(file.path(), bad);
+    EXPECT_THROW((void)MappedSnapshot(file.path()), SnapshotError)
+        << "flipped byte " << at;
+  }
+}
+
+TEST(SnapshotTest, EveryTruncationIsDetected) {
+  TempFile file("truncate");
+  {
+    SnapshotWriter writer(file.path());
+    writer.append_window(1, std::vector<double>{4.0, 5.0});
+  }
+  const auto good = read_file(file.path());
+  for (std::size_t keep = 0; keep < good.size(); ++keep) {
+    write_file(file.path(), {good.data(), keep});
+    if (keep == 16) {
+      // A prefix of exactly the file header is a valid empty snapshot.
+      EXPECT_TRUE(MappedSnapshot(file.path()).sections().empty());
+      continue;
+    }
+    EXPECT_THROW((void)MappedSnapshot(file.path()), SnapshotError)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(SnapshotTest, RejectsBadMagicAndVersion) {
+  TempFile file("magic");
+  { SnapshotWriter writer(file.path()); }
+  auto bytes = read_file(file.path());
+  auto bad_magic = bytes;
+  bad_magic[0] = 'X';
+  write_file(file.path(), bad_magic);
+  EXPECT_THROW((void)MappedSnapshot(file.path()), SnapshotError);
+  auto bad_version = bytes;
+  bad_version[8] = 99;
+  write_file(file.path(), bad_version);
+  EXPECT_THROW((void)MappedSnapshot(file.path()), SnapshotError);
+  EXPECT_THROW((void)SnapshotWriter::append_to(file.path()), SnapshotError);
+}
+
+TEST(SnapshotTest, MissingFileThrows) {
+  EXPECT_THROW((void)MappedSnapshot("/nonexistent/icn.snap"), SnapshotError);
+}
+
+TEST(SnapshotTest, AppendToExtendsExistingSnapshot) {
+  TempFile file("append");
+  {
+    SnapshotWriter writer(file.path());
+    writer.append_window(0, std::vector<double>{1.0});
+  }
+  {
+    SnapshotWriter writer = SnapshotWriter::append_to(file.path());
+    writer.append_window(1, std::vector<double>{2.0});
+    writer.sync();
+  }
+  const MappedSnapshot snapshot(file.path());
+  const auto windows = snapshot.windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].hour, 0);
+  EXPECT_EQ(windows[1].hour, 1);
+}
+
+TEST(SnapshotRecoveryTest, CleanFileIsKeptWhole) {
+  TempFile file("recover_clean");
+  {
+    SnapshotWriter writer(file.path());
+    writer.append_window(7, std::vector<double>{1.0, 2.0});
+  }
+  const auto before = read_file(file.path());
+  const RecoveryResult result = recover_snapshot(file.path());
+  EXPECT_FALSE(result.truncated);
+  EXPECT_EQ(result.valid_sections, 1u);
+  EXPECT_EQ(result.valid_bytes, before.size());
+  ASSERT_TRUE(result.last_window_hour.has_value());
+  EXPECT_EQ(*result.last_window_hour, 7);
+  EXPECT_EQ(read_file(file.path()).size(), before.size());
+}
+
+TEST(SnapshotRecoveryTest, TornTailIsDroppedAndFileBecomesReadable) {
+  TempFile file("recover_torn");
+  {
+    SnapshotWriter writer(file.path());
+    writer.append_window(0, std::vector<double>{1.0, 2.0});
+    writer.append_window(1, std::vector<double>{3.0, 4.0});
+  }
+  const auto whole = read_file(file.path());
+  // A crash mid-append leaves a partial third section on disk.
+  for (const std::size_t extra : {std::size_t{1}, std::size_t{13},
+                                  std::size_t{24}, std::size_t{31}}) {
+    auto torn = whole;
+    for (std::size_t i = 0; i < extra; ++i) {
+      torn.push_back(static_cast<std::uint8_t>(0xA0 + i));
+    }
+    write_file(file.path(), torn);
+    EXPECT_THROW((void)MappedSnapshot(file.path()), SnapshotError);
+    const RecoveryResult result = recover_snapshot(file.path());
+    EXPECT_TRUE(result.truncated);
+    EXPECT_EQ(result.valid_sections, 2u);
+    EXPECT_EQ(result.valid_bytes, whole.size());
+    ASSERT_TRUE(result.last_window_hour.has_value());
+    EXPECT_EQ(*result.last_window_hour, 1);
+    // After recovery the snapshot opens cleanly with both windows intact.
+    const MappedSnapshot snapshot(file.path());
+    EXPECT_EQ(snapshot.windows().size(), 2u);
+  }
+}
+
+TEST(SnapshotRecoveryTest, CorruptMiddleSectionDropsTail) {
+  TempFile file("recover_middle");
+  std::size_t first_section_end = 0;
+  {
+    SnapshotWriter writer(file.path());
+    writer.append_window(0, std::vector<double>{1.0, 2.0});
+    writer.sync();
+    first_section_end = read_file(file.path()).size();
+    writer.append_window(1, std::vector<double>{3.0, 4.0});
+    writer.append_window(2, std::vector<double>{5.0, 6.0});
+  }
+  auto bytes = read_file(file.path());
+  bytes[first_section_end + 30] ^= 0xFF;  // corrupt window 1's payload
+  write_file(file.path(), bytes);
+  const RecoveryResult result = recover_snapshot(file.path());
+  EXPECT_TRUE(result.truncated);
+  EXPECT_EQ(result.valid_sections, 1u);
+  EXPECT_EQ(result.valid_bytes, first_section_end);
+  ASSERT_TRUE(result.last_window_hour.has_value());
+  EXPECT_EQ(*result.last_window_hour, 0);
+  const MappedSnapshot snapshot(file.path());
+  ASSERT_EQ(snapshot.windows().size(), 1u);
+  EXPECT_EQ(snapshot.windows()[0].hour, 0);
+}
+
+TEST(SnapshotRecoveryTest, UnusableHeaderThrows) {
+  TempFile file("recover_header");
+  write_file(file.path(), std::vector<std::uint8_t>{1, 2, 3});
+  EXPECT_THROW((void)recover_snapshot(file.path()), SnapshotError);
+}
+
+}  // namespace
+}  // namespace icn::store
