@@ -1,16 +1,21 @@
 // Performance microbenches (google-benchmark) for the streaming subsystem:
 // ingest throughput vs shard count, checkpointed ingest (fsync per window),
-// and snapshot mmap load vs regenerating the same tensor from the scenario.
+// supervised multi-feed ingest (clean and fault-injected), and snapshot
+// mmap load vs regenerating the same tensor from the scenario.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/scenario.h"
+#include "fault/feed.h"
+#include "fault/plan.h"
 #include "probe/probe.h"
 #include "store/snapshot.h"
 #include "stream/ingest.h"
+#include "stream/supervise.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -102,6 +107,94 @@ void BM_StreamIngestCheckpointed(benchmark::State& state) {
   state.SetItemsProcessed(records);
 }
 BENCHMARK(BM_StreamIngestCheckpointed)->Unit(benchmark::kMillisecond);
+
+std::vector<stream::FeedBatch> feed_script(std::size_t records_per_hour,
+                                           std::uint64_t seed) {
+  std::vector<probe::ServiceSession> sessions;
+  for (const auto& batch : hourly_batches(records_per_hour, seed)) {
+    sessions.insert(sessions.end(), batch.begin(), batch.end());
+  }
+  return stream::hourly_script(sessions, kHours);
+}
+
+void BM_SupervisedIngest(benchmark::State& state) {
+  // Four clean feeds under full supervision (dedup set, validation,
+  // coverage tracking, virtual clock). The gap to BM_StreamIngestShards is
+  // the supervision overhead on the healthy path.
+  static const auto script = feed_script(1024, 7);
+  std::int64_t records = 0;
+  for (auto _ : state) {
+    std::vector<stream::VectorFeed> sources(4, stream::VectorFeed(script));
+    std::vector<stream::FeedSpec> specs;
+    for (std::size_t p = 0; p < 4; ++p) {
+      stream::FeedSpec spec;
+      spec.name = "p" + std::to_string(p);
+      for (std::size_t i = 0; i < kAntennas; ++i) {
+        spec.antenna_ids.push_back(
+            static_cast<std::uint32_t>(p * kAntennas + i));
+      }
+      spec.source = &sources[p];
+      specs.push_back(std::move(spec));
+    }
+    stream::SupervisorParams params;
+    params.num_services = kServices;
+    params.num_hours = kHours;
+    params.num_shards = 2;
+    stream::FeedSupervisor supervisor(std::move(params), std::move(specs));
+    supervisor.run();
+    records += static_cast<std::int64_t>(4 * script.size() * 1024);
+    benchmark::DoNotOptimize(supervisor.merge());
+  }
+  state.SetItemsProcessed(records);
+}
+BENCHMARK(BM_SupervisedIngest)->Unit(benchmark::kMillisecond);
+
+void BM_SupervisedIngestFaulty(benchmark::State& state) {
+  // The same four feeds wrapped in a seeded FaultPlan (retries, duplicates,
+  // truncated redeliveries, skew). The gap to BM_SupervisedIngest is the
+  // cost of absorbing the faults.
+  static const auto script = feed_script(1024, 7);
+  fault::FaultPlanParams fault_params;
+  fault_params.seed = 11;
+  fault_params.num_probes = 4;
+  fault_params.num_hours = kHours;
+  fault_params.transient_rate = 0.10;
+  fault_params.duplicate_rate = 0.15;
+  fault_params.reorder_rate = 0.15;
+  fault_params.skew_rate = 0.10;
+  fault_params.truncate_rate = 0.10;
+  static const fault::FaultPlan plan(fault_params);
+  std::int64_t records = 0;
+  for (auto _ : state) {
+    fault::FaultLedger ledger;
+    std::vector<std::unique_ptr<fault::FaultyFeed>> sources;
+    std::vector<stream::FeedSpec> specs;
+    for (std::size_t p = 0; p < 4; ++p) {
+      sources.push_back(
+          std::make_unique<fault::FaultyFeed>(p, script, &plan, &ledger));
+      stream::FeedSpec spec;
+      spec.name = "p" + std::to_string(p);
+      for (std::size_t i = 0; i < kAntennas; ++i) {
+        spec.antenna_ids.push_back(
+            static_cast<std::uint32_t>(p * kAntennas + i));
+      }
+      spec.source = sources.back().get();
+      specs.push_back(std::move(spec));
+    }
+    stream::SupervisorParams params;
+    params.num_services = kServices;
+    params.num_hours = kHours;
+    params.num_shards = 2;
+    params.allowed_lateness = 12;
+    params.corrupt_strikes = 1000;  // Truncations are redelivered intact.
+    stream::FeedSupervisor supervisor(std::move(params), std::move(specs));
+    supervisor.run();
+    records += static_cast<std::int64_t>(4 * script.size() * 1024);
+    benchmark::DoNotOptimize(supervisor.merge());
+  }
+  state.SetItemsProcessed(records);
+}
+BENCHMARK(BM_SupervisedIngestFaulty)->Unit(benchmark::kMillisecond);
 
 void BM_SnapshotLoad(benchmark::State& state) {
   // mmap + CRC validation + materializing the T matrix from a snapshot.

@@ -24,6 +24,32 @@ void SeasonalForecaster::fit(std::span<const double> series,
   train_hours_ = series.size();
 }
 
+void SeasonalForecaster::fit_masked(std::span<const double> series,
+                                    std::span<const std::uint8_t> covered,
+                                    std::size_t season_hours) {
+  ICN_REQUIRE(season_hours > 0, "season length");
+  ICN_REQUIRE(series.size() >= season_hours,
+              "need at least one full season of training data");
+  ICN_REQUIRE(covered.size() == series.size(),
+              "coverage bitmap must match the series");
+  std::vector<double> all_covered;
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    if (covered[t] != 0) all_covered.push_back(series[t]);
+  }
+  ICN_REQUIRE(!all_covered.empty(), "series has no covered samples");
+  const double fallback = icn::util::median(all_covered);
+  slot_median_.assign(season_hours, 0.0);
+  std::vector<double> bucket;
+  for (std::size_t slot = 0; slot < season_hours; ++slot) {
+    bucket.clear();
+    for (std::size_t t = slot; t < series.size(); t += season_hours) {
+      if (covered[t] != 0) bucket.push_back(series[t]);
+    }
+    slot_median_[slot] = bucket.empty() ? fallback : icn::util::median(bucket);
+  }
+  train_hours_ = series.size();
+}
+
 double SeasonalForecaster::slot_value(std::size_t slot) const {
   ICN_REQUIRE(is_fitted(), "forecaster not fitted");
   ICN_REQUIRE(slot < slot_median_.size(), "slot index");

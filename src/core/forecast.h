@@ -26,6 +26,16 @@ class SeasonalForecaster {
   /// full season of data.
   void fit(std::span<const double> series, std::size_t season_hours = 168);
 
+  /// Degraded-coverage fit: only samples whose `covered` byte is nonzero
+  /// contribute to their slot median, so dropout hours (recorded as zeros in
+  /// the tensor) cannot drag the seasonal profile down. A slot with no
+  /// covered sample falls back to the median over all covered samples.
+  /// Requires covered.size() == series.size(), series at least one season
+  /// long, and at least one covered sample.
+  void fit_masked(std::span<const double> series,
+                  std::span<const std::uint8_t> covered,
+                  std::size_t season_hours = 168);
+
   [[nodiscard]] bool is_fitted() const { return !slot_median_.empty(); }
 
   /// Seasonal median of slot s in [0, season_hours).

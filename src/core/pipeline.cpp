@@ -1,11 +1,14 @@
 #include "core/pipeline.h"
 
+#include <cstdio>
 #include <numeric>
 
 #include "core/rca.h"
 #include "ml/hungarian.h"
 #include "store/snapshot.h"
 #include "stream/ingest.h"
+#include "stream/supervise.h"
+#include "util/error.h"
 #include "util/stats.h"
 
 namespace icn::core {
@@ -49,20 +52,149 @@ PipelineResult run_pipeline(const PipelineParams& params) {
   return result;
 }
 
+CoverageReport build_coverage_report(
+    const stream::CoverageMask& mask,
+    std::span<const std::uint32_t> antenna_ids, double threshold) {
+  ICN_REQUIRE(threshold >= 0.0 && threshold <= 1.0,
+              "min_antenna_coverage in [0, 1]");
+  ICN_REQUIRE(antenna_ids.empty() || antenna_ids.size() == mask.rows(),
+              "antenna ids must match coverage rows");
+  CoverageReport report;
+  report.threshold = threshold;
+  report.total_rows = mask.rows();
+  report.covered_cells = mask.covered_cells();
+  report.total_cells =
+      mask.rows() * static_cast<std::size_t>(mask.num_hours());
+  report.degraded = report.covered_cells < report.total_cells;
+  for (std::size_t row = 0; row < mask.rows(); ++row) {
+    const std::uint32_t id = antenna_ids.empty()
+                                 ? static_cast<std::uint32_t>(row)
+                                 : antenna_ids[row];
+    const double fraction = mask.row_fraction(row);
+    const bool excluded = fraction < threshold;
+    if (excluded) {
+      report.excluded_antennas.push_back(id);
+    } else {
+      report.analyzed_rows.push_back(row);
+    }
+    if (fraction < 1.0) {
+      report.incomplete.push_back(
+          {row, id, fraction, excluded, mask.gaps(row)});
+    }
+  }
+  return report;
+}
+
+std::string to_text(const CoverageReport& report) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "coverage: %zu/%zu cells (%.1f%%), threshold %.2f, "
+                "analyzed %zu/%zu antennas\n",
+                report.covered_cells, report.total_cells,
+                report.total_cells == 0
+                    ? 100.0
+                    : 100.0 * static_cast<double>(report.covered_cells) /
+                          static_cast<double>(report.total_cells),
+                report.threshold, report.analyzed_rows.size(),
+                report.total_rows);
+  std::string out = line;
+  for (const auto& antenna : report.incomplete) {
+    std::snprintf(line, sizeof(line), "antenna %u: %.1f%% covered%s, gaps",
+                  antenna.antenna_id, 100.0 * antenna.fraction,
+                  antenna.excluded ? " (EXCLUDED)" : "");
+    out += line;
+    for (const auto& gap : antenna.gaps) {
+      std::snprintf(line, sizeof(line), " [%lld,%lld)",
+                    static_cast<long long>(gap.first),
+                    static_cast<long long>(gap.last));
+      out += line;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared degraded-aware back-end of the snapshot entry points: builds the
+/// coverage accounting and analyzes the surviving submatrix.
+SnapshotPipelineResult analyze_with_coverage(ml::Matrix traffic,
+                                             const stream::CoverageMask& mask,
+                                             std::span<const std::uint32_t> ids,
+                                             const PipelineParams& params) {
+  SnapshotPipelineResult result;
+  result.traffic = std::move(traffic);
+  result.coverage =
+      build_coverage_report(mask, ids, params.min_antenna_coverage);
+  const auto& rows = result.coverage.analyzed_rows;
+  ICN_REQUIRE(!rows.empty(), "every antenna fell below the coverage "
+                             "threshold; nothing left to analyze");
+  if (rows.size() == result.traffic.rows()) {
+    result.analysis = analyze_traffic(result.traffic, params);
+  } else {
+    result.analysis =
+        analyze_traffic(result.traffic.select_rows(rows), params);
+  }
+  return result;
+}
+
+/// Coverage mask of a single mapped snapshot: its kCoverage section when
+/// present (one row broadcast to every antenna, or one row per antenna),
+/// full coverage otherwise.
+stream::CoverageMask snapshot_coverage(const store::MappedSnapshot& snapshot,
+                                       std::size_t rows,
+                                       const std::string& path) {
+  const auto section = snapshot.coverage();
+  if (!section) {
+    // Hour count only scales the cell totals of a complete report.
+    const auto meta = snapshot.stream_meta();
+    return stream::CoverageMask::full(rows, meta ? meta->num_hours : 1);
+  }
+  stream::CoverageMask mask(rows, section->num_hours);
+  if (section->rows == 1) {
+    for (std::size_t row = 0; row < rows; ++row) {
+      mask.set_row(row, section->covered);
+    }
+    return mask;
+  }
+  if (section->rows != rows) {
+    throw store::SnapshotError("snapshot " + path +
+                               ": kCoverage rows do not match the tensor");
+  }
+  const std::size_t hours = static_cast<std::size_t>(section->num_hours);
+  for (std::size_t row = 0; row < rows; ++row) {
+    mask.set_row(row, section->covered.subspan(row * hours, hours));
+  }
+  return mask;
+}
+
+}  // namespace
+
 SnapshotPipelineResult run_pipeline_from_snapshot(
     const std::string& path, const PipelineParams& params) {
   const store::MappedSnapshot snapshot(path);
-  SnapshotPipelineResult result;
+  ml::Matrix traffic;
   if (const auto matrix = snapshot.matrix()) {
-    result.traffic = matrix->to_matrix();
+    traffic = matrix->to_matrix();
   } else if (snapshot.stream_meta()) {
-    result.traffic = stream::totals_from_snapshot(snapshot);
+    traffic = stream::totals_from_snapshot(snapshot);
   } else {
     throw store::SnapshotError("snapshot " + path +
                                ": no kMatrix or kStreamMeta section");
   }
-  result.analysis = analyze_traffic(result.traffic, params);
-  return result;
+  const auto meta = snapshot.stream_meta();
+  const std::span<const std::uint32_t> ids =
+      meta ? meta->antenna_ids : std::span<const std::uint32_t>{};
+  const stream::CoverageMask mask =
+      snapshot_coverage(snapshot, traffic.rows(), path);
+  return analyze_with_coverage(std::move(traffic), mask, ids, params);
+}
+
+SnapshotPipelineResult run_pipeline_from_snapshots(
+    std::span<const std::string> paths, const PipelineParams& params) {
+  stream::MergedStudy study = stream::merge_snapshots(paths);
+  return analyze_with_coverage(std::move(study.traffic), study.coverage,
+                               study.antenna_ids, params);
 }
 
 }  // namespace icn::core

@@ -1,0 +1,68 @@
+#include "fault/corrupt.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "store/snapshot.h"
+#include "util/error.h"
+
+namespace icn::fault {
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what, const std::string& path) {
+  throw icn::util::IoError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+bool corrupt_snapshot(const std::string& path, std::size_t probe,
+                      const FaultPlan& plan, FaultLedger& ledger) {
+  const auto spec = plan.bitflip(probe);
+  if (!spec) return false;
+
+  std::vector<store::SectionInfo> windows;
+  for (const auto& info : store::scan_section_index(path)) {
+    if (info.type == store::SectionType::kWindow && info.payload_size > 0) {
+      windows.push_back(info);
+    }
+  }
+  if (windows.empty()) return false;
+
+  const auto pick = static_cast<std::size_t>(
+      spec->section_frac * static_cast<double>(windows.size()));
+  const store::SectionInfo& target = windows[std::min(pick, windows.size() - 1)];
+  auto byte = static_cast<std::uint64_t>(
+      spec->byte_frac * static_cast<double>(target.payload_size));
+  byte = std::min(byte, target.payload_size - 1);
+  const std::uint64_t offset = target.payload_offset + byte;
+
+  const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) fail_errno("cannot open snapshot for corruption", path);
+  std::int64_t hour = 0;
+  std::uint8_t value = 0;
+  if (::pread(fd, &hour, sizeof(hour),
+              static_cast<off_t>(target.payload_offset)) !=
+          static_cast<ssize_t>(sizeof(hour)) ||
+      ::pread(fd, &value, 1, static_cast<off_t>(offset)) != 1) {
+    ::close(fd);
+    fail_errno("cannot read snapshot byte", path);
+  }
+  value ^= spec->mask;
+  if (::pwrite(fd, &value, 1, static_cast<off_t>(offset)) != 1 ||
+      ::fsync(fd) != 0) {
+    ::close(fd);
+    fail_errno("cannot write snapshot byte", path);
+  }
+  ::close(fd);
+
+  ledger.push_back({probe, hour, FaultKind::kBitFlip,
+                    static_cast<std::int64_t>(offset),
+                    static_cast<std::int64_t>(spec->mask)});
+  return true;
+}
+
+}  // namespace icn::fault

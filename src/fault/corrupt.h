@@ -1,0 +1,24 @@
+// Post-run checkpoint corruption: the silent-storage half of the fault
+// model. A FaultPlan's BitFlipSpec is resolved against the actual bytes of a
+// probe's checkpoint file — one bit of one window payload is XOR-flipped —
+// so recovery tests exercise the store's CRC armor against real on-disk
+// damage rather than synthetic in-memory mutations.
+#pragma once
+
+#include <string>
+
+#include "fault/plan.h"
+
+namespace icn::fault {
+
+/// Flips one payload bit of `path` per the plan's BitFlipSpec for `probe`:
+/// the floor(section_frac * num_windows)-th kWindow section, at byte
+/// floor(byte_frac * payload_size) of its payload. Appends a kBitFlip event
+/// (hour = the window's event hour, a = absolute file offset, b = XOR mask)
+/// to `ledger` and returns true when a flip happened; returns false without
+/// touching the file when the plan has no flip for this probe or the file
+/// has no window sections. Throws icn::util::IoError on I/O failure.
+bool corrupt_snapshot(const std::string& path, std::size_t probe,
+                      const FaultPlan& plan, FaultLedger& ledger);
+
+}  // namespace icn::fault

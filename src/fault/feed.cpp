@@ -1,0 +1,148 @@
+#include "fault/feed.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace icn::fault {
+
+FaultyFeed::FaultyFeed(std::size_t probe, std::vector<stream::FeedBatch> script,
+                       const FaultPlan* plan, FaultLedger* ledger)
+    : probe_(probe), script_(std::move(script)), plan_(plan), ledger_(ledger) {
+  ICN_REQUIRE(plan_ != nullptr, "faulty feed needs a plan");
+  ICN_REQUIRE(ledger_ != nullptr, "faulty feed needs a ledger");
+}
+
+stream::PullResult FaultyFeed::deliver(stream::FeedBatch batch) {
+  ++deliveries_;
+  return {stream::PullStatus::kBatch, std::move(batch)};
+}
+
+stream::PullResult FaultyFeed::pull() {
+  if (stall_remaining_ > 0) {
+    --stall_remaining_;
+    return {stream::PullStatus::kStalled, {}};
+  }
+  if (transient_remaining_ > 0) {
+    --transient_remaining_;
+    throw stream::TransientFeedError("injected transient failure");
+  }
+  if (dup_pending_) {
+    stream::FeedBatch batch = std::move(*dup_pending_);
+    dup_pending_.reset();
+    return deliver(std::move(batch));
+  }
+  // Skewed batches come due once enough later deliveries have happened.
+  for (std::size_t i = 0; i < held_.size(); ++i) {
+    if (deliveries_ >= held_[i].due_after_deliveries) {
+      stream::FeedBatch batch = std::move(held_[i].batch);
+      held_.erase(held_.begin() + static_cast<std::ptrdiff_t>(i));
+      return deliver(std::move(batch));
+    }
+  }
+
+  while (true) {
+    if (cursor_ >= script_.size()) {
+      if (held_.empty()) return {stream::PullStatus::kEndOfStream, {}};
+      stream::FeedBatch batch = std::move(held_.front().batch);
+      held_.erase(held_.begin());
+      return deliver(std::move(batch));
+    }
+    const std::int64_t hour = script_[cursor_].hour;
+
+    if (plan_->poisoned(probe_, hour)) {
+      if (!poison_logged_) {
+        ledger_->push_back({probe_, hour, FaultKind::kPoison, 0, 0});
+        poison_logged_ = true;
+      }
+      // The cursor never advances; only quarantine ends the retries.
+      throw stream::TransientFeedError("injected poisoned probe");
+    }
+
+    if (const std::int64_t len = plan_->dropout_starting_at(probe_, hour);
+        len > 0) {
+      ledger_->push_back({probe_, hour, FaultKind::kDropout, len, 0});
+      cursor_ += static_cast<std::size_t>(len);
+      stall_remaining_ = len - 1;  // this pull consumes the first stall
+      return {stream::PullStatus::kStalled, {}};
+    }
+
+    if (const std::int64_t n = plan_->transient_failures(probe_, hour);
+        n > 0 && transient_burned_ != cursor_) {
+      transient_burned_ = cursor_;
+      ledger_->push_back({probe_, hour, FaultKind::kTransient, n, 0});
+      transient_remaining_ = n - 1;  // this pull consumes the first throw
+      throw stream::TransientFeedError("injected transient failure");
+    }
+
+    if (plan_->reordered(probe_, hour) && reorder_burned_ != cursor_ &&
+        script_[cursor_].records.size() > 1) {
+      reorder_burned_ = cursor_;
+      reorder_preserving_antenna_order(script_[cursor_].records,
+                                       plan_->reorder_seed(probe_, hour));
+      ledger_->push_back(
+          {probe_, hour, FaultKind::kReorder,
+           static_cast<std::int64_t>(script_[cursor_].records.size()), 0});
+    }
+
+    if (const std::int64_t delay = plan_->skew_delay(probe_, hour);
+        delay > 0) {
+      ledger_->push_back({probe_, hour, FaultKind::kSkew, delay, 0});
+      held_.push_back({deliveries_ + static_cast<std::size_t>(delay),
+                       script_[cursor_]});
+      ++cursor_;
+      continue;  // the next script entry is processed within this pull
+    }
+
+    if (const auto frac = plan_->truncate_keep_frac(probe_, hour);
+        frac && truncate_burned_ != cursor_ &&
+        !script_[cursor_].records.empty()) {
+      truncate_burned_ = cursor_;
+      stream::FeedBatch cut = script_[cursor_];
+      const auto kept = static_cast<std::size_t>(
+          *frac * static_cast<double>(cut.records.size()));
+      cut.records.resize(kept);  // declared_records keeps the intact count
+      ledger_->push_back({probe_, hour, FaultKind::kTruncate,
+                          static_cast<std::int64_t>(kept),
+                          static_cast<std::int64_t>(cut.declared_records)});
+      // The cursor stays: the intact batch is redelivered on the next pull.
+      return deliver(std::move(cut));
+    }
+
+    stream::FeedBatch out = script_[cursor_];
+    if (plan_->duplicated(probe_, hour)) {
+      ledger_->push_back({probe_, hour, FaultKind::kDuplicate,
+                          static_cast<std::int64_t>(out.sequence), 0});
+      dup_pending_ = out;
+    }
+    ++cursor_;
+    return deliver(std::move(out));
+  }
+}
+
+void reorder_preserving_antenna_order(
+    std::vector<probe::ServiceSession>& records, std::uint64_t seed) {
+  if (records.size() < 2) return;
+  std::vector<std::uint32_t> order;  // antenna ids in first-appearance order
+  std::unordered_map<std::uint32_t, std::vector<probe::ServiceSession>> groups;
+  for (const auto& session : records) {
+    auto [it, inserted] = groups.try_emplace(session.antenna_id);
+    if (inserted) order.push_back(session.antenna_id);
+    it->second.push_back(session);
+  }
+  icn::util::Rng rng(seed);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform_index(i)]);
+  }
+  records.clear();
+  for (const std::uint32_t id : order) {
+    const auto& group = groups[id];
+    records.insert(records.end(), group.begin(), group.end());
+  }
+}
+
+}  // namespace icn::fault

@@ -1,0 +1,75 @@
+// FaultyFeed: wraps a healthy hourly batch script in the full fault
+// taxonomy of a FaultPlan, logging every injected fault to the shared
+// ledger. The supervisor cannot tell it from a real misbehaving probe.
+//
+// Fault precedence at one script position (hour h):
+//   poison  -> every pull throws from h on; only quarantine ends it.
+//   dropout -> the window's batches never existed: the feed stalls one pull
+//              per dropped hour (modelling the dead probe), then resumes
+//              after the window.
+//   transient -> the next `n` pulls throw before h's batch is delivered.
+//   reorder -> records permuted across antennas (per-antenna order kept).
+//   skew    -> the (possibly reordered) batch is held and delivered only
+//              after the next `d` deliveries of this feed.
+//   truncate -> first delivery carries a prefix of the records with the
+//              original declared count; the intact batch follows once the
+//              supervisor rejects the corrupt one.
+//   duplicate -> the batch is redelivered once (same sequence) right after
+//              its accepted delivery.
+//
+// Only dropout and poison destroy data; every other class must be absorbed
+// by supervision (retry, dedup, re-pull, lateness) without changing one bit
+// of the merged tensors — which is exactly what the chaos suite asserts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fault/plan.h"
+#include "stream/feed.h"
+
+namespace icn::fault {
+
+class FaultyFeed final : public stream::BatchSource {
+ public:
+  /// `script` is the healthy hourly delivery (see stream::hourly_script):
+  /// batch i covers hour i with sequence i. `plan` and `ledger` must
+  /// outlive the feed; injected faults are appended to `ledger` in
+  /// injection order.
+  FaultyFeed(std::size_t probe, std::vector<stream::FeedBatch> script,
+             const FaultPlan* plan, FaultLedger* ledger);
+
+  stream::PullResult pull() override;
+
+ private:
+  [[nodiscard]] stream::PullResult deliver(stream::FeedBatch batch);
+
+  std::size_t probe_ = 0;
+  std::vector<stream::FeedBatch> script_;
+  const FaultPlan* plan_ = nullptr;
+  FaultLedger* ledger_ = nullptr;
+
+  std::size_t cursor_ = 0;            ///< Next script index to process.
+  std::int64_t stall_remaining_ = 0;  ///< Stalled pulls left (dropout).
+  std::int64_t transient_remaining_ = 0;  ///< Throwing pulls left.
+  std::size_t transient_burned_ = SIZE_MAX;  ///< Cursor whose burst ran.
+  std::size_t truncate_burned_ = SIZE_MAX;   ///< Cursor already truncated.
+  std::size_t reorder_burned_ = SIZE_MAX;    ///< Cursor already reordered.
+  bool poison_logged_ = false;
+  std::optional<stream::FeedBatch> dup_pending_;
+  struct Held {
+    std::size_t due_after_deliveries = 0;
+    stream::FeedBatch batch;
+  };
+  std::vector<Held> held_;       ///< Skewed batches, FIFO.
+  std::size_t deliveries_ = 0;   ///< Batches returned so far.
+};
+
+/// Permutes `records` across antennas with a deterministic shuffle seeded by
+/// `seed`, preserving the relative order of records sharing an antenna id —
+/// the invariant that keeps every (antenna, service, hour) sum bit-identical.
+void reorder_preserving_antenna_order(
+    std::vector<probe::ServiceSession>& records, std::uint64_t seed);
+
+}  // namespace icn::fault

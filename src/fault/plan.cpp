@@ -1,0 +1,199 @@
+#include "fault/plan.h"
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace icn::fault {
+namespace {
+
+// Independent substream tags so the decision for one fault class can never
+// perturb another (derive_seed(seed, probe, hour, tag)).
+enum : std::uint64_t {
+  kTagDropout = 1,
+  kTagTransient = 2,
+  kTagDuplicate = 3,
+  kTagReorder = 4,
+  kTagSkew = 5,
+  kTagTruncate = 6,
+  kTagBitFlip = 7,
+};
+
+icn::util::Rng cell_rng(std::uint64_t seed, std::size_t probe,
+                        std::int64_t hour, std::uint64_t tag) {
+  return icn::util::Rng(icn::util::derive_seed(
+      seed, probe, static_cast<std::uint64_t>(hour), tag));
+}
+
+}  // namespace
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropout: return "dropout";
+    case FaultKind::kTransient: return "transient";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kSkew: return "skew";
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kBitFlip: return "bitflip";
+    case FaultKind::kPoison: return "poison";
+  }
+  return "unknown";
+}
+
+std::string to_string(const FaultEvent& event) {
+  return "probe=" + std::to_string(event.probe) +
+         " hour=" + std::to_string(event.hour) + " " + to_string(event.kind) +
+         " a=" + std::to_string(event.a) + " b=" + std::to_string(event.b);
+}
+
+std::string to_text(const FaultLedger& ledger) {
+  std::string out;
+  for (const auto& event : ledger) {
+    out += to_string(event);
+    out += '\n';
+  }
+  return out;
+}
+
+FaultPlan::FaultPlan(FaultPlanParams params) : params_(std::move(params)) {
+  ICN_REQUIRE(params_.num_probes >= 1, "fault plan needs probes");
+  ICN_REQUIRE(params_.num_hours > 0, "fault plan needs hours");
+  ICN_REQUIRE(params_.dropout_max_hours >= 1, "dropout window length");
+  ICN_REQUIRE(params_.transient_max_failures >= 1, "transient burst length");
+  ICN_REQUIRE(params_.skew_max_delay >= 1, "skew delay");
+
+  const std::size_t cells =
+      params_.num_probes * static_cast<std::size_t>(params_.num_hours);
+  dropout_start_len_.assign(cells, 0);
+  dropped_.assign(cells, 0);
+  transient_.assign(cells, 0);
+  duplicate_.assign(cells, 0);
+  reorder_.assign(cells, 0);
+  skew_.assign(cells, 0);
+  truncate_frac_.assign(cells, -1.0);
+  bitflip_.assign(params_.num_probes, std::nullopt);
+
+  for (std::size_t p = 0; p < params_.num_probes; ++p) {
+    // Dropout windows are laid out sequentially per probe so they never
+    // overlap; every other class is an independent per-cell draw.
+    std::int64_t h = 0;
+    while (h < params_.num_hours) {
+      auto rng = cell_rng(params_.seed, p, h, kTagDropout);
+      if (rng.uniform() < params_.dropout_rate) {
+        const std::int64_t len = std::min<std::int64_t>(
+            1 + static_cast<std::int64_t>(rng.uniform_index(
+                    static_cast<std::uint64_t>(params_.dropout_max_hours))),
+            params_.num_hours - h);
+        dropout_start_len_[cell(p, h)] = len;
+        for (std::int64_t d = 0; d < len; ++d) dropped_[cell(p, h + d)] = 1;
+        h += len;
+      } else {
+        ++h;
+      }
+    }
+    for (h = 0; h < params_.num_hours; ++h) {
+      if (dropped_[cell(p, h)] != 0) continue;  // the hour's batch never exists
+      {
+        auto rng = cell_rng(params_.seed, p, h, kTagTransient);
+        if (rng.uniform() < params_.transient_rate) {
+          transient_[cell(p, h)] =
+              1 + static_cast<std::int64_t>(rng.uniform_index(
+                      static_cast<std::uint64_t>(
+                          params_.transient_max_failures)));
+        }
+      }
+      {
+        auto rng = cell_rng(params_.seed, p, h, kTagDuplicate);
+        duplicate_[cell(p, h)] = rng.uniform() < params_.duplicate_rate;
+      }
+      {
+        auto rng = cell_rng(params_.seed, p, h, kTagReorder);
+        reorder_[cell(p, h)] = rng.uniform() < params_.reorder_rate;
+      }
+      {
+        auto rng = cell_rng(params_.seed, p, h, kTagSkew);
+        if (rng.uniform() < params_.skew_rate) {
+          skew_[cell(p, h)] =
+              1 + static_cast<std::int64_t>(rng.uniform_index(
+                      static_cast<std::uint64_t>(params_.skew_max_delay)));
+        }
+      }
+      {
+        auto rng = cell_rng(params_.seed, p, h, kTagTruncate);
+        if (rng.uniform() < params_.truncate_rate) {
+          truncate_frac_[cell(p, h)] = rng.uniform(0.0, 0.95);
+        }
+      }
+    }
+    {
+      auto rng = cell_rng(params_.seed, p, 0, kTagBitFlip);
+      if (rng.uniform() < params_.bitflip_rate) {
+        BitFlipSpec spec;
+        spec.section_frac = rng.uniform();
+        spec.byte_frac = rng.uniform();
+        spec.mask = static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+        bitflip_[p] = spec;
+      }
+    }
+  }
+}
+
+std::size_t FaultPlan::cell(std::size_t probe, std::int64_t hour) const {
+  ICN_REQUIRE(probe < params_.num_probes, "fault plan probe index");
+  ICN_REQUIRE(hour >= 0 && hour < params_.num_hours, "fault plan hour index");
+  return probe * static_cast<std::size_t>(params_.num_hours) +
+         static_cast<std::size_t>(hour);
+}
+
+std::int64_t FaultPlan::dropout_starting_at(std::size_t probe,
+                                            std::int64_t hour) const {
+  return dropout_start_len_[cell(probe, hour)];
+}
+
+bool FaultPlan::dropped(std::size_t probe, std::int64_t hour) const {
+  return dropped_[cell(probe, hour)] != 0;
+}
+
+std::int64_t FaultPlan::transient_failures(std::size_t probe,
+                                           std::int64_t hour) const {
+  return transient_[cell(probe, hour)];
+}
+
+bool FaultPlan::duplicated(std::size_t probe, std::int64_t hour) const {
+  return duplicate_[cell(probe, hour)] != 0;
+}
+
+bool FaultPlan::reordered(std::size_t probe, std::int64_t hour) const {
+  return reorder_[cell(probe, hour)] != 0;
+}
+
+std::int64_t FaultPlan::skew_delay(std::size_t probe,
+                                   std::int64_t hour) const {
+  return skew_[cell(probe, hour)];
+}
+
+std::optional<double> FaultPlan::truncate_keep_frac(std::size_t probe,
+                                                    std::int64_t hour) const {
+  const double frac = truncate_frac_[cell(probe, hour)];
+  if (frac < 0.0) return std::nullopt;
+  return frac;
+}
+
+bool FaultPlan::poisoned(std::size_t probe, std::int64_t hour) const {
+  return params_.poison_probe && *params_.poison_probe == probe &&
+         hour >= params_.poison_hour;
+}
+
+std::optional<BitFlipSpec> FaultPlan::bitflip(std::size_t probe) const {
+  ICN_REQUIRE(probe < params_.num_probes, "fault plan probe index");
+  return bitflip_[probe];
+}
+
+std::uint64_t FaultPlan::reorder_seed(std::size_t probe,
+                                      std::int64_t hour) const {
+  return icn::util::derive_seed(params_.seed, probe,
+                                static_cast<std::uint64_t>(hour),
+                                kTagReorder + 100);
+}
+
+}  // namespace icn::fault

@@ -1,0 +1,160 @@
+// Seeded, deterministic fault planning for the multi-probe ingest plant.
+//
+// ERRANT-style realism (PAPERS.md): a measurement plant must be exercised
+// under degraded operating conditions, not just the happy path. A FaultPlan
+// turns one 64-bit seed into a complete schedule of faults over (probe,
+// event-hour) cells — probe dropout windows, stalls, transient pull
+// failures, duplicated/reordered/skewed/truncated batches, checkpoint bit
+// flips, poisoned probes — with no wall-clock time or global RNG state
+// anywhere: every decision is a pure function of
+// derive_seed(seed, probe, hour, fault-tag), so two runs with the same seed
+// face byte-identical hostility.
+//
+// Every fault actually injected (by fault::FaultyFeed or
+// fault::corrupt_snapshot) is appended to a FaultLedger — the replayable
+// audit trail that reproducibility tests compare across runs and that a
+// human reads to see exactly what the plant survived.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace icn::fault {
+
+enum class FaultKind : std::uint8_t {
+  kDropout,    ///< Probe down for [hour, hour+a): those hours' data never
+               ///< exists; the feed stalls a pulls, then resumes after the
+               ///< window.
+  kTransient,  ///< pull() for this hour throws TransientFeedError a times
+               ///< before the batch is delivered.
+  kDuplicate,  ///< The batch is redelivered once with the same sequence.
+  kReorder,    ///< Batch records permuted across antennas (per-antenna
+               ///< relative order preserved, so sums stay bit-identical).
+  kSkew,       ///< Batch delivery delayed behind the next a deliveries
+               ///< (clock skew between probe and supervisor).
+  kTruncate,   ///< First delivery carries only a of the declared b records;
+               ///< redelivered intact after the supervisor rejects it.
+  kBitFlip,    ///< Checkpoint byte at file offset a XOR'd with mask b after
+               ///< the run (silent storage corruption).
+  kPoison,     ///< Probe fails persistently from this hour on; only
+               ///< quarantine ends the retries.
+};
+
+[[nodiscard]] std::string to_string(FaultKind kind);
+
+/// One injected fault. `a`/`b` are kind-specific (see FaultKind).
+struct FaultEvent {
+  std::size_t probe = 0;
+  std::int64_t hour = 0;
+  FaultKind kind{};
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  bool operator==(const FaultEvent&) const = default;
+};
+
+[[nodiscard]] std::string to_string(const FaultEvent& event);
+
+/// Injection-order audit trail; equal-seed runs must produce equal ledgers.
+using FaultLedger = std::vector<FaultEvent>;
+
+/// Human-readable, line-per-event dump of a ledger.
+[[nodiscard]] std::string to_text(const FaultLedger& ledger);
+
+struct FaultPlanParams {
+  std::uint64_t seed = 1;
+  std::size_t num_probes = 1;   ///< Requires >= 1.
+  std::int64_t num_hours = 0;   ///< Requires > 0.
+
+  /// P[a dropout window starts at a given (probe, hour)].
+  double dropout_rate = 0.0;
+  std::int64_t dropout_max_hours = 3;  ///< Window length in [1, max].
+
+  /// P[the pull for a given (probe, hour) fails transiently first].
+  double transient_rate = 0.0;
+  /// Failures per burst in [1, max]. Keep <= the supervisor's max_retries
+  /// unless the test wants quarantines.
+  std::int64_t transient_max_failures = 2;
+
+  double duplicate_rate = 0.0;
+  double reorder_rate = 0.0;
+
+  double skew_rate = 0.0;
+  /// Delivery delay in batches, in [1, max]. The supervisor's
+  /// allowed_lateness must cover the worst effective delay.
+  std::int64_t skew_max_delay = 2;
+
+  double truncate_rate = 0.0;
+
+  /// P[a probe's checkpoint file gets one byte flipped after the run].
+  double bitflip_rate = 0.0;
+
+  /// When set, this probe fails persistently from poison_hour on.
+  std::optional<std::size_t> poison_probe;
+  std::int64_t poison_hour = 0;
+};
+
+/// Checkpoint bit-flip target, resolved against the actual file by
+/// fault::corrupt_snapshot (the plan cannot know section offsets).
+struct BitFlipSpec {
+  double section_frac = 0.0;  ///< Picks the floor(frac * windows)-th window.
+  double byte_frac = 0.0;     ///< Picks a byte within that window's payload.
+  std::uint8_t mask = 1;      ///< XOR mask (single bit).
+};
+
+/// The deterministic fault schedule. Queries are pure and O(1); the whole
+/// schedule is precomputed at construction so iteration order can never
+/// change an outcome.
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultPlanParams params);
+
+  [[nodiscard]] const FaultPlanParams& params() const { return params_; }
+
+  /// Length of the dropout window starting exactly at (probe, hour), or 0.
+  [[nodiscard]] std::int64_t dropout_starting_at(std::size_t probe,
+                                                 std::int64_t hour) const;
+  /// True when (probe, hour) lies inside any dropout window.
+  [[nodiscard]] bool dropped(std::size_t probe, std::int64_t hour) const;
+
+  /// Transient failures before the batch for (probe, hour) is delivered.
+  [[nodiscard]] std::int64_t transient_failures(std::size_t probe,
+                                                std::int64_t hour) const;
+
+  [[nodiscard]] bool duplicated(std::size_t probe, std::int64_t hour) const;
+  [[nodiscard]] bool reordered(std::size_t probe, std::int64_t hour) const;
+
+  /// Delivery delay in batches for (probe, hour), or 0.
+  [[nodiscard]] std::int64_t skew_delay(std::size_t probe,
+                                        std::int64_t hour) const;
+
+  /// Fraction of records kept by a truncated first delivery, or nullopt.
+  [[nodiscard]] std::optional<double> truncate_keep_frac(
+      std::size_t probe, std::int64_t hour) const;
+
+  [[nodiscard]] bool poisoned(std::size_t probe, std::int64_t hour) const;
+
+  /// Checkpoint corruption target for this probe, if planned.
+  [[nodiscard]] std::optional<BitFlipSpec> bitflip(std::size_t probe) const;
+
+  /// Seed for the reorder permutation of (probe, hour).
+  [[nodiscard]] std::uint64_t reorder_seed(std::size_t probe,
+                                           std::int64_t hour) const;
+
+ private:
+  [[nodiscard]] std::size_t cell(std::size_t probe, std::int64_t hour) const;
+
+  FaultPlanParams params_;
+  // Per-(probe, hour) schedules, row-major by probe.
+  std::vector<std::int64_t> dropout_start_len_;  ///< 0 = no window starts.
+  std::vector<std::uint8_t> dropped_;
+  std::vector<std::int64_t> transient_;
+  std::vector<std::uint8_t> duplicate_;
+  std::vector<std::uint8_t> reorder_;
+  std::vector<std::int64_t> skew_;
+  std::vector<double> truncate_frac_;  ///< < 0 = no truncation.
+  std::vector<std::optional<BitFlipSpec>> bitflip_;  ///< Per probe.
+};
+
+}  // namespace icn::fault

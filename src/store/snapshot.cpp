@@ -56,7 +56,8 @@ std::uint64_t get_u64(const std::uint8_t* p) {
 }
 
 [[noreturn]] void fail_errno(const std::string& path, const char* op) {
-  fail(path, std::string(op) + " failed: " + std::strerror(errno));
+  throw icn::util::IoError("snapshot " + path + ": " + op +
+                           " failed: " + std::strerror(errno));
 }
 
 void check_header(const std::string& path, const std::uint8_t* data,
@@ -74,6 +75,7 @@ void check_header(const std::string& path, const std::uint8_t* data,
 /// Scan outcome shared by the strict reader and the recovery path.
 struct Scan {
   std::vector<SectionView> sections;
+  std::vector<SectionInfo> index;  ///< File offsets, parallel to sections.
   std::uint64_t valid_bytes = kFileHeaderSize;
   bool clean = true;      ///< Whole file is valid sections.
   std::string error;      ///< First problem when !clean.
@@ -112,6 +114,8 @@ Scan scan_sections(const std::uint8_t* data, std::size_t size) {
     }
     scan.sections.push_back(
         {static_cast<SectionType>(get_u32(hdr)), {payload, payload_size}});
+    scan.index.push_back({static_cast<SectionType>(get_u32(hdr)), at,
+                          at + kSectionHeaderSize, payload_size});
     at += kSectionHeaderSize + stored;
     scan.valid_bytes = at;
   }
@@ -132,6 +136,10 @@ struct Mapping {
       fail_errno(path, "fstat");
     }
     size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      throw icn::util::IoError("snapshot " + path + ": file is empty");
+    }
     if (size > 0) {
       map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
       if (map == MAP_FAILED) {
@@ -204,6 +212,10 @@ SnapshotWriter SnapshotWriter::append_to(const std::string& path) {
   if (fd < 0) fail_errno(path, "open for append");
   std::uint8_t header[kFileHeaderSize];
   const ssize_t got = ::pread(fd, header, kFileHeaderSize, 0);
+  if (got == 0) {
+    ::close(fd);
+    throw icn::util::IoError("snapshot " + path + ": file is empty");
+  }
   if (got != static_cast<ssize_t>(kFileHeaderSize)) {
     ::close(fd);
     fail(path, "truncated file header");
@@ -303,6 +315,22 @@ void SnapshotWriter::append_window(std::int64_t hour,
   payload.resize(at + cells.size() * 8);
   std::memcpy(payload.data() + at, cells.data(), cells.size() * 8);
   append_section(SectionType::kWindow, payload);
+}
+
+void SnapshotWriter::append_coverage(std::size_t rows, std::int64_t num_hours,
+                                     std::span<const std::uint8_t> covered) {
+  ICN_REQUIRE(rows > 0 && num_hours > 0, "coverage shape");
+  ICN_REQUIRE(covered.size() == rows * static_cast<std::size_t>(num_hours),
+              "coverage bitmap size");
+  for (const std::uint8_t b : covered) {
+    ICN_REQUIRE(b <= 1, "coverage bitmap must be 0/1");
+  }
+  std::vector<std::uint8_t> payload;
+  payload.reserve(16 + covered.size());
+  put_u64(payload, rows);
+  put_u64(payload, static_cast<std::uint64_t>(num_hours));
+  payload.insert(payload.end(), covered.begin(), covered.end());
+  append_section(SectionType::kCoverage, payload);
 }
 
 void SnapshotWriter::sync() {
@@ -413,6 +441,26 @@ std::vector<WindowView> MappedSnapshot::windows() const {
   return out;
 }
 
+std::optional<CoverageSectionView> MappedSnapshot::coverage() const {
+  for (const auto& s : sections_) {
+    if (s.type != SectionType::kCoverage) continue;
+    if (s.payload.size() < 16) {
+      throw SnapshotError("malformed kCoverage payload (short header)");
+    }
+    CoverageSectionView view;
+    view.rows = static_cast<std::size_t>(get_u64(s.payload.data()));
+    view.num_hours = static_cast<std::int64_t>(get_u64(s.payload.data() + 8));
+    if (view.num_hours < 0 ||
+        s.payload.size() !=
+            16 + view.rows * static_cast<std::size_t>(view.num_hours)) {
+      throw SnapshotError("malformed kCoverage payload (size mismatch)");
+    }
+    view.covered = s.payload.subspan(16);
+    return view;
+  }
+  return std::nullopt;
+}
+
 // ---------------------------------------------------------------------------
 // Recovery
 
@@ -438,6 +486,13 @@ RecoveryResult recover_snapshot(const std::string& path) {
     }
   }
   return result;
+}
+
+std::vector<SectionInfo> scan_section_index(const std::string& path) {
+  Mapping mapping(path);
+  check_header(path, mapping.data(), mapping.size);
+  Scan scan = scan_sections(mapping.data(), mapping.size);
+  return std::move(scan.index);
 }
 
 }  // namespace icn::store

@@ -36,6 +36,9 @@
 namespace icn::store {
 
 /// Thrown on any structural or integrity problem with a snapshot file.
+/// Operating-system failures (missing/empty/unreadable file, failed
+/// write/fsync/truncate) throw icn::util::IoError instead, so callers can
+/// tell "file is not there" from "file is corrupt".
 class SnapshotError : public std::runtime_error {
  public:
   explicit SnapshotError(const std::string& what_arg)
@@ -53,6 +56,13 @@ enum class SectionType : std::uint32_t {
   kStreamMeta = 2,
   /// i64 hour, f64 cells[num_antennas * num_services] (row-major MB).
   kWindow = 3,
+  /// u64 rows, u64 num_hours, u8 covered[rows * num_hours] (row-major, 0/1).
+  /// rows == 1 means probe-level coverage (all of the feed's antennas share
+  /// the hour bitmap); rows == num_antennas gives per-antenna coverage in a
+  /// merged study snapshot. Written only when coverage is incomplete, so a
+  /// fully-covered feed checkpoint stays bit-identical to a plain ingest
+  /// checkpoint.
+  kCoverage = 4,
 };
 
 /// One raw validated section of a mapped snapshot.
@@ -84,6 +94,13 @@ struct WindowView {
   std::span<const double> cells;  ///< num_antennas * num_services, row-major.
 };
 
+/// Zero-copy view of a kCoverage section.
+struct CoverageSectionView {
+  std::size_t rows = 0;
+  std::int64_t num_hours = 0;
+  std::span<const std::uint8_t> covered;  ///< rows * num_hours, row-major 0/1.
+};
+
 /// Appends sections to a snapshot file. All write errors throw SnapshotError.
 class SnapshotWriter {
  public:
@@ -112,6 +129,11 @@ class SnapshotWriter {
 
   /// Appends a kWindow section.
   void append_window(std::int64_t hour, std::span<const double> cells);
+
+  /// Appends a kCoverage section. Requires covered.size() == rows * num_hours
+  /// and every byte 0 or 1.
+  void append_coverage(std::size_t rows, std::int64_t num_hours,
+                       std::span<const std::uint8_t> covered);
 
   /// Durability barrier: flushes the file to stable storage (fsync). A
   /// snapshot is recoverable up to its last sync even if the process dies
@@ -158,6 +180,9 @@ class MappedSnapshot {
   /// All kWindow sections in file (= closing) order.
   [[nodiscard]] std::vector<WindowView> windows() const;
 
+  /// First kCoverage section, if any.
+  [[nodiscard]] std::optional<CoverageSectionView> coverage() const;
+
   [[nodiscard]] std::size_t file_size() const { return size_; }
 
  private:
@@ -178,7 +203,23 @@ struct RecoveryResult {
 
 /// Scans `path` for the longest valid prefix (header + whole valid sections)
 /// and truncates the file to it, dropping a torn tail left by a crash
-/// mid-append. Throws SnapshotError when even the file header is unusable.
+/// mid-append. Throws SnapshotError when even the file header is unusable and
+/// icn::util::IoError when the file is missing or empty.
 RecoveryResult recover_snapshot(const std::string& path);
+
+/// File-offset index entry for one valid section (see scan_section_index).
+struct SectionInfo {
+  SectionType type{};
+  std::uint64_t header_offset = 0;   ///< Byte offset of the section header.
+  std::uint64_t payload_offset = 0;  ///< Byte offset of the payload.
+  std::uint64_t payload_size = 0;    ///< Unpadded payload bytes.
+};
+
+/// Lists the valid-prefix sections of `path` with their byte offsets, without
+/// modifying the file. Intended for tooling that must address raw file bytes
+/// (e.g. fault injection flipping a bit inside a chosen section); regular
+/// readers should use MappedSnapshot.
+[[nodiscard]] std::vector<SectionInfo> scan_section_index(
+    const std::string& path);
 
 }  // namespace icn::store

@@ -1,0 +1,32 @@
+#include "stream/feed.h"
+
+#include "util/error.h"
+
+namespace icn::stream {
+
+VectorFeed::VectorFeed(std::vector<FeedBatch> script)
+    : script_(std::move(script)) {}
+
+PullResult VectorFeed::pull() {
+  if (next_ >= script_.size()) return {PullStatus::kEndOfStream, {}};
+  return {PullStatus::kBatch, script_[next_++]};
+}
+
+std::vector<FeedBatch> hourly_script(
+    std::span<const probe::ServiceSession> sessions, std::int64_t num_hours) {
+  ICN_REQUIRE(num_hours > 0, "script needs hours");
+  std::vector<FeedBatch> script(static_cast<std::size_t>(num_hours));
+  for (std::int64_t h = 0; h < num_hours; ++h) {
+    auto& batch = script[static_cast<std::size_t>(h)];
+    batch.sequence = static_cast<std::uint64_t>(h);
+    batch.hour = h;
+  }
+  for (const auto& s : sessions) {
+    ICN_REQUIRE(s.hour >= 0 && s.hour < num_hours, "session hour index");
+    script[static_cast<std::size_t>(s.hour)].records.push_back(s);
+  }
+  for (auto& batch : script) batch.declared_records = batch.records.size();
+  return script;
+}
+
+}  // namespace icn::stream

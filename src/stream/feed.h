@@ -1,0 +1,88 @@
+// Batch-source abstraction between a probe process and the feed supervisor.
+//
+// The paper's plant runs one passive probe per network site; each probe
+// delivers its classified sessions as hourly batches over a channel that can
+// stall, fail transiently, redeliver, truncate, or skew. This header defines
+// the pull-side contract the supervisor programs against:
+//
+//  * A batch is self-describing: `sequence` (monotonically assigned by the
+//    probe, the deduplication key for redelivered batches), `hour` (the event
+//    hour the batch covers — the coverage-accounting key), and
+//    `declared_records` (the record count the probe committed to, so a
+//    truncated delivery is detectable as declared != records.size()).
+//  * pull() distinguishes three healthy outcomes (a batch, "nothing yet"
+//    while the probe is stalled, end of stream) and one failure mode:
+//    throwing TransientFeedError, which the supervisor retries with capped
+//    exponential backoff. Anything else thrown is a programming error.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "probe/probe.h"
+
+namespace icn::stream {
+
+/// Thrown by BatchSource::pull() on a retryable failure (connection reset,
+/// probe busy, ...). The supervisor schedules a retry with backoff; repeated
+/// consecutive failures quarantine the feed.
+class TransientFeedError : public std::runtime_error {
+ public:
+  explicit TransientFeedError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// One delivery unit from a probe feed.
+struct FeedBatch {
+  std::uint64_t sequence = 0;    ///< Dedup key; unique per distinct batch.
+  std::int64_t hour = 0;         ///< Event hour this batch covers.
+  std::size_t declared_records = 0;  ///< Count the probe committed to.
+  std::vector<probe::ServiceSession> records;
+};
+
+/// What one pull() produced.
+enum class PullStatus : std::uint8_t {
+  kBatch,        ///< `batch` is valid.
+  kStalled,      ///< Probe alive but nothing ready; poll again later.
+  kEndOfStream,  ///< Feed is complete; no further batches will arrive.
+};
+
+struct PullResult {
+  PullStatus status = PullStatus::kEndOfStream;
+  FeedBatch batch;  ///< Valid only when status == kBatch.
+};
+
+/// Pull-side interface of one probe feed.
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+
+  /// Delivers the next batch, reports a stall, or signals end of stream.
+  /// Throws TransientFeedError on a retryable failure.
+  virtual PullResult pull() = 0;
+};
+
+/// Well-behaved in-memory feed: delivers a fixed script of batches in order,
+/// then end-of-stream. The healthy-path reference for the fault wrappers.
+class VectorFeed final : public BatchSource {
+ public:
+  explicit VectorFeed(std::vector<FeedBatch> script);
+
+  PullResult pull() override;
+
+ private:
+  std::vector<FeedBatch> script_;
+  std::size_t next_ = 0;
+};
+
+/// Builds the hourly batch script a healthy probe would deliver for the given
+/// sessions: one batch per hour h in [0, num_hours) — empty when the hour saw
+/// no traffic (the probe was up, so the hour still counts as covered) — with
+/// sequence == hour and declared_records == records.size(). Records keep
+/// their relative order. Sessions with out-of-range hours throw.
+[[nodiscard]] std::vector<FeedBatch> hourly_script(
+    std::span<const probe::ServiceSession> sessions, std::int64_t num_hours);
+
+}  // namespace icn::stream

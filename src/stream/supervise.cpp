@@ -1,0 +1,479 @@
+#include "stream/supervise.h"
+
+#include <algorithm>
+#include <cstring>
+#include <iterator>
+#include <unordered_set>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace icn::stream {
+
+struct FeedSupervisor::Runtime {
+  FeedSpec spec;
+  std::optional<store::SnapshotWriter> writer;
+  std::optional<StreamIngestor> ingestor;
+  std::vector<HourlyWindow> windows;
+  std::vector<std::uint8_t> covered;  ///< Per-hour 0/1, length num_hours.
+  std::unordered_set<std::uint64_t> seen;  ///< Accepted batch sequences.
+
+  FeedState state = FeedState::kActive;
+  QuarantineReason reason = QuarantineReason::kNone;
+  std::int64_t quarantined_at = -1;
+  std::int64_t next_due = 0;
+  std::int64_t last_progress = 0;
+  std::size_t consecutive_failures = 0;
+  bool stall_flagged = false;
+
+  std::size_t pulls = 0;
+  std::size_t batches = 0;
+  std::size_t records = 0;
+  std::size_t transients = 0;
+  std::size_t retries = 0;
+  std::size_t stalls = 0;
+  std::size_t dups = 0;
+  std::size_t corrupts = 0;
+
+  [[nodiscard]] bool terminal() const {
+    return state == FeedState::kDone || state == FeedState::kQuarantined;
+  }
+};
+
+FeedSupervisor::FeedSupervisor(SupervisorParams params,
+                               std::vector<FeedSpec> specs)
+    : params_(std::move(params)) {
+  ICN_REQUIRE(params_.num_services > 0, "supervisor needs services");
+  ICN_REQUIRE(params_.num_hours > 0, "supervisor needs hours");
+  ICN_REQUIRE(params_.num_shards >= 1, "supervisor needs >= 1 shard");
+  ICN_REQUIRE(params_.allowed_lateness >= 0, "lateness must be >= 0");
+  ICN_REQUIRE(params_.backoff.initial_ticks >= 1, "backoff initial >= 1");
+  ICN_REQUIRE(params_.backoff.max_ticks >= params_.backoff.initial_ticks,
+              "backoff cap below initial delay");
+  ICN_REQUIRE(params_.stall_timeout_ticks >= 1, "stall timeout >= 1");
+  ICN_REQUIRE(params_.corrupt_strikes >= 1, "corrupt strikes >= 1");
+  ICN_REQUIRE(params_.max_ticks >= 1, "max ticks >= 1");
+  ICN_REQUIRE(!specs.empty(), "supervisor needs feeds");
+
+  std::unordered_set<std::uint32_t> all_ids;
+  for (auto& spec : specs) {
+    ICN_REQUIRE(spec.source != nullptr, "feed source must be set");
+    ICN_REQUIRE(!spec.antenna_ids.empty(), "feed needs antennas");
+    for (const std::uint32_t id : spec.antenna_ids) {
+      ICN_REQUIRE(all_ids.insert(id).second,
+                  "antenna ids overlap across feeds");
+    }
+    auto rt = std::make_unique<Runtime>();
+    rt->spec = std::move(spec);
+    IngestParams ingest;
+    ingest.antenna_ids = rt->spec.antenna_ids;
+    ingest.num_services = params_.num_services;
+    ingest.num_hours = params_.num_hours;
+    ingest.num_shards = params_.num_shards;
+    ingest.allowed_lateness = params_.allowed_lateness;
+    if (!rt->spec.checkpoint_path.empty()) {
+      rt->writer.emplace(begin_checkpoint(rt->spec.checkpoint_path, ingest));
+    }
+    rt->ingestor.emplace(std::move(ingest),
+                         rt->writer ? &*rt->writer : nullptr);
+    rt->covered.assign(static_cast<std::size_t>(params_.num_hours), 0);
+    feeds_.push_back(std::move(rt));
+  }
+}
+
+FeedSupervisor::~FeedSupervisor() = default;
+
+std::size_t FeedSupervisor::num_feeds() const { return feeds_.size(); }
+
+bool FeedSupervisor::finished() const {
+  return std::all_of(feeds_.begin(), feeds_.end(),
+                     [](const auto& f) { return f->terminal(); });
+}
+
+bool FeedSupervisor::step() {
+  for (std::size_t i = 0; i < feeds_.size(); ++i) {
+    const auto& f = *feeds_[i];
+    if (f.terminal() || f.next_due > tick_) continue;
+    poll(i);
+  }
+  ++tick_;
+  return !finished();
+}
+
+void FeedSupervisor::run() {
+  while (!finished()) {
+    if (tick_ >= params_.max_ticks) {
+      for (std::size_t i = 0; i < feeds_.size(); ++i) {
+        if (!feeds_[i]->terminal()) quarantine(i, QuarantineReason::kTimeout);
+      }
+      return;
+    }
+    step();
+  }
+}
+
+std::int64_t FeedSupervisor::backoff_delay(std::size_t feed,
+                                           std::size_t attempt) const {
+  const auto& b = params_.backoff;
+  // Capped exponential: initial * 2^(attempt-1), saturating at max_ticks.
+  std::int64_t base = b.max_ticks;
+  const std::size_t shift = attempt - 1;
+  if (shift < 62 && b.initial_ticks <= (b.max_ticks >> shift)) {
+    base = b.initial_ticks << shift;
+  }
+  // Deterministic jitter in [0, base / 2] so equal-seed runs reproduce the
+  // exact schedule while concurrent feeds still desynchronize.
+  const auto jitter = static_cast<std::int64_t>(
+      icn::util::derive_seed(b.jitter_seed, feed, attempt) %
+      static_cast<std::uint64_t>(base / 2 + 1));
+  return base + jitter;
+}
+
+void FeedSupervisor::poll(std::size_t feed) {
+  auto& f = *feeds_[feed];
+  ++f.pulls;
+  PullResult result;
+  try {
+    result = f.spec.source->pull();
+  } catch (const TransientFeedError&) {
+    ++f.transients;
+    ++f.consecutive_failures;
+    if (f.consecutive_failures > params_.backoff.max_retries) {
+      quarantine(feed, QuarantineReason::kRetriesExhausted);
+      return;
+    }
+    const std::int64_t delay = backoff_delay(feed, f.consecutive_failures);
+    f.next_due = tick_ + delay;
+    f.state = FeedState::kBackoff;
+    ++f.retries;
+    events_.push_back({tick_, feed, SupervisorEventKind::kRetryScheduled,
+                       static_cast<std::int64_t>(f.consecutive_failures),
+                       delay});
+    return;
+  }
+
+  // The channel answered: the transient-failure streak is over.
+  f.consecutive_failures = 0;
+  if (f.state == FeedState::kBackoff) f.state = FeedState::kActive;
+
+  switch (result.status) {
+    case PullStatus::kEndOfStream:
+      finish_feed(feed);
+      return;
+    case PullStatus::kStalled:
+      if (!f.stall_flagged &&
+          tick_ - f.last_progress >= params_.stall_timeout_ticks) {
+        f.stall_flagged = true;
+        f.state = FeedState::kStalled;
+        ++f.stalls;
+        events_.push_back({tick_, feed, SupervisorEventKind::kStallDetected,
+                           f.last_progress, 0});
+      }
+      f.next_due = tick_ + 1;
+      return;
+    case PullStatus::kBatch:
+      accept_batch(feed, std::move(result.batch));
+      return;
+  }
+}
+
+void FeedSupervisor::accept_batch(std::size_t feed, FeedBatch&& batch) {
+  auto& f = *feeds_[feed];
+  f.next_due = tick_ + 1;
+
+  // Dedup before anything else: a redelivery of an accepted sequence must
+  // not double-count, whatever its payload looks like.
+  if (f.seen.contains(batch.sequence)) {
+    ++f.dups;
+    events_.push_back({tick_, feed, SupervisorEventKind::kDuplicateDropped,
+                       static_cast<std::int64_t>(batch.sequence), 0});
+    return;
+  }
+
+  // Structural validation: a truncated delivery or an out-of-range record
+  // makes the whole batch untrustworthy. The feed may redeliver it intact
+  // (the sequence was not accepted), but repeated corruption trips the
+  // circuit breaker.
+  bool corrupt = batch.records.size() != batch.declared_records ||
+                 batch.hour < 0 || batch.hour >= params_.num_hours;
+  if (!corrupt) {
+    for (const auto& s : batch.records) {
+      if (s.hour < 0 || s.hour >= params_.num_hours ||
+          s.service >= params_.num_services) {
+        corrupt = true;
+        break;
+      }
+    }
+  }
+  if (corrupt) {
+    ++f.corrupts;
+    events_.push_back({tick_, feed, SupervisorEventKind::kCorruptBatch,
+                       static_cast<std::int64_t>(batch.sequence),
+                       static_cast<std::int64_t>(batch.declared_records)});
+    if (f.corrupts >= params_.corrupt_strikes) {
+      quarantine(feed, QuarantineReason::kCorruptData);
+    }
+    return;
+  }
+
+  f.seen.insert(batch.sequence);
+  f.ingestor->push(batch.records);
+  auto closed = f.ingestor->take_closed();
+  f.windows.insert(f.windows.end(), std::make_move_iterator(closed.begin()),
+                   std::make_move_iterator(closed.end()));
+  f.covered[static_cast<std::size_t>(batch.hour)] = 1;
+  ++f.batches;
+  f.records += batch.records.size();
+  f.last_progress = tick_;
+  f.stall_flagged = false;
+  f.state = FeedState::kActive;
+}
+
+void FeedSupervisor::seal(std::size_t feed) {
+  auto& f = *feeds_[feed];
+  f.ingestor->finish();
+  auto closed = f.ingestor->take_closed();
+  f.windows.insert(f.windows.end(), std::make_move_iterator(closed.begin()),
+                   std::make_move_iterator(closed.end()));
+  if (f.writer) {
+    const bool complete =
+        std::all_of(f.covered.begin(), f.covered.end(),
+                    [](std::uint8_t b) { return b != 0; });
+    if (!complete) {
+      // Written only when needed, so a fully-covered checkpoint stays
+      // bit-identical to a plain StreamIngestor checkpoint.
+      f.writer->append_coverage(1, params_.num_hours, f.covered);
+    }
+    f.writer->sync();
+    f.writer->close();
+  }
+}
+
+void FeedSupervisor::finish_feed(std::size_t feed) {
+  auto& f = *feeds_[feed];
+  seal(feed);
+  f.state = FeedState::kDone;
+  const auto covered_hours = static_cast<std::int64_t>(
+      std::count(f.covered.begin(), f.covered.end(), std::uint8_t{1}));
+  events_.push_back(
+      {tick_, feed, SupervisorEventKind::kFeedDone, covered_hours, 0});
+}
+
+void FeedSupervisor::quarantine(std::size_t feed, QuarantineReason reason) {
+  auto& f = *feeds_[feed];
+  seal(feed);
+  f.state = FeedState::kQuarantined;
+  f.reason = reason;
+  f.quarantined_at = tick_;
+  events_.push_back({tick_, feed, SupervisorEventKind::kQuarantined,
+                     static_cast<std::int64_t>(reason), 0});
+}
+
+FeedStats FeedSupervisor::stats(std::size_t feed) const {
+  ICN_REQUIRE(feed < feeds_.size(), "feed index");
+  const auto& f = *feeds_[feed];
+  FeedStats stats;
+  stats.name = f.spec.name;
+  stats.state = f.state;
+  stats.quarantine_reason = f.reason;
+  stats.quarantined_at_tick = f.quarantined_at;
+  stats.pulls = f.pulls;
+  stats.batches_accepted = f.batches;
+  stats.records_accepted = f.records;
+  stats.transient_failures = f.transients;
+  stats.retries_scheduled = f.retries;
+  stats.stall_episodes = f.stalls;
+  stats.duplicate_batches = f.dups;
+  stats.corrupt_batches = f.corrupts;
+  stats.late_dropped = f.ingestor->late_dropped();
+  stats.untracked_dropped = f.ingestor->untracked_dropped();
+  stats.covered_hours = static_cast<std::int64_t>(
+      std::count(f.covered.begin(), f.covered.end(), std::uint8_t{1}));
+  return stats;
+}
+
+const std::vector<HourlyWindow>& FeedSupervisor::windows(
+    std::size_t feed) const {
+  ICN_REQUIRE(feed < feeds_.size(), "feed index");
+  return feeds_[feed]->windows;
+}
+
+std::span<const std::uint8_t> FeedSupervisor::covered(std::size_t feed) const {
+  ICN_REQUIRE(feed < feeds_.size(), "feed index");
+  return feeds_[feed]->covered;
+}
+
+MergedStudy FeedSupervisor::merge() const {
+  ICN_REQUIRE(finished(), "merge needs every feed done or quarantined");
+  std::size_t total_rows = 0;
+  for (const auto& f : feeds_) total_rows += f->spec.antenna_ids.size();
+
+  MergedStudy study;
+  study.traffic = ml::Matrix(total_rows, params_.num_services);
+  study.coverage = CoverageMask(total_rows, params_.num_hours);
+  std::size_t row0 = 0;
+  for (const auto& f : feeds_) {
+    const std::size_t rows = f->spec.antenna_ids.size();
+    study.antenna_ids.insert(study.antenna_ids.end(),
+                             f->spec.antenna_ids.begin(),
+                             f->spec.antenna_ids.end());
+    const ml::Matrix totals = f->ingestor->traffic_matrix();
+    std::copy(totals.data().begin(), totals.data().end(),
+              study.traffic.data().begin() +
+                  static_cast<std::ptrdiff_t>(row0 * params_.num_services));
+    for (std::size_t r = 0; r < rows; ++r) {
+      study.coverage.set_row(row0 + r, f->covered);
+    }
+    row0 += rows;
+  }
+  return study;
+}
+
+std::string to_string(const SupervisorEvent& event) {
+  std::string out = "t=" + std::to_string(event.tick) +
+                    " feed=" + std::to_string(event.feed) + " ";
+  switch (event.kind) {
+    case SupervisorEventKind::kRetryScheduled:
+      out += "retry attempt=" + std::to_string(event.a) +
+             " delay=" + std::to_string(event.b);
+      break;
+    case SupervisorEventKind::kStallDetected:
+      out += "stall last_progress=" + std::to_string(event.a);
+      break;
+    case SupervisorEventKind::kDuplicateDropped:
+      out += "duplicate seq=" + std::to_string(event.a);
+      break;
+    case SupervisorEventKind::kCorruptBatch:
+      out += "corrupt seq=" + std::to_string(event.a) +
+             " declared=" + std::to_string(event.b);
+      break;
+    case SupervisorEventKind::kQuarantined:
+      out += "quarantined reason=" + std::to_string(event.a);
+      break;
+    case SupervisorEventKind::kFeedDone:
+      out += "done covered_hours=" + std::to_string(event.a);
+      break;
+  }
+  return out;
+}
+
+MergedStudy merge_snapshots(std::span<const std::string> paths) {
+  ICN_REQUIRE(!paths.empty(), "merge needs snapshots");
+
+  std::vector<store::MappedSnapshot> snaps;
+  std::vector<bool> truncated;
+  snaps.reserve(paths.size());
+  for (const auto& path : paths) {
+    truncated.push_back(store::recover_snapshot(path).truncated);
+    snaps.emplace_back(path);
+  }
+
+  std::size_t num_services = 0;
+  std::int64_t num_hours = 0;
+  std::size_t total_rows = 0;
+  std::unordered_set<std::uint32_t> all_ids;
+  MergedStudy study;
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    const auto meta = snaps[i].stream_meta();
+    if (!meta) {
+      throw store::SnapshotError("snapshot " + paths[i] +
+                                 ": no kStreamMeta section");
+    }
+    if (i == 0) {
+      num_services = meta->num_services;
+      num_hours = meta->num_hours;
+      ICN_REQUIRE(num_services > 0 && num_hours > 0, "merged study shape");
+    } else if (meta->num_services != num_services ||
+               meta->num_hours != num_hours) {
+      throw store::SnapshotError("snapshot " + paths[i] +
+                                 ": study shape differs from first snapshot");
+    }
+    for (const std::uint32_t id : meta->antenna_ids) {
+      ICN_REQUIRE(all_ids.insert(id).second,
+                  "antenna ids overlap across snapshots");
+      study.antenna_ids.push_back(id);
+    }
+    total_rows += meta->antenna_ids.size();
+  }
+
+  study.traffic = ml::Matrix(total_rows, num_services);
+  study.coverage = CoverageMask(total_rows, num_hours);
+  std::size_t row0 = 0;
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    const auto meta = *snaps[i].stream_meta();
+    const std::size_t rows = meta.antenna_ids.size();
+    const auto windows = snaps[i].windows();
+    for (const auto& window : windows) {
+      if (window.cells.size() != rows * num_services) {
+        throw store::SnapshotError("snapshot " + paths[i] +
+                                   ": window shape mismatch");
+      }
+      const auto out = study.traffic.data();
+      for (std::size_t j = 0; j < window.cells.size(); ++j) {
+        out[row0 * num_services + j] += window.cells[j];
+      }
+    }
+
+    std::vector<std::uint8_t> hours(static_cast<std::size_t>(num_hours), 0);
+    if (const auto cov = snaps[i].coverage()) {
+      if (cov->num_hours != num_hours ||
+          (cov->rows != 1 && cov->rows != rows)) {
+        throw store::SnapshotError("snapshot " + paths[i] +
+                                   ": coverage shape mismatch");
+      }
+      if (cov->rows == 1) {
+        std::copy(cov->covered.begin(), cov->covered.end(), hours.begin());
+        for (std::size_t r = 0; r < rows; ++r) {
+          study.coverage.set_row(row0 + r, hours);
+        }
+      } else {
+        for (std::size_t r = 0; r < rows; ++r) {
+          study.coverage.set_row(
+              row0 + r,
+              cov->covered.subspan(r * static_cast<std::size_t>(num_hours),
+                                   static_cast<std::size_t>(num_hours)));
+        }
+      }
+    } else if (truncated[i]) {
+      // The coverage record (always appended last) was lost with the tail:
+      // only hours whose windows survived are provably covered.
+      for (const auto& window : windows) {
+        if (window.hour >= 0 && window.hour < num_hours) {
+          hours[static_cast<std::size_t>(window.hour)] = 1;
+        }
+      }
+      for (std::size_t r = 0; r < rows; ++r) {
+        study.coverage.set_row(row0 + r, hours);
+      }
+    } else {
+      // A cleanly finished checkpoint without a kCoverage section is a
+      // fully-covered feed (the supervisor writes the section only when
+      // coverage is incomplete).
+      std::fill(hours.begin(), hours.end(), std::uint8_t{1});
+      for (std::size_t r = 0; r < rows; ++r) {
+        study.coverage.set_row(row0 + r, hours);
+      }
+    }
+    row0 += rows;
+  }
+  return study;
+}
+
+void write_merged_snapshot(const MergedStudy& study, const std::string& path) {
+  ICN_REQUIRE(study.traffic.rows() == study.antenna_ids.size(),
+              "merged study rows");
+  ICN_REQUIRE(study.coverage.rows() == study.traffic.rows(),
+              "merged study coverage rows");
+  store::SnapshotWriter writer(path);
+  writer.append_stream_meta(study.antenna_ids, study.traffic.cols(),
+                            study.coverage.num_hours());
+  writer.append_matrix(study.traffic);
+  if (!study.coverage.complete()) {
+    writer.append_coverage(study.coverage.rows(), study.coverage.num_hours(),
+                           study.coverage.bits());
+  }
+  writer.sync();
+  writer.close();
+}
+
+}  // namespace icn::stream

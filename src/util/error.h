@@ -17,6 +17,17 @@ class PreconditionError : public std::invalid_argument {
       : std::invalid_argument(what_arg) {}
 };
 
+/// Thrown on operating-system I/O failures at store/stream boundaries: a
+/// missing, empty, or unreadable file, a failed write/fsync/truncate. Distinct
+/// from structural errors (e.g. store::SnapshotError, which means the bytes
+/// were read fine but are not a valid snapshot) so callers can tell "the file
+/// is not there" from "the file is corrupt".
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
 [[noreturn]] inline void fail_precondition(const char* expr, const char* file,
                                            int line, const std::string& msg) {
   std::string full = std::string("precondition failed: ") + expr + " at " +

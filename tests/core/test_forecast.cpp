@@ -182,5 +182,57 @@ TEST(SeasonalForecasterTest, NoisyPeriodicSignalForecastBeatsMean) {
   EXPECT_LT(smape(test, pred), smape(test, flat) * 0.6);
 }
 
+TEST(SeasonalForecasterTest, MaskedFitIgnoresDropoutZeros) {
+  // A periodic signal with dropout windows recorded as zeros: the plain fit
+  // is dragged down, the masked fit recovers the clean profile exactly.
+  const std::size_t season = 24;
+  std::vector<double> series;
+  std::vector<std::uint8_t> covered;
+  for (std::size_t t = 0; t < season * 5; ++t) {
+    const double value = 10.0 + static_cast<double>(t % season);
+    // Seasons 1-3 lose hours [4, 9) to a probe dropout, so the plain
+    // per-slot median over {v, 0, 0, 0, v} collapses to zero there.
+    const bool lost = t / season >= 1 && t / season <= 3 &&
+                      t % season >= 4 && t % season < 9;
+    series.push_back(lost ? 0.0 : value);
+    covered.push_back(lost ? 0 : 1);
+  }
+  SeasonalForecaster masked;
+  masked.fit_masked(series, covered, season);
+  for (std::size_t slot = 0; slot < season; ++slot) {
+    EXPECT_EQ(masked.slot_value(slot), 10.0 + static_cast<double>(slot))
+        << "slot " << slot;
+  }
+  SeasonalForecaster plain;
+  plain.fit(series, season);
+  EXPECT_LT(plain.slot_value(5), masked.slot_value(5));
+}
+
+TEST(SeasonalForecasterTest, MaskedFitFallsBackWhenSlotNeverCovered) {
+  const std::size_t season = 8;
+  std::vector<double> series(season * 3, 4.0);
+  std::vector<std::uint8_t> covered(series.size(), 1);
+  // Slot 2 never observed.
+  for (std::size_t t = 2; t < series.size(); t += season) {
+    series[t] = 999.0;
+    covered[t] = 0;
+  }
+  SeasonalForecaster f;
+  f.fit_masked(series, covered, season);
+  // Fallback = median over all covered samples = 4.0, not the garbage value.
+  EXPECT_EQ(f.slot_value(2), 4.0);
+}
+
+TEST(SeasonalForecasterTest, MaskedFitValidation) {
+  SeasonalForecaster f;
+  const std::vector<double> series(48, 1.0);
+  std::vector<std::uint8_t> covered(47, 1);
+  EXPECT_THROW(f.fit_masked(series, covered, 24),
+               icn::util::PreconditionError);
+  covered.assign(48, 0);
+  EXPECT_THROW(f.fit_masked(series, covered, 24),
+               icn::util::PreconditionError);
+}
+
 }  // namespace
 }  // namespace icn::core

@@ -15,7 +15,10 @@
 #include "probe/dpi.h"
 #include "probe/gtp.h"
 #include "probe/probe.h"
+#include "stream/ingest.h"
+#include "stream/supervise.h"
 #include "traffic/flows.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace icn::core {
@@ -215,6 +218,180 @@ TEST(SnapshotPipelineTest, SnapshotWithoutTensorIsRejected) {
   EXPECT_THROW(run_pipeline_from_snapshot(path, params),
                store::SnapshotError);
   std::remove(path.c_str());
+}
+
+TEST(DegradedPipelineTest, PartialCoverageExcludesAntennasAndReportsGaps) {
+  // A merged multi-probe study with injected dropout windows: the pipeline
+  // must complete, exclude exactly the under-covered antennas, and report
+  // the uncovered hour ranges verbatim.
+  PipelineParams params;
+  params.scenario.seed = 2023;
+  params.scenario.scale = 0.05;
+  params.scenario.outdoor_ratio = 0.0;
+  params.align_to_archetypes = false;
+  params.surrogate.num_trees = 10;
+  params.min_antenna_coverage = 0.5;
+  const Scenario scenario = Scenario::build(params.scenario);
+  const ml::Matrix& traffic = scenario.demand().traffic_matrix();
+  const std::size_t rows = traffic.rows();
+  ASSERT_GE(rows, 20u);
+  const std::int64_t hours = 48;
+
+  stream::MergedStudy study;
+  study.traffic = traffic;
+  for (std::size_t r = 0; r < rows; ++r) {
+    study.antenna_ids.push_back(static_cast<std::uint32_t>(1000 + r));
+  }
+  study.coverage = stream::CoverageMask::full(rows, hours);
+  // Row 0: dropout windows [5, 10) and [20, 22) — stays above threshold.
+  for (std::int64_t h = 5; h < 10; ++h) study.coverage.set(0, h, false);
+  for (std::int64_t h = 20; h < 22; ++h) study.coverage.set(0, h, false);
+  // Rows 3 and 7: covered for 12 of 48 hours only — excluded.
+  for (const std::size_t r : {std::size_t{3}, std::size_t{7}}) {
+    for (std::int64_t h = 12; h < hours; ++h) study.coverage.set(r, h, false);
+  }
+
+  const std::string path = ::testing::TempDir() + "icn_degraded.snap";
+  std::remove(path.c_str());
+  stream::write_merged_snapshot(study, path);
+  const auto result = run_pipeline_from_snapshot(path, params);
+  std::remove(path.c_str());
+
+  const CoverageReport& report = result.coverage;
+  EXPECT_TRUE(report.degraded);
+  EXPECT_EQ(report.threshold, 0.5);
+  EXPECT_EQ(report.total_rows, rows);
+  EXPECT_EQ(report.analyzed_rows.size(), rows - 2);
+  EXPECT_EQ(report.excluded_antennas,
+            (std::vector<std::uint32_t>{1003, 1007}));
+  ASSERT_EQ(report.incomplete.size(), 3u);
+  EXPECT_EQ(report.incomplete[0].row, 0u);
+  EXPECT_FALSE(report.incomplete[0].excluded);
+  EXPECT_EQ(report.incomplete[0].gaps,
+            (std::vector<stream::HourRange>{{5, 10}, {20, 22}}));
+  EXPECT_EQ(report.incomplete[1].row, 3u);
+  EXPECT_TRUE(report.incomplete[1].excluded);
+  EXPECT_EQ(report.incomplete[1].gaps,
+            (std::vector<stream::HourRange>{{12, 48}}));
+  EXPECT_EQ(report.covered_cells,
+            static_cast<std::size_t>(rows) * 48 - 7 - 2 * 36);
+
+  // The analysis ran on exactly the surviving rows, bit-identical to
+  // analyzing that submatrix directly.
+  const ml::Matrix sub = traffic.select_rows(report.analyzed_rows);
+  const auto direct = analyze_traffic(sub, params);
+  EXPECT_EQ(result.analysis.clusters.labels, direct.clusters.labels);
+  ASSERT_EQ(result.analysis.rsca.rows(), rows - 2);
+  for (std::size_t i = 0; i < direct.rsca.data().size(); ++i) {
+    ASSERT_EQ(result.analysis.rsca.data()[i], direct.rsca.data()[i]);
+  }
+
+  // The human-readable report names the exclusions and the gaps.
+  const std::string text = to_text(report);
+  EXPECT_NE(text.find("antenna 1003"), std::string::npos);
+  EXPECT_NE(text.find("EXCLUDED"), std::string::npos);
+  EXPECT_NE(text.find("[5,10)"), std::string::npos);
+}
+
+TEST(DegradedPipelineTest, FullCoverageSnapshotIsNotDegraded) {
+  PipelineParams params;
+  params.scenario.seed = 2023;
+  params.scenario.scale = 0.05;
+  params.scenario.outdoor_ratio = 0.0;
+  params.align_to_archetypes = false;
+  params.surrogate.num_trees = 10;
+  const Scenario scenario = Scenario::build(params.scenario);
+
+  const std::string path = ::testing::TempDir() + "icn_fullcov.snap";
+  std::remove(path.c_str());
+  {
+    store::SnapshotWriter writer(path);
+    writer.append_matrix(scenario.demand().traffic_matrix());
+    writer.close();
+  }
+  const auto result = run_pipeline_from_snapshot(path, params);
+  std::remove(path.c_str());
+  EXPECT_FALSE(result.coverage.degraded);
+  EXPECT_EQ(result.coverage.analyzed_rows.size(),
+            scenario.demand().traffic_matrix().rows());
+  EXPECT_TRUE(result.coverage.incomplete.empty());
+  EXPECT_TRUE(result.coverage.excluded_antennas.empty());
+}
+
+TEST(DegradedPipelineTest, MultiSnapshotMergeAnalyzesAcrossProbeFiles) {
+  // Two per-probe ingest checkpoints, the second with half its hours lost:
+  // run_pipeline_from_snapshots merges, excludes the under-covered probe,
+  // and analyzes the rest.
+  constexpr std::size_t kPerProbe = 12;
+  constexpr std::size_t kSvc = 4;
+  constexpr std::int64_t kH = 24;
+  auto make_checkpoint = [](const std::string& path, std::uint32_t first_id,
+                            std::int64_t hours_present, std::uint64_t seed) {
+    std::vector<std::uint32_t> ids;
+    for (std::size_t i = 0; i < kPerProbe; ++i) {
+      ids.push_back(first_id + static_cast<std::uint32_t>(i));
+    }
+    stream::IngestParams params;
+    params.antenna_ids = ids;
+    params.num_services = kSvc;
+    params.num_hours = kH;
+    auto writer = stream::begin_checkpoint(path, params);
+    stream::StreamIngestor ingest(params, &writer);
+    icn::util::Rng rng(seed);
+    for (std::int64_t h = 0; h < hours_present; ++h) {
+      std::vector<probe::ServiceSession> batch;
+      for (const std::uint32_t id : ids) {
+        probe::ServiceSession s;
+        s.antenna_id = id;
+        s.service = rng.uniform_index(kSvc);
+        s.hour = h;
+        s.down_bytes = rng.uniform(1.0e4, 1.0e6);
+        batch.push_back(s);
+      }
+      ingest.push(batch);
+    }
+    ingest.finish();
+    if (hours_present < kH) {
+      std::vector<std::uint8_t> covered(static_cast<std::size_t>(kH), 0);
+      for (std::int64_t h = 0; h < hours_present; ++h) {
+        covered[static_cast<std::size_t>(h)] = 1;
+      }
+      writer.append_coverage(1, kH, covered);
+    }
+    writer.sync();
+    writer.close();
+  };
+
+  const std::string path_a = ::testing::TempDir() + "icn_probe_a.snap";
+  const std::string path_b = ::testing::TempDir() + "icn_probe_b.snap";
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+  make_checkpoint(path_a, 0, kH, 900);
+  make_checkpoint(path_b, 100, kH / 4, 901);  // 25% covered -> excluded
+
+  PipelineParams params;
+  params.align_to_archetypes = false;
+  params.surrogate.num_trees = 5;
+  params.clustering.k_min = 2;
+  params.clustering.k_max = 4;
+  params.clustering.chosen_k = 2;
+  params.min_antenna_coverage = 0.5;
+  const std::vector<std::string> paths = {path_a, path_b};
+  const auto result = run_pipeline_from_snapshots(paths, params);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+
+  EXPECT_TRUE(result.coverage.degraded);
+  EXPECT_EQ(result.coverage.total_rows, 2 * kPerProbe);
+  EXPECT_EQ(result.coverage.analyzed_rows.size(), kPerProbe);
+  ASSERT_EQ(result.coverage.excluded_antennas.size(), kPerProbe);
+  EXPECT_EQ(result.coverage.excluded_antennas.front(), 100u);
+  EXPECT_EQ(result.analysis.clusters.labels.size(), kPerProbe);
+  // Probe B's gaps are exactly its lost hours.
+  for (const auto& antenna : result.coverage.incomplete) {
+    EXPECT_EQ(antenna.gaps,
+              (std::vector<stream::HourRange>{{kH / 4, kH}}));
+  }
 }
 
 TEST(PipelineDeterminismTest, TwoRunsIdentical) {

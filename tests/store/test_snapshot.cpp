@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "store/crc32c.h"
+#include "util/error.h"
 #include "util/rng.h"
 
 namespace icn::store {
@@ -173,6 +175,11 @@ TEST(SnapshotTest, EveryTruncationIsDetected) {
   const auto good = read_file(file.path());
   for (std::size_t keep = 0; keep < good.size(); ++keep) {
     write_file(file.path(), {good.data(), keep});
+    if (keep == 0) {
+      // An empty file is an OS-level problem (lost write), not corruption.
+      EXPECT_THROW((void)MappedSnapshot(file.path()), icn::util::IoError);
+      continue;
+    }
     if (keep == 16) {
       // A prefix of exactly the file header is a valid empty snapshot.
       EXPECT_TRUE(MappedSnapshot(file.path()).sections().empty());
@@ -198,8 +205,83 @@ TEST(SnapshotTest, RejectsBadMagicAndVersion) {
   EXPECT_THROW((void)SnapshotWriter::append_to(file.path()), SnapshotError);
 }
 
-TEST(SnapshotTest, MissingFileThrows) {
-  EXPECT_THROW((void)MappedSnapshot("/nonexistent/icn.snap"), SnapshotError);
+TEST(SnapshotTest, MissingFileThrowsIoError) {
+  // OS-level failures are typed IoError, distinct from structural
+  // SnapshotError, so callers can tell "not there" from "corrupt".
+  EXPECT_THROW((void)MappedSnapshot("/nonexistent/icn.snap"),
+               icn::util::IoError);
+  EXPECT_THROW((void)recover_snapshot("/nonexistent/icn.snap"),
+               icn::util::IoError);
+  EXPECT_THROW((void)SnapshotWriter::append_to("/nonexistent/icn.snap"),
+               icn::util::IoError);
+  EXPECT_THROW((void)scan_section_index("/nonexistent/icn.snap"),
+               icn::util::IoError);
+}
+
+TEST(SnapshotTest, EmptyFileThrowsIoError) {
+  TempFile file("empty");
+  write_file(file.path(), {});
+  EXPECT_THROW((void)MappedSnapshot(file.path()), icn::util::IoError);
+  EXPECT_THROW((void)recover_snapshot(file.path()), icn::util::IoError);
+  EXPECT_THROW((void)SnapshotWriter::append_to(file.path()),
+               icn::util::IoError);
+}
+
+TEST(SnapshotTest, CoverageSectionRoundTrips) {
+  TempFile file("coverage");
+  const std::vector<std::uint8_t> covered = {1, 1, 0, 1, 0, 0, 1, 1};
+  {
+    SnapshotWriter writer(file.path());
+    writer.append_coverage(2, 4, covered);
+    writer.sync();
+  }
+  const MappedSnapshot snapshot(file.path());
+  const auto view = snapshot.coverage();
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->rows, 2u);
+  EXPECT_EQ(view->num_hours, 4);
+  ASSERT_EQ(view->covered.size(), covered.size());
+  for (std::size_t i = 0; i < covered.size(); ++i) {
+    EXPECT_EQ(view->covered[i], covered[i]) << "cell " << i;
+  }
+}
+
+TEST(SnapshotTest, CoverageSectionRejectsBadShapes) {
+  TempFile file("coverage_bad");
+  SnapshotWriter writer(file.path());
+  const std::vector<std::uint8_t> bits = {1, 0, 1};
+  EXPECT_THROW(writer.append_coverage(0, 3, bits),
+               icn::util::PreconditionError);
+  EXPECT_THROW(writer.append_coverage(2, 3, bits),
+               icn::util::PreconditionError);
+  const std::vector<std::uint8_t> not_binary = {1, 0, 2};
+  EXPECT_THROW(writer.append_coverage(1, 3, not_binary),
+               icn::util::PreconditionError);
+}
+
+TEST(SnapshotTest, SectionIndexReportsOffsetsAndSizes) {
+  TempFile file("section_index");
+  {
+    SnapshotWriter writer(file.path());
+    writer.append_stream_meta(std::vector<std::uint32_t>{1, 2}, 3, 24);
+    writer.append_window(0, std::vector<double>{1.0, 2.0, 3.0,
+                                                4.0, 5.0, 6.0});
+    writer.sync();
+  }
+  const auto index = scan_section_index(file.path());
+  ASSERT_EQ(index.size(), 2u);
+  EXPECT_EQ(index[0].type, SectionType::kStreamMeta);
+  EXPECT_EQ(index[0].header_offset, 16u);
+  EXPECT_EQ(index[0].payload_offset, 40u);
+  EXPECT_EQ(index[1].type, SectionType::kWindow);
+  // 8 (hour) + 6 doubles.
+  EXPECT_EQ(index[1].payload_size, 8u + 6 * 8u);
+  // The index addresses real file bytes: the window payload starts with its
+  // hour, readable straight from the offset.
+  const auto bytes = read_file(file.path());
+  std::int64_t hour = -1;
+  std::memcpy(&hour, bytes.data() + index[1].payload_offset, sizeof(hour));
+  EXPECT_EQ(hour, 0);
 }
 
 TEST(SnapshotTest, AppendToExtendsExistingSnapshot) {

@@ -252,6 +252,42 @@ TEST(StreamIngestTest, PreconditionsEnforced) {
   EXPECT_THROW(StreamIngestor(base_params(0)), icn::util::PreconditionError);
 }
 
+TEST(StreamIngestTest, PushAfterFinishIsRejectedWithoutSideEffects) {
+  StreamIngestor ingest(base_params(2));
+  ingest.push(hour_sessions(0, 11));
+  ingest.finish();
+  const ml::Matrix before = ingest.traffic_matrix();
+  EXPECT_THROW(ingest.push(hour_sessions(1, 11)),
+               icn::util::PreconditionError);
+  // The rejected push must not have leaked anything into the totals.
+  expect_matrices_equal(ingest.traffic_matrix(), before);
+  EXPECT_TRUE(ingest.finished());
+}
+
+TEST(StreamIngestTest, ResumeBeforeAfterFirstPushIsRejected) {
+  StreamIngestor ingest(base_params(1));
+  ingest.push(hour_sessions(0, 12));
+  EXPECT_THROW(ingest.resume_before(3), icn::util::PreconditionError);
+  // An empty batch still counts as "started": the resume horizon must be
+  // fixed before any stream contact.
+  StreamIngestor touched(base_params(1));
+  touched.push({});
+  EXPECT_THROW(touched.resume_before(3), icn::util::PreconditionError);
+}
+
+TEST(StreamIngestTest, AddWindowCellsRejectsShapeMismatch) {
+  ml::Matrix totals(kIds.size(), kServices);
+  const std::vector<double> short_cells(kIds.size() * kServices - 1, 1.0);
+  EXPECT_THROW(add_window_cells(totals, short_cells),
+               icn::util::PreconditionError);
+  const std::vector<double> long_cells(kIds.size() * kServices + 1, 1.0);
+  EXPECT_THROW(add_window_cells(totals, long_cells),
+               icn::util::PreconditionError);
+  const std::vector<double> good(kIds.size() * kServices, 2.0);
+  add_window_cells(totals, good);
+  EXPECT_EQ(totals.at(0, 0), 2.0);
+}
+
 TEST(StreamCheckpointTest, KilledIngestResumesFromLastDurableWindow) {
   const std::uint64_t seed = 4242;
 
