@@ -2,23 +2,34 @@
 // stream_ingest.
 //
 // The paper's plant ran one passive probe per site; real probes stall, die,
-// redeliver, and corrupt. This example splits a synthetic study across four
-// probe feeds, wraps each in a seeded FaultPlan (dropout windows, transient
-// pull failures, duplicated/reordered/skewed/truncated batches), and drives
-// them with the FeedSupervisor:
+// redeliver, and corrupt — down to single fields of single records. This
+// example splits a synthetic study across four probe feeds, wraps each in a
+// seeded FaultPlan (dropout windows, transient pull failures, duplicated/
+// reordered/skewed/truncated batches, per-record field fuzz, a correlated
+// site outage), and drives them with the FeedSupervisor with the
+// record-level quality layer engaged:
 //
 //   1. the supervisor polls all feeds on a virtual clock, retrying transient
 //      failures with capped exponential backoff, deduplicating redelivered
-//      sequences, rejecting corrupt batches, and checkpointing each feed to
-//      its own snapshot — live counters are printed as it runs;
+//      sequences, repairing or quarantining damaged records with provenance,
+//      and checkpointing each feed to its own snapshot — live counters are
+//      printed as it runs;
 //   2. the per-probe checkpoints are recovered and merged into one study
-//      tensor plus a per-(antenna, hour) coverage mask;
-//   3. the analysis pipeline runs in degraded mode on the merge, excluding
+//      tensor plus a per-(antenna, hour) coverage mask and per-hour
+//      quarantine counts;
+//   3. the same study is replayed under the plan's kill/restart schedule:
+//      the supervisor is destroyed mid-study (twice) and resumed from the
+//      durable checkpoints, converging bit-identically with the
+//      uninterrupted run — including the checkpoint bytes;
+//   4. the analysis pipeline runs in degraded mode on the merge, excluding
 //      under-covered antennas and reporting exactly which hours were lost —
-//      which match the injected dropout windows and nothing else.
+//      which match the injected dropout windows and outage and nothing else.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <numeric>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -26,9 +37,11 @@
 #include "core/scenario.h"
 #include "fault/feed.h"
 #include "fault/plan.h"
+#include "fault/restart.h"
 #include "probe/dpi.h"
 #include "probe/gtp.h"
 #include "probe/probe.h"
+#include "quality/validate.h"
 #include "stream/supervise.h"
 #include "traffic/flows.h"
 #include "util/table.h"
@@ -45,6 +58,13 @@ const char* state_name(icn::stream::FeedState state) {
     case FeedState::kQuarantined: return "QUARANTINED";
   }
   return "?";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
 }
 
 }  // namespace
@@ -86,8 +106,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  // One seeded hostility schedule for the whole plant. Dropouts destroy
-  // data; every other class must be absorbed without changing a bit.
+  // One seeded hostility schedule for the whole plant. Dropouts and the
+  // correlated outage destroy data; field fuzz damages individual records
+  // (the quality layer repairs what has an exact inverse and quarantines the
+  // rest); every other class must be absorbed without changing a bit.
   fault::FaultPlanParams fault_params;
   fault_params.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
   fault_params.num_probes = kProbes;
@@ -101,6 +123,14 @@ int main(int argc, char** argv) {
   fault_params.skew_rate = 0.08;
   fault_params.skew_max_delay = 2;
   fault_params.truncate_rate = 0.06;
+  fault_params.field_fuzz_rate = 0.10;
+  fault_params.field_fuzz_max_records = 2;
+  fault_params.outage_rate = 0.03;
+  fault_params.outage_max_hours = 3;
+  fault_params.outage_min_probes = 2;
+  fault_params.restart_count = 2;  // Two mid-study kills in the replay pass.
+  fault_params.restart_min_ticks = 16;
+  fault_params.restart_max_ticks = 96;
   const fault::FaultPlan plan(fault_params);
   fault::FaultLedger ledger;
 
@@ -129,7 +159,8 @@ int main(int argc, char** argv) {
   sup.backoff.max_retries = 6;
   sup.stall_timeout_ticks = 4;
   sup.corrupt_strikes = 1000;  // Truncated batches are redelivered intact.
-  stream::FeedSupervisor supervisor(std::move(sup), std::move(specs));
+  sup.quality = quality::ValidatorParams{};  // Record-level repair/reject.
+  stream::FeedSupervisor supervisor(sup, std::move(specs));
 
   // --- Drive the plant, printing live counters every 64 ticks -------------
   std::cout << "\ntick  ";
@@ -148,36 +179,105 @@ int main(int argc, char** argv) {
 
   // --- Supervision outcome ------------------------------------------------
   util::TextTable table({"feed", "state", "batches", "records", "retries",
-                         "dups", "corrupt", "covered"});
+                         "dups", "corrupt", "rejected", "repaired",
+                         "covered"});
   for (std::size_t p = 0; p < kProbes; ++p) {
     const auto stats = supervisor.stats(p);
+    const auto rejected = supervisor.rejected_by_hour(p);
+    const auto repaired = supervisor.repaired_by_hour(p);
     table.add_row({stats.name, state_name(stats.state),
                    std::to_string(stats.batches_accepted),
                    std::to_string(stats.records_accepted),
                    std::to_string(stats.retries_scheduled),
                    std::to_string(stats.duplicate_batches),
                    std::to_string(stats.corrupt_batches),
+                   std::to_string(std::accumulate(rejected.begin(),
+                                                  rejected.end(), 0u)),
+                   std::to_string(std::accumulate(repaired.begin(),
+                                                  repaired.end(), 0u)),
                    std::to_string(stats.covered_hours) + "/" +
                        std::to_string(hours)});
   }
   std::cout << "\n";
   table.print(std::cout);
   std::cout << "\ninjected faults: " << ledger.size()
-            << " (replayable ledger), supervision events: "
-            << supervisor.events().size() << ", finished at tick "
+            << " (replayable ledger, " << plan.outages().size()
+            << " correlated outage(s)), supervision events: "
+            << supervisor.events().size() << ", quarantine ledger: "
+            << supervisor.quarantine_ledger().entries().size()
+            << " entries with provenance, finished at tick "
             << supervisor.now() << "\n";
 
-  // --- Durable merge + degraded analysis ----------------------------------
+  // --- Durable merge ------------------------------------------------------
   const auto live = supervisor.merge();
   const auto durable = stream::merge_snapshots(checkpoints);
   bool identical = live.traffic.data().size() == durable.traffic.data().size()
-                   && live.coverage == durable.coverage;
+                   && live.coverage == durable.coverage
+                   && live.quarantine.rejected_by_hour ==
+                          durable.quarantine.rejected_by_hour
+                   && live.quarantine.repaired_by_hour ==
+                          durable.quarantine.repaired_by_hour;
   for (std::size_t i = 0; identical && i < live.traffic.data().size(); ++i) {
     identical = live.traffic.data()[i] == durable.traffic.data()[i];
   }
   std::cout << "durable merge of " << checkpoints.size()
             << " checkpoints vs live merge: "
             << (identical ? "bit-identical" : "MISMATCH") << "\n";
+
+  // --- Kill/restart replay ------------------------------------------------
+  // Re-run the same study under the plan's crash schedule: two mid-study
+  // supervisor kills, each resumed from the durable checkpoints. The feeds
+  // replay from the start each epoch (resume skips already-durable records);
+  // the result must match the uninterrupted run bit for bit — checkpoint
+  // bytes included.
+  std::vector<std::string> restart_checkpoints;
+  for (std::size_t p = 0; p < kProbes; ++p) {
+    restart_checkpoints.push_back("multi_probe_r" + std::to_string(p) +
+                                  ".snap");
+  }
+  fault::FaultLedger restart_ledger;
+  std::vector<std::unique_ptr<fault::FaultyFeed>> restart_feeds;
+  const fault::FeedFactory factory = [&](std::size_t) {
+    restart_feeds.clear();
+    std::vector<stream::FeedSpec> epoch_specs;
+    for (std::size_t p = 0; p < kProbes; ++p) {
+      restart_feeds.push_back(std::make_unique<fault::FaultyFeed>(
+          p, stream::hourly_script(probe_sessions[p], hours), &plan,
+          &restart_ledger));
+      stream::FeedSpec spec;
+      spec.name = "probe-" + std::to_string(p);
+      spec.antenna_ids = probe_ids[p];
+      spec.source = restart_feeds.back().get();
+      spec.checkpoint_path = restart_checkpoints[p];
+      epoch_specs.push_back(std::move(spec));
+    }
+    return epoch_specs;
+  };
+  const auto restarted =
+      fault::run_supervised_with_restarts(plan, sup, factory, &restart_ledger);
+
+  bool converged =
+      restarted.study.antenna_ids == live.antenna_ids &&
+      restarted.study.coverage == live.coverage &&
+      restarted.study.quarantine.rejected_by_hour ==
+          live.quarantine.rejected_by_hour &&
+      restarted.study.quarantine.repaired_by_hour ==
+          live.quarantine.repaired_by_hour &&
+      restarted.study.traffic.data().size() == live.traffic.data().size();
+  for (std::size_t i = 0; converged && i < live.traffic.data().size(); ++i) {
+    converged = restarted.study.traffic.data()[i] == live.traffic.data()[i];
+  }
+  for (std::size_t p = 0; converged && p < kProbes; ++p) {
+    converged = read_file(restart_checkpoints[p]) == read_file(checkpoints[p]);
+  }
+  std::cout << "killed " << (restarted.epochs - 1)
+            << "x mid-study, resumed from checkpoints ("
+            << restarted.epochs << " epochs): "
+            << (converged ? "bit-identical convergence (checkpoint bytes "
+                            "included)"
+                          : "MISMATCH")
+            << "\n";
+  identical = identical && converged;
 
   core::PipelineParams pipeline_params;
   pipeline_params.clustering.k_max =
@@ -195,5 +295,6 @@ int main(int argc, char** argv) {
             << (result.coverage.degraded ? " (degraded mode)" : "") << "\n";
 
   for (const auto& path : checkpoints) std::remove(path.c_str());
+  for (const auto& path : restart_checkpoints) std::remove(path.c_str());
   return identical ? 0 : 1;
 }

@@ -98,6 +98,13 @@ std::string to_text(const CoverageReport& report) {
                 report.threshold, report.analyzed_rows.size(),
                 report.total_rows);
   std::string out = line;
+  if (report.records_rejected > 0 || report.records_repaired > 0) {
+    std::snprintf(line, sizeof(line),
+                  "quarantined records: %llu rejected, %llu repaired\n",
+                  static_cast<unsigned long long>(report.records_rejected),
+                  static_cast<unsigned long long>(report.records_repaired));
+    out += line;
+  }
   for (const auto& antenna : report.incomplete) {
     std::snprintf(line, sizeof(line), "antenna %u: %.1f%% covered%s, gaps",
                   antenna.antenna_id, 100.0 * antenna.fraction,
@@ -121,11 +128,15 @@ namespace {
 SnapshotPipelineResult analyze_with_coverage(ml::Matrix traffic,
                                              const stream::CoverageMask& mask,
                                              std::span<const std::uint32_t> ids,
-                                             const PipelineParams& params) {
+                                             const PipelineParams& params,
+                                             std::uint64_t records_rejected,
+                                             std::uint64_t records_repaired) {
   SnapshotPipelineResult result;
   result.traffic = std::move(traffic);
   result.coverage =
       build_coverage_report(mask, ids, params.min_antenna_coverage);
+  result.coverage.records_rejected = records_rejected;
+  result.coverage.records_repaired = records_repaired;
   const auto& rows = result.coverage.analyzed_rows;
   ICN_REQUIRE(!rows.empty(), "every antenna fell below the coverage "
                              "threshold; nothing left to analyze");
@@ -187,14 +198,23 @@ SnapshotPipelineResult run_pipeline_from_snapshot(
       meta ? meta->antenna_ids : std::span<const std::uint32_t>{};
   const stream::CoverageMask mask =
       snapshot_coverage(snapshot, traffic.rows(), path);
-  return analyze_with_coverage(std::move(traffic), mask, ids, params);
+  std::uint64_t rejected = 0;
+  std::uint64_t repaired = 0;
+  if (const auto quarantine = snapshot.quarantine()) {
+    for (const std::uint32_t n : quarantine->rejected) rejected += n;
+    for (const std::uint32_t n : quarantine->repaired) repaired += n;
+  }
+  return analyze_with_coverage(std::move(traffic), mask, ids, params,
+                               rejected, repaired);
 }
 
 SnapshotPipelineResult run_pipeline_from_snapshots(
     std::span<const std::string> paths, const PipelineParams& params) {
   stream::MergedStudy study = stream::merge_snapshots(paths);
   return analyze_with_coverage(std::move(study.traffic), study.coverage,
-                               study.antenna_ids, params);
+                               study.antenna_ids, params,
+                               study.quarantine.total_rejected(),
+                               study.quarantine.total_repaired());
 }
 
 }  // namespace icn::core

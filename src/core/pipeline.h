@@ -63,6 +63,13 @@ struct CoverageReport {
   std::size_t total_rows = 0;
   std::size_t covered_cells = 0;
   std::size_t total_cells = 0;
+  /// Study-wide record-quarantine totals from the ingest's quality layer
+  /// (the snapshots' kQuarantine sections). Zero for clean runs and for
+  /// snapshots written before the quality layer existed. Rejected records
+  /// are data loss below the (antenna, hour) cell granularity: the cell
+  /// stays covered unless every record of its batch was rejected.
+  std::uint64_t records_rejected = 0;
+  std::uint64_t records_repaired = 0;
   /// Rows that entered the analysis, ascending. Labels/RSCA rows of a
   /// degraded result index into this list.
   std::vector<std::size_t> analyzed_rows;

@@ -1,7 +1,9 @@
 #include "fault/feed.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
+#include <limits>
 #include <unordered_map>
 #include <utility>
 
@@ -63,6 +65,22 @@ stream::PullResult FaultyFeed::pull() {
       throw stream::TransientFeedError("injected poisoned probe");
     }
 
+    if (const OutageSpec* outage = plan_->outage_covering(probe_, hour)) {
+      // The plan clamps dropouts so the cursor arrives exactly at the outage
+      // start; `remaining` guards the general case anyway. One ledger event
+      // covers the whole correlated window, logged by the lowest-indexed
+      // probe of the mask.
+      const std::int64_t remaining = outage->hour + outage->len - hour;
+      if (probe_ == static_cast<std::size_t>(std::countr_zero(outage->probes))) {
+        ledger_->push_back({probe_, outage->hour, FaultKind::kSiteOutage,
+                            outage->len,
+                            static_cast<std::int64_t>(outage->probes)});
+      }
+      cursor_ += static_cast<std::size_t>(remaining);
+      stall_remaining_ = remaining - 1;  // this pull consumes the first stall
+      return {stream::PullStatus::kStalled, {}};
+    }
+
     if (const std::int64_t len = plan_->dropout_starting_at(probe_, hour);
         len > 0) {
       ledger_->push_back({probe_, hour, FaultKind::kDropout, len, 0});
@@ -77,6 +95,16 @@ stream::PullResult FaultyFeed::pull() {
       ledger_->push_back({probe_, hour, FaultKind::kTransient, n, 0});
       transient_remaining_ = n - 1;  // this pull consumes the first throw
       throw stream::TransientFeedError("injected transient failure");
+    }
+
+    // Field damage lands on the script entry itself, before any reorder /
+    // skew / truncate / duplicate copy is taken, so every redelivery of the
+    // batch carries identical damaged bits.
+    if (plan_->fuzz_record_count(probe_, hour) > 0 && fuzz_burned_ != cursor_ &&
+        !script_[cursor_].records.empty()) {
+      fuzz_burned_ = cursor_;
+      apply_field_fuzz(script_[cursor_].records, probe_, hour, *plan_,
+                       ledger_);
     }
 
     if (plan_->reordered(probe_, hour) && reorder_burned_ != cursor_ &&
@@ -142,6 +170,62 @@ void reorder_preserving_antenna_order(
   for (const std::uint32_t id : order) {
     const auto& group = groups[id];
     records.insert(records.end(), group.begin(), group.end());
+  }
+}
+
+void apply_field_fuzz(std::vector<probe::ServiceSession>& records,
+                      std::size_t probe, std::int64_t hour,
+                      const FaultPlan& plan, FaultLedger* ledger) {
+  const std::int64_t count = plan.fuzz_record_count(probe, hour);
+  if (count <= 0 || records.empty()) return;
+  icn::util::Rng rng(plan.fuzz_seed(probe, hour));
+  const std::int64_t num_hours = plan.params().num_hours;
+  for (std::int64_t m = 0; m < count; ++m) {
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_index(static_cast<std::uint64_t>(records.size())));
+    const std::uint64_t kind = rng.uniform_index(5);
+    probe::ServiceSession& record = records[idx];
+    switch (kind) {
+      case 0:
+        record.antenna_id ^=
+            1u << static_cast<unsigned>(16 + rng.uniform_index(16));
+        break;
+      case 1:
+        record.service += 1009;
+        break;
+      case 2: {
+        std::int64_t delta =
+            1 + static_cast<std::int64_t>(rng.uniform_index(3));
+        if (rng.uniform_index(2) == 1) delta = -delta;
+        // Keep the skewed hour inside the study so the defect stays in the
+        // repairable kClockSkew class (degenerate tiny studies may leave the
+        // record clean; the ledger event is appended either way).
+        if (record.hour + delta < 0 || record.hour + delta >= num_hours) {
+          delta = -delta;
+        }
+        if (record.hour + delta >= 0 && record.hour + delta < num_hours) {
+          record.hour += delta;
+        }
+        break;
+      }
+      case 3: {
+        double& bytes =
+            rng.uniform_index(2) == 0 ? record.down_bytes : record.up_bytes;
+        bytes = -bytes;
+        break;
+      }
+      default: {
+        double& bytes =
+            rng.uniform_index(2) == 0 ? record.down_bytes : record.up_bytes;
+        bytes = std::numeric_limits<double>::quiet_NaN();
+        break;
+      }
+    }
+    if (ledger != nullptr) {
+      ledger->push_back({probe, hour, FaultKind::kFieldFuzz,
+                         static_cast<std::int64_t>(idx),
+                         static_cast<std::int64_t>(kind)});
+    }
   }
 }
 

@@ -4,10 +4,16 @@
 //
 // Fault precedence at one script position (hour h):
 //   poison  -> every pull throws from h on; only quarantine ends it.
+//   outage  -> correlated site power loss: every probe in the planned mask
+//              stalls over the shared window exactly like a dropout, but
+//              the ledger gets ONE kSiteOutage event for the whole site
+//              (logged by the lowest-indexed affected probe).
 //   dropout -> the window's batches never existed: the feed stalls one pull
 //              per dropped hour (modelling the dead probe), then resumes
 //              after the window.
 //   transient -> the next `n` pulls throw before h's batch is delivered.
+//   fieldfuzz -> individual records of h's batch get field-level damage
+//              (see apply_field_fuzz); redeliveries carry the same bits.
 //   reorder -> records permuted across antennas (per-antenna order kept).
 //   skew    -> the (possibly reordered) batch is held and delivered only
 //              after the next `d` deliveries of this feed.
@@ -56,6 +62,7 @@ class FaultyFeed final : public stream::BatchSource {
   std::size_t transient_burned_ = SIZE_MAX;  ///< Cursor whose burst ran.
   std::size_t truncate_burned_ = SIZE_MAX;   ///< Cursor already truncated.
   std::size_t reorder_burned_ = SIZE_MAX;    ///< Cursor already reordered.
+  std::size_t fuzz_burned_ = SIZE_MAX;       ///< Cursor already fuzzed.
   bool poison_logged_ = false;
   std::optional<stream::FeedBatch> dup_pending_;
   struct Held {
@@ -71,5 +78,25 @@ class FaultyFeed final : public stream::BatchSource {
 /// the invariant that keeps every (antenna, service, hour) sum bit-identical.
 void reorder_preserving_antenna_order(
     std::vector<probe::ServiceSession>& records, std::uint64_t seed);
+
+/// Applies the plan's field-level damage for (probe, hour) to `records` in
+/// place: plan.fuzz_record_count(probe, hour) mutations, each picking one
+/// record and one mutation kind from the plan's fuzz_seed substream:
+///   0 = antenna id high-bit flip (bits 16..31; always outside the tracked
+///       roster, so a fatal kUnknownAntenna for the quality layer),
+///   1 = service id pushed out of the alphabet (fatal),
+///   2 = event hour skewed by +/-1..3 (repairable back to the batch hour
+///       while the result stays inside the study),
+///   3 = volume sign flip on down or up bytes (repairable: negation is its
+///       own exact inverse),
+///   4 = NaN volume (fatal).
+/// Repairs of the repairable kinds restore the exact original bits. Each
+/// mutation appends a kFieldFuzz event {a = record index, b = kind} to
+/// `ledger` (pass nullptr to replay damage without logging). Deterministic:
+/// equal (plan, probe, hour, records) produce equal damage, so tests can
+/// replay the mutations on a clean copy of the batch.
+void apply_field_fuzz(std::vector<probe::ServiceSession>& records,
+                      std::size_t probe, std::int64_t hour,
+                      const FaultPlan& plan, FaultLedger* ledger);
 
 }  // namespace icn::fault

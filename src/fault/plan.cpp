@@ -1,5 +1,8 @@
 #include "fault/plan.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -16,6 +19,9 @@ enum : std::uint64_t {
   kTagSkew = 5,
   kTagTruncate = 6,
   kTagBitFlip = 7,
+  kTagFieldFuzz = 8,
+  kTagOutage = 9,
+  kTagRestart = 10,
 };
 
 icn::util::Rng cell_rng(std::uint64_t seed, std::size_t probe,
@@ -36,6 +42,9 @@ std::string to_string(FaultKind kind) {
     case FaultKind::kTruncate: return "truncate";
     case FaultKind::kBitFlip: return "bitflip";
     case FaultKind::kPoison: return "poison";
+    case FaultKind::kFieldFuzz: return "fieldfuzz";
+    case FaultKind::kSiteOutage: return "siteoutage";
+    case FaultKind::kRestart: return "restart";
   }
   return "unknown";
 }
@@ -61,6 +70,11 @@ FaultPlan::FaultPlan(FaultPlanParams params) : params_(std::move(params)) {
   ICN_REQUIRE(params_.dropout_max_hours >= 1, "dropout window length");
   ICN_REQUIRE(params_.transient_max_failures >= 1, "transient burst length");
   ICN_REQUIRE(params_.skew_max_delay >= 1, "skew delay");
+  ICN_REQUIRE(params_.field_fuzz_max_records >= 1, "field fuzz batch budget");
+  ICN_REQUIRE(params_.outage_max_hours >= 1, "outage window length");
+  ICN_REQUIRE(params_.restart_min_ticks >= 1 &&
+                  params_.restart_max_ticks >= params_.restart_min_ticks,
+              "restart tick budget range");
 
   const std::size_t cells =
       params_.num_probes * static_cast<std::size_t>(params_.num_hours);
@@ -72,18 +86,78 @@ FaultPlan::FaultPlan(FaultPlanParams params) : params_(std::move(params)) {
   skew_.assign(cells, 0);
   truncate_frac_.assign(cells, -1.0);
   bitflip_.assign(params_.num_probes, std::nullopt);
+  fuzz_count_.assign(cells, 0);
+  outage_idx_.assign(cells, -1);
+
+  // Correlated site outages are scheduled first, from one global per-hour
+  // substream, so every probe in the mask agrees on the shared window.
+  // Windows are laid out sequentially and never overlap each other.
+  if (params_.outage_rate > 0.0) {
+    ICN_REQUIRE(params_.num_probes <= 64, "outage probe sets are 64-bit masks");
+    ICN_REQUIRE(params_.outage_min_probes >= 1 &&
+                    params_.outage_min_probes <= params_.num_probes,
+                "outage probe set size");
+    std::int64_t h = 0;
+    while (h < params_.num_hours) {
+      auto rng = cell_rng(params_.seed, 0, h, kTagOutage);
+      if (rng.uniform() < params_.outage_rate) {
+        const std::int64_t len = std::min<std::int64_t>(
+            1 + static_cast<std::int64_t>(rng.uniform_index(
+                    static_cast<std::uint64_t>(params_.outage_max_hours))),
+            params_.num_hours - h);
+        const std::size_t extra =
+            params_.num_probes - params_.outage_min_probes;
+        const std::size_t size =
+            params_.outage_min_probes +
+            static_cast<std::size_t>(rng.uniform_index(extra + 1));
+        // Partial Fisher-Yates picks `size` distinct probes for the mask.
+        std::vector<std::size_t> pool(params_.num_probes);
+        std::iota(pool.begin(), pool.end(), std::size_t{0});
+        std::uint64_t mask = 0;
+        for (std::size_t i = 0; i < size; ++i) {
+          const std::size_t j =
+              i + static_cast<std::size_t>(rng.uniform_index(pool.size() - i));
+          std::swap(pool[i], pool[j]);
+          mask |= std::uint64_t{1} << pool[i];
+        }
+        const auto idx = static_cast<std::int32_t>(outages_.size());
+        outages_.push_back({h, len, mask});
+        for (std::size_t p = 0; p < params_.num_probes; ++p) {
+          if ((mask >> p & 1) == 0) continue;
+          for (std::int64_t d = 0; d < len; ++d) {
+            outage_idx_[cell(p, h + d)] = idx;
+          }
+        }
+        h += len;
+      } else {
+        ++h;
+      }
+    }
+  }
 
   for (std::size_t p = 0; p < params_.num_probes; ++p) {
     // Dropout windows are laid out sequentially per probe so they never
-    // overlap; every other class is an independent per-cell draw.
+    // overlap, and are clamped so they never run into an outage window —
+    // the feed's cursor must arrive exactly at each outage start. Every
+    // other class is an independent per-cell draw.
     std::int64_t h = 0;
     while (h < params_.num_hours) {
+      if (outage_idx_[cell(p, h)] >= 0) {  // site is down; no probe fault
+        ++h;
+        continue;
+      }
       auto rng = cell_rng(params_.seed, p, h, kTagDropout);
       if (rng.uniform() < params_.dropout_rate) {
-        const std::int64_t len = std::min<std::int64_t>(
+        std::int64_t len = std::min<std::int64_t>(
             1 + static_cast<std::int64_t>(rng.uniform_index(
                     static_cast<std::uint64_t>(params_.dropout_max_hours))),
             params_.num_hours - h);
+        for (std::int64_t d = 1; d < len; ++d) {
+          if (outage_idx_[cell(p, h + d)] >= 0) {
+            len = d;
+            break;
+          }
+        }
         dropout_start_len_[cell(p, h)] = len;
         for (std::int64_t d = 0; d < len; ++d) dropped_[cell(p, h + d)] = 1;
         h += len;
@@ -92,7 +166,8 @@ FaultPlan::FaultPlan(FaultPlanParams params) : params_(std::move(params)) {
       }
     }
     for (h = 0; h < params_.num_hours; ++h) {
-      if (dropped_[cell(p, h)] != 0) continue;  // the hour's batch never exists
+      // Dropped / outage hours have no batch to fault.
+      if (dropped_[cell(p, h)] != 0 || outage_idx_[cell(p, h)] >= 0) continue;
       {
         auto rng = cell_rng(params_.seed, p, h, kTagTransient);
         if (rng.uniform() < params_.transient_rate) {
@@ -122,6 +197,15 @@ FaultPlan::FaultPlan(FaultPlanParams params) : params_(std::move(params)) {
         auto rng = cell_rng(params_.seed, p, h, kTagTruncate);
         if (rng.uniform() < params_.truncate_rate) {
           truncate_frac_[cell(p, h)] = rng.uniform(0.0, 0.95);
+        }
+      }
+      {
+        auto rng = cell_rng(params_.seed, p, h, kTagFieldFuzz);
+        if (rng.uniform() < params_.field_fuzz_rate) {
+          fuzz_count_[cell(p, h)] =
+              1 + static_cast<std::int64_t>(rng.uniform_index(
+                      static_cast<std::uint64_t>(
+                          params_.field_fuzz_max_records)));
         }
       }
     }
@@ -194,6 +278,34 @@ std::uint64_t FaultPlan::reorder_seed(std::size_t probe,
   return icn::util::derive_seed(params_.seed, probe,
                                 static_cast<std::uint64_t>(hour),
                                 kTagReorder + 100);
+}
+
+std::int64_t FaultPlan::fuzz_record_count(std::size_t probe,
+                                          std::int64_t hour) const {
+  return fuzz_count_[cell(probe, hour)];
+}
+
+std::uint64_t FaultPlan::fuzz_seed(std::size_t probe,
+                                   std::int64_t hour) const {
+  return icn::util::derive_seed(params_.seed, probe,
+                                static_cast<std::uint64_t>(hour),
+                                kTagFieldFuzz + 100);
+}
+
+const OutageSpec* FaultPlan::outage_covering(std::size_t probe,
+                                             std::int64_t hour) const {
+  const std::int32_t idx = outage_idx_[cell(probe, hour)];
+  if (idx < 0) return nullptr;
+  return &outages_[static_cast<std::size_t>(idx)];
+}
+
+std::int64_t FaultPlan::restart_tick_budget(std::size_t epoch) const {
+  ICN_REQUIRE(epoch < params_.restart_count, "restart epoch index");
+  auto rng = cell_rng(params_.seed, epoch, 0, kTagRestart);
+  const auto span = static_cast<std::uint64_t>(params_.restart_max_ticks -
+                                               params_.restart_min_ticks + 1);
+  return params_.restart_min_ticks +
+         static_cast<std::int64_t>(rng.uniform_index(span));
 }
 
 }  // namespace icn::fault

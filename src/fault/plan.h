@@ -40,6 +40,14 @@ enum class FaultKind : std::uint8_t {
                ///< the run (silent storage corruption).
   kPoison,     ///< Probe fails persistently from this hour on; only
                ///< quarantine ends the retries.
+  kFieldFuzz,  ///< Record a of the batch got field mutation kind b (see
+               ///< fault::apply_field_fuzz); the quality layer must repair
+               ///< or reject it.
+  kSiteOutage, ///< Correlated site power loss: probes in bitmask b are all
+               ///< down for [hour, hour+a). ONE event for the whole site
+               ///< (logged by the lowest-indexed affected probe).
+  kRestart,    ///< Supervisor kill/restart: epoch a ended after b ticks;
+               ///< the next epoch resumes from the durable checkpoints.
 };
 
 [[nodiscard]] std::string to_string(FaultKind kind);
@@ -93,6 +101,24 @@ struct FaultPlanParams {
   /// When set, this probe fails persistently from poison_hour on.
   std::optional<std::size_t> poison_probe;
   std::int64_t poison_hour = 0;
+
+  /// P[a batch's records get per-field fuzz at a given (probe, hour)].
+  double field_fuzz_rate = 0.0;
+  std::int64_t field_fuzz_max_records = 2;  ///< Mutations per batch [1, max].
+
+  /// P[a correlated site outage starts at a given hour]. Outages are global:
+  /// one draw per hour takes down a random probe subset over a shared
+  /// window. Requires num_probes <= 64 when > 0 (probe sets are bitmasks).
+  double outage_rate = 0.0;
+  std::int64_t outage_max_hours = 2;    ///< Window length in [1, max].
+  std::size_t outage_min_probes = 2;    ///< Smallest affected probe set.
+
+  /// Supervisor kill/restart schedule (consumed by
+  /// fault::run_supervised_with_restarts): the study is killed restart_count
+  /// times, each epoch granted a tick budget in [min, max] ticks.
+  std::size_t restart_count = 0;
+  std::int64_t restart_min_ticks = 4;
+  std::int64_t restart_max_ticks = 32;
 };
 
 /// Checkpoint bit-flip target, resolved against the actual file by
@@ -101,6 +127,19 @@ struct BitFlipSpec {
   double section_frac = 0.0;  ///< Picks the floor(frac * windows)-th window.
   double byte_frac = 0.0;     ///< Picks a byte within that window's payload.
   std::uint8_t mask = 1;      ///< XOR mask (single bit).
+};
+
+/// One correlated site outage: every probe in the mask is down over the
+/// shared window [hour, hour + len).
+struct OutageSpec {
+  std::int64_t hour = 0;
+  std::int64_t len = 0;
+  std::uint64_t probes = 0;  ///< Bitmask of affected probe indices.
+
+  [[nodiscard]] bool affects(std::size_t probe) const {
+    return probe < 64 && (probes >> probe & 1) != 0;
+  }
+  bool operator==(const OutageSpec&) const = default;
 };
 
 /// The deterministic fault schedule. Queries are pure and O(1); the whole
@@ -142,6 +181,29 @@ class FaultPlan {
   [[nodiscard]] std::uint64_t reorder_seed(std::size_t probe,
                                            std::int64_t hour) const;
 
+  /// Records to fuzz in the batch for (probe, hour), or 0.
+  [[nodiscard]] std::int64_t fuzz_record_count(std::size_t probe,
+                                               std::int64_t hour) const;
+
+  /// Seed for the field mutations of (probe, hour) — lets tests replay the
+  /// exact damage on a clean copy of the batch.
+  [[nodiscard]] std::uint64_t fuzz_seed(std::size_t probe,
+                                        std::int64_t hour) const;
+
+  /// All planned correlated outages, in start-hour order.
+  [[nodiscard]] const std::vector<OutageSpec>& outages() const {
+    return outages_;
+  }
+
+  /// The outage covering (probe, hour), or nullptr.
+  [[nodiscard]] const OutageSpec* outage_covering(std::size_t probe,
+                                                  std::int64_t hour) const;
+
+  /// Tick budget of restart epoch `epoch` (< restart_count): the epoch is
+  /// killed once the budget runs out. The final epoch (== restart_count)
+  /// runs to completion and has no budget.
+  [[nodiscard]] std::int64_t restart_tick_budget(std::size_t epoch) const;
+
  private:
   [[nodiscard]] std::size_t cell(std::size_t probe, std::int64_t hour) const;
 
@@ -155,6 +217,9 @@ class FaultPlan {
   std::vector<std::int64_t> skew_;
   std::vector<double> truncate_frac_;  ///< < 0 = no truncation.
   std::vector<std::optional<BitFlipSpec>> bitflip_;  ///< Per probe.
+  std::vector<std::int64_t> fuzz_count_;  ///< Per cell; 0 = no fuzz.
+  std::vector<OutageSpec> outages_;       ///< Start-hour order, disjoint.
+  std::vector<std::int32_t> outage_idx_;  ///< Per cell; -1 = no outage.
 };
 
 }  // namespace icn::fault

@@ -1,0 +1,63 @@
+#include "fault/restart.h"
+
+#include <optional>
+#include <utility>
+
+#include "util/error.h"
+
+namespace icn::fault {
+
+RestartResult run_supervised_with_restarts(
+    const FaultPlan& plan, const stream::SupervisorParams& params,
+    const FeedFactory& make_specs, FaultLedger* ledger) {
+  ICN_REQUIRE(make_specs != nullptr, "restart driver needs a feed factory");
+  ICN_REQUIRE(ledger != nullptr, "restart driver needs a ledger");
+  const std::size_t restarts = plan.params().restart_count;
+
+  RestartResult result;
+  for (std::size_t epoch = 0;; ++epoch) {
+    std::vector<stream::FeedSpec> specs = make_specs(epoch);
+    for (const auto& spec : specs) {
+      ICN_REQUIRE(!spec.checkpoint_path.empty(),
+                  "restart recovery needs per-feed checkpoints");
+    }
+    std::optional<stream::FeedSupervisor> supervisor;
+    if (epoch == 0) {
+      supervisor.emplace(params, std::move(specs));
+    } else {
+      supervisor.emplace(
+          stream::FeedSupervisor::resume(params, std::move(specs)));
+    }
+    ++result.epochs;
+
+    bool killed = false;
+    if (epoch < restarts) {
+      const std::int64_t budget = plan.restart_tick_budget(epoch);
+      std::int64_t ticks = 0;
+      bool more = true;
+      while (ticks < budget && more) {
+        more = supervisor->step();
+        ++ticks;
+      }
+      killed = more;
+      if (killed) {
+        ledger->push_back({0, supervisor->now(), FaultKind::kRestart,
+                           static_cast<std::int64_t>(epoch), budget});
+      }
+    } else {
+      supervisor->run();
+    }
+
+    if (!killed) {
+      result.study = supervisor->merge();
+      result.events = supervisor->events();
+      result.quarantine = supervisor->quarantine_ledger();
+      return result;
+    }
+    // Destroying the supervisor here IS the kill: checkpoints stay durable,
+    // everything in memory is lost, and the next epoch must recover.
+    supervisor.reset();
+  }
+}
+
+}  // namespace icn::fault

@@ -1,0 +1,49 @@
+// Supervisor kill/restart driver: the mid-study crash-recovery fault class.
+//
+// The paper's two-month campaign cannot assume the collection host stays up;
+// DESIGN.md §8 requires that killing the supervision process mid-study and
+// restarting from the per-probe durable checkpoints converges on the same
+// merged study — bit-exact outside injected damage. This driver turns that
+// property into a schedulable fault: the FaultPlan grants each supervision
+// epoch a deterministic tick budget, the epoch's supervisor is destroyed
+// when the budget runs out (its checkpoints stay durable on disk), and the
+// next epoch resumes via stream::FeedSupervisor::resume over freshly
+// replayed feeds. Every kill is logged as a kRestart event so equal-seed
+// runs reproduce the crash schedule verbatim.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "fault/plan.h"
+#include "stream/supervise.h"
+
+namespace icn::fault {
+
+/// Builds the feed specs for one supervision epoch. Invoked once per epoch;
+/// the sources it wires into the specs must replay the stream from the
+/// start (resume skips already-durable records) and must stay alive until
+/// the next invocation or the end of the run.
+using FeedFactory =
+    std::function<std::vector<stream::FeedSpec>(std::size_t epoch)>;
+
+struct RestartResult {
+  stream::MergedStudy study;                    ///< Final epoch's merge().
+  std::vector<stream::SupervisorEvent> events;  ///< Final epoch's event log.
+  quality::QuarantineLedger quarantine;         ///< Final epoch's ledger.
+  std::size_t epochs = 0;                       ///< Supervisors constructed.
+};
+
+/// Runs a supervised study under the plan's kill/restart schedule: epoch e
+/// (of plan.restart_count kills) steps its supervisor for
+/// plan.restart_tick_budget(e) ticks, then destroys it mid-study and logs a
+/// kRestart event {a = epoch, b = ticks granted}; the next epoch resumes
+/// from the durable checkpoints. The final epoch runs to completion (an
+/// epoch that finishes inside its budget simply ends the run early, with no
+/// kill logged). Requires every spec to carry a checkpoint_path.
+[[nodiscard]] RestartResult run_supervised_with_restarts(
+    const FaultPlan& plan, const stream::SupervisorParams& params,
+    const FeedFactory& make_specs, FaultLedger* ledger);
+
+}  // namespace icn::fault

@@ -1,0 +1,82 @@
+#include "quality/ledger.h"
+
+#include <cstdio>
+
+namespace icn::quality {
+
+void QuarantineLedger::begin_batch(std::uint32_t probe, std::uint64_t sequence,
+                                   std::int64_t hour) {
+  probe_ = probe;
+  sequence_ = sequence;
+  hour_ = hour;
+}
+
+void QuarantineLedger::log(std::size_t record_index, const Verdict& verdict) {
+  ++stats_.records_seen;
+  switch (verdict.action) {
+    case Action::kAccepted:
+      ++stats_.accepted;
+      return;
+    case Action::kRepaired:
+      ++stats_.repaired;
+      break;
+    case Action::kRejected:
+      ++stats_.rejected;
+      break;
+  }
+  ++stats_.by_defect[static_cast<std::size_t>(verdict.defect)];
+  entries_.push_back(QuarantineEntry{
+      .probe = probe_,
+      .sequence = sequence_,
+      .hour = hour_,
+      .record = record_index,
+      .field = verdict.field,
+      .defect = verdict.defect,
+      .action = verdict.action,
+      .observed = verdict.observed,
+      .repaired_to = verdict.repaired_to,
+  });
+}
+
+std::string to_text(const QuarantineEntry& entry) {
+  char buf[256];
+  if (entry.action == Action::kRepaired) {
+    std::snprintf(buf, sizeof(buf),
+                  "probe=%u seq=%llu hour=%lld rec=%zu %s %s %s %.17g -> %.17g",
+                  entry.probe,
+                  static_cast<unsigned long long>(entry.sequence),
+                  static_cast<long long>(entry.hour), entry.record,
+                  to_string(entry.action), to_string(entry.field),
+                  to_string(entry.defect), entry.observed, entry.repaired_to);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "probe=%u seq=%llu hour=%lld rec=%zu %s %s %s %.17g",
+                  entry.probe,
+                  static_cast<unsigned long long>(entry.sequence),
+                  static_cast<long long>(entry.hour), entry.record,
+                  to_string(entry.action), to_string(entry.field),
+                  to_string(entry.defect), entry.observed);
+  }
+  return buf;
+}
+
+std::string to_text(const QuarantineLedger& ledger) {
+  std::string out;
+  for (const auto& entry : ledger.entries()) {
+    out += to_text(entry);
+    out += '\n';
+  }
+  char tail[160];
+  const auto& s = ledger.stats();
+  std::snprintf(tail, sizeof(tail),
+                "seen=%llu accepted=%llu repaired=%llu rejected=%llu",
+                static_cast<unsigned long long>(s.records_seen),
+                static_cast<unsigned long long>(s.accepted),
+                static_cast<unsigned long long>(s.repaired),
+                static_cast<unsigned long long>(s.rejected));
+  out += tail;
+  out += '\n';
+  return out;
+}
+
+}  // namespace icn::quality

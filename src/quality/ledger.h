@@ -1,0 +1,91 @@
+// QuarantineLedger: the audit trail of every record the quality layer
+// repaired or rejected, with full provenance (probe, batch sequence, event
+// hour, record index, field, defect). The ledger is the quality-layer
+// counterpart of fault::FaultLedger: equal-seed chaos runs must reproduce it
+// verbatim, which is how the chaos suite proves that per-field fuzz, repair,
+// and rejection are all deterministic (DESIGN.md §8).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quality/validate.h"
+
+namespace icn::quality {
+
+/// One repaired or rejected record, with provenance.
+struct QuarantineEntry {
+  std::uint32_t probe = 0;      ///< Feed index within the study.
+  std::uint64_t sequence = 0;   ///< Batch sequence number.
+  std::int64_t hour = 0;        ///< Batch event hour.
+  std::size_t record = 0;       ///< Record index within the batch.
+  Field field = Field::kAntennaId;
+  Defect defect = Defect::kNone;
+  Action action = Action::kAccepted;
+  double observed = 0.0;     ///< Defective value (integral fields widened).
+  double repaired_to = 0.0;  ///< Value written back (repairs only).
+
+  /// Bitwise on the doubles: "verbatim reproduction" must hold for NaN
+  /// observations too (a defaulted == would make a ledger unequal to
+  /// itself once a non-finite volume is logged).
+  friend bool operator==(const QuarantineEntry& x, const QuarantineEntry& y) {
+    return x.probe == y.probe && x.sequence == y.sequence &&
+           x.hour == y.hour && x.record == y.record && x.field == y.field &&
+           x.defect == y.defect && x.action == y.action &&
+           std::bit_cast<std::uint64_t>(x.observed) ==
+               std::bit_cast<std::uint64_t>(y.observed) &&
+           std::bit_cast<std::uint64_t>(x.repaired_to) ==
+               std::bit_cast<std::uint64_t>(y.repaired_to);
+  }
+};
+
+/// Deterministic aggregate counts over a ledger.
+struct QuarantineStats {
+  std::uint64_t records_seen = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t repaired = 0;
+  std::uint64_t rejected = 0;
+  /// Indexed by Defect enum value; counts one defect per entry (the first
+  /// found in the record).
+  std::uint64_t by_defect[8] = {};
+
+  friend bool operator==(const QuarantineStats&,
+                         const QuarantineStats&) = default;
+};
+
+/// Append-only log of quality verdicts. begin_batch() sets the provenance
+/// context for subsequent log() calls; accepted records are counted but not
+/// logged (the ledger stays proportional to the damage, not the traffic).
+class QuarantineLedger {
+ public:
+  /// Sets the provenance stamped on subsequent log() calls.
+  void begin_batch(std::uint32_t probe, std::uint64_t sequence,
+                   std::int64_t hour);
+
+  /// Records one verdict at `record_index` of the current batch. Accepted
+  /// verdicts only bump the counters; repairs and rejections append an entry.
+  void log(std::size_t record_index, const Verdict& verdict);
+
+  [[nodiscard]] const std::vector<QuarantineEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] const QuarantineStats& stats() const { return stats_; }
+
+  friend bool operator==(const QuarantineLedger&,
+                         const QuarantineLedger&) = default;
+
+ private:
+  std::uint32_t probe_ = 0;
+  std::uint64_t sequence_ = 0;
+  std::int64_t hour_ = 0;
+  std::vector<QuarantineEntry> entries_;
+  QuarantineStats stats_;
+};
+
+/// One line per entry, stable formatting (chaos tests diff this).
+std::string to_text(const QuarantineEntry& entry);
+std::string to_text(const QuarantineLedger& ledger);
+
+}  // namespace icn::quality

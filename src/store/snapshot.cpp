@@ -333,6 +333,23 @@ void SnapshotWriter::append_coverage(std::size_t rows, std::int64_t num_hours,
   append_section(SectionType::kCoverage, payload);
 }
 
+void SnapshotWriter::append_quarantine(std::int64_t num_hours,
+                                       std::span<const std::uint32_t> rejected,
+                                       std::span<const std::uint32_t> repaired) {
+  ICN_REQUIRE(num_hours > 0, "quarantine shape");
+  const auto hours = static_cast<std::size_t>(num_hours);
+  ICN_REQUIRE(rejected.size() == hours && repaired.size() == hours,
+              "quarantine count arrays must span num_hours");
+  std::vector<std::uint8_t> payload;
+  payload.reserve(8 + hours * 8);
+  put_u64(payload, static_cast<std::uint64_t>(num_hours));
+  auto at = payload.size();
+  payload.resize(at + hours * 8);
+  std::memcpy(payload.data() + at, rejected.data(), hours * 4);
+  std::memcpy(payload.data() + at + hours * 4, repaired.data(), hours * 4);
+  append_section(SectionType::kQuarantine, payload);
+}
+
 void SnapshotWriter::sync() {
   ICN_REQUIRE(fd_ >= 0, "snapshot writer is closed");
   if (::fsync(fd_) != 0) fail_errno(path_, "fsync");
@@ -456,6 +473,25 @@ std::optional<CoverageSectionView> MappedSnapshot::coverage() const {
       throw SnapshotError("malformed kCoverage payload (size mismatch)");
     }
     view.covered = s.payload.subspan(16);
+    return view;
+  }
+  return std::nullopt;
+}
+
+std::optional<QuarantineSectionView> MappedSnapshot::quarantine() const {
+  for (const auto& s : sections_) {
+    if (s.type != SectionType::kQuarantine) continue;
+    if (s.payload.size() < 8) {
+      throw SnapshotError("malformed kQuarantine payload (short header)");
+    }
+    QuarantineSectionView view;
+    view.num_hours = static_cast<std::int64_t>(get_u64(s.payload.data()));
+    const auto hours = static_cast<std::size_t>(view.num_hours);
+    if (view.num_hours <= 0 || s.payload.size() != 8 + hours * 8) {
+      throw SnapshotError("malformed kQuarantine payload (size mismatch)");
+    }
+    view.rejected = payload_span<std::uint32_t>(s.payload, 8, hours);
+    view.repaired = payload_span<std::uint32_t>(s.payload, 8 + hours * 4, hours);
     return view;
   }
   return std::nullopt;

@@ -63,6 +63,12 @@ enum class SectionType : std::uint32_t {
   /// fully-covered feed checkpoint stays bit-identical to a plain ingest
   /// checkpoint.
   kCoverage = 4,
+  /// u64 num_hours, u32 rejected[num_hours], u32 repaired[num_hours] — the
+  /// record-level data-quality accounting of one feed (or the hour-wise sum
+  /// across feeds in a merged study snapshot). Written only when at least one
+  /// record was rejected or repaired, so a clean run's checkpoint stays
+  /// bit-identical to a pre-quality-layer one.
+  kQuarantine = 5,
 };
 
 /// One raw validated section of a mapped snapshot.
@@ -101,6 +107,13 @@ struct CoverageSectionView {
   std::span<const std::uint8_t> covered;  ///< rows * num_hours, row-major 0/1.
 };
 
+/// Zero-copy view of a kQuarantine section.
+struct QuarantineSectionView {
+  std::int64_t num_hours = 0;
+  std::span<const std::uint32_t> rejected;  ///< Per event hour.
+  std::span<const std::uint32_t> repaired;  ///< Per event hour.
+};
+
 /// Appends sections to a snapshot file. All write errors throw SnapshotError.
 class SnapshotWriter {
  public:
@@ -134,6 +147,12 @@ class SnapshotWriter {
   /// and every byte 0 or 1.
   void append_coverage(std::size_t rows, std::int64_t num_hours,
                        std::span<const std::uint8_t> covered);
+
+  /// Appends a kQuarantine section. Requires num_hours > 0 and both spans of
+  /// size num_hours.
+  void append_quarantine(std::int64_t num_hours,
+                         std::span<const std::uint32_t> rejected,
+                         std::span<const std::uint32_t> repaired);
 
   /// Durability barrier: flushes the file to stable storage (fsync). A
   /// snapshot is recoverable up to its last sync even if the process dies
@@ -182,6 +201,9 @@ class MappedSnapshot {
 
   /// First kCoverage section, if any.
   [[nodiscard]] std::optional<CoverageSectionView> coverage() const;
+
+  /// First kQuarantine section, if any.
+  [[nodiscard]] std::optional<QuarantineSectionView> quarantine() const;
 
   [[nodiscard]] std::size_t file_size() const { return size_; }
 

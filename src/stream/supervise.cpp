@@ -1,8 +1,11 @@
 #include "stream/supervise.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstring>
 #include <iterator>
+#include <numeric>
 #include <unordered_set>
 
 #include "util/error.h"
@@ -14,8 +17,11 @@ struct FeedSupervisor::Runtime {
   FeedSpec spec;
   std::optional<store::SnapshotWriter> writer;
   std::optional<StreamIngestor> ingestor;
+  std::optional<quality::RecordValidator> validator;
   std::vector<HourlyWindow> windows;
   std::vector<std::uint8_t> covered;  ///< Per-hour 0/1, length num_hours.
+  std::vector<std::uint32_t> rejected_by_hour;  ///< Length num_hours.
+  std::vector<std::uint32_t> repaired_by_hour;  ///< Length num_hours.
   std::unordered_set<std::uint64_t> seen;  ///< Accepted batch sequences.
 
   FeedState state = FeedState::kActive;
@@ -40,8 +46,41 @@ struct FeedSupervisor::Runtime {
   }
 };
 
+namespace {
+
+/// Drops seal-time sections (kCoverage/kQuarantine) from a recovered
+/// checkpoint so a resumed run can regenerate them: replay rebuilds the same
+/// coverage and quarantine state and seal() re-appends identical bytes.
+void truncate_seal_sections(const std::string& path) {
+  std::uint64_t seal_at = 0;
+  bool found = false;
+  for (const auto& section : store::scan_section_index(path)) {
+    if (section.type == store::SectionType::kCoverage ||
+        section.type == store::SectionType::kQuarantine) {
+      seal_at = section.header_offset;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return;
+  if (::truncate(path.c_str(), static_cast<off_t>(seal_at)) != 0) {
+    throw icn::util::IoError(path + ": truncate failed");
+  }
+}
+
+}  // namespace
+
 FeedSupervisor::FeedSupervisor(SupervisorParams params,
                                std::vector<FeedSpec> specs)
+    : FeedSupervisor(std::move(params), std::move(specs), Mode::kFresh) {}
+
+FeedSupervisor FeedSupervisor::resume(SupervisorParams params,
+                                      std::vector<FeedSpec> specs) {
+  return FeedSupervisor(std::move(params), std::move(specs), Mode::kResume);
+}
+
+FeedSupervisor::FeedSupervisor(SupervisorParams params,
+                               std::vector<FeedSpec> specs, Mode mode)
     : params_(std::move(params)) {
   ICN_REQUIRE(params_.num_services > 0, "supervisor needs services");
   ICN_REQUIRE(params_.num_hours > 0, "supervisor needs hours");
@@ -71,17 +110,49 @@ FeedSupervisor::FeedSupervisor(SupervisorParams params,
     ingest.num_hours = params_.num_hours;
     ingest.num_shards = params_.num_shards;
     ingest.allowed_lateness = params_.allowed_lateness;
+    std::int64_t first_open_hour = 0;
     if (!rt->spec.checkpoint_path.empty()) {
-      rt->writer.emplace(begin_checkpoint(rt->spec.checkpoint_path, ingest));
+      if (mode == Mode::kResume) {
+        const ResumeInfo info = recover_checkpoint(rt->spec.checkpoint_path);
+        first_open_hour = info.first_open_hour;
+        truncate_seal_sections(rt->spec.checkpoint_path);
+        {
+          // Preload the durable windows so windows()/merge() see the full
+          // study; the resumed ingestor only re-emits what was lost.
+          const store::MappedSnapshot snap(rt->spec.checkpoint_path);
+          for (const auto& w : snap.windows()) {
+            rt->windows.push_back(HourlyWindow{
+                w.hour, std::vector<double>(w.cells.begin(), w.cells.end())});
+          }
+        }
+        rt->writer.emplace(
+            store::SnapshotWriter::append_to(rt->spec.checkpoint_path));
+      } else {
+        rt->writer.emplace(begin_checkpoint(rt->spec.checkpoint_path, ingest));
+      }
     }
     rt->ingestor.emplace(std::move(ingest),
                          rt->writer ? &*rt->writer : nullptr);
+    if (first_open_hour > 0) rt->ingestor->resume_before(first_open_hour);
+    if (params_.quality) {
+      quality::ValidatorParams vp = *params_.quality;
+      vp.antenna_ids = rt->spec.antenna_ids;
+      vp.num_services = params_.num_services;
+      vp.num_hours = params_.num_hours;
+      rt->validator.emplace(std::move(vp));
+    }
     rt->covered.assign(static_cast<std::size_t>(params_.num_hours), 0);
+    rt->rejected_by_hour.assign(static_cast<std::size_t>(params_.num_hours),
+                                0);
+    rt->repaired_by_hour.assign(static_cast<std::size_t>(params_.num_hours),
+                                0);
     feeds_.push_back(std::move(rt));
   }
 }
 
 FeedSupervisor::~FeedSupervisor() = default;
+
+FeedSupervisor::FeedSupervisor(FeedSupervisor&&) noexcept = default;
 
 std::size_t FeedSupervisor::num_feeds() const { return feeds_.size(); }
 
@@ -190,13 +261,15 @@ void FeedSupervisor::accept_batch(std::size_t feed, FeedBatch&& batch) {
     return;
   }
 
-  // Structural validation: a truncated delivery or an out-of-range record
-  // makes the whole batch untrustworthy. The feed may redeliver it intact
-  // (the sequence was not accepted), but repeated corruption trips the
-  // circuit breaker.
+  // Structural validation: a truncated delivery or an out-of-range batch
+  // header makes the whole batch untrustworthy. The feed may redeliver it
+  // intact (the sequence was not accepted), but repeated corruption trips
+  // the circuit breaker. With the quality layer disengaged, an out-of-range
+  // record also strikes the whole batch (the pre-quality behavior); with it
+  // engaged, per-record defects are judged individually below.
   bool corrupt = batch.records.size() != batch.declared_records ||
                  batch.hour < 0 || batch.hour >= params_.num_hours;
-  if (!corrupt) {
+  if (!corrupt && !f.validator) {
     for (const auto& s : batch.records) {
       if (s.hour < 0 || s.hour >= params_.num_hours ||
           s.service >= params_.num_services) {
@@ -216,12 +289,52 @@ void FeedSupervisor::accept_batch(std::size_t feed, FeedBatch&& batch) {
     return;
   }
 
+  const std::size_t delivered = batch.records.size();
+  std::size_t rejected = 0;
+  std::size_t repaired = 0;
+  if (f.validator) {
+    // Record-level pass: repair in place, compact rejected records out, and
+    // log every non-accepted verdict with provenance. Validation precedes
+    // the ingest push, so surviving records always satisfy its REQUIREs.
+    ledger_.begin_batch(static_cast<std::uint32_t>(feed), batch.sequence,
+                        batch.hour);
+    const auto hour = static_cast<std::size_t>(batch.hour);
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < batch.records.size(); ++i) {
+      const quality::Verdict verdict =
+          f.validator->validate(batch.records[i], batch.hour);
+      ledger_.log(i, verdict);
+      if (verdict.action == quality::Action::kRejected) {
+        ++rejected;
+        ++f.rejected_by_hour[hour];
+        continue;
+      }
+      if (verdict.action == quality::Action::kRepaired) {
+        ++repaired;
+        ++f.repaired_by_hour[hour];
+      }
+      if (out != i) batch.records[out] = batch.records[i];
+      ++out;
+    }
+    batch.records.resize(out);
+    if (rejected > 0 || repaired > 0) {
+      events_.push_back({tick_, feed,
+                         SupervisorEventKind::kRecordsQuarantined,
+                         static_cast<std::int64_t>(rejected),
+                         static_cast<std::int64_t>(repaired)});
+    }
+  }
+
   f.seen.insert(batch.sequence);
   f.ingestor->push(batch.records);
   auto closed = f.ingestor->take_closed();
   f.windows.insert(f.windows.end(), std::make_move_iterator(closed.begin()),
                    std::make_move_iterator(closed.end()));
-  f.covered[static_cast<std::size_t>(batch.hour)] = 1;
+  // A batch that lost every record to rejection delivered no trustworthy
+  // data for its hour: the coverage gap is the honest accounting.
+  if (delivered == 0 || rejected < delivered) {
+    f.covered[static_cast<std::size_t>(batch.hour)] = 1;
+  }
   ++f.batches;
   f.records += batch.records.size();
   f.last_progress = tick_;
@@ -243,6 +356,17 @@ void FeedSupervisor::seal(std::size_t feed) {
       // Written only when needed, so a fully-covered checkpoint stays
       // bit-identical to a plain StreamIngestor checkpoint.
       f.writer->append_coverage(1, params_.num_hours, f.covered);
+    }
+    const bool quarantined_records =
+        std::any_of(f.rejected_by_hour.begin(), f.rejected_by_hour.end(),
+                    [](std::uint32_t c) { return c != 0; }) ||
+        std::any_of(f.repaired_by_hour.begin(), f.repaired_by_hour.end(),
+                    [](std::uint32_t c) { return c != 0; });
+    if (quarantined_records) {
+      // Same contract as kCoverage: a clean feed's checkpoint carries no
+      // quality section and stays byte-identical to a pre-quality one.
+      f.writer->append_quarantine(params_.num_hours, f.rejected_by_hour,
+                                  f.repaired_by_hour);
     }
     f.writer->sync();
     f.writer->close();
@@ -287,6 +411,10 @@ FeedStats FeedSupervisor::stats(std::size_t feed) const {
   stats.corrupt_batches = f.corrupts;
   stats.late_dropped = f.ingestor->late_dropped();
   stats.untracked_dropped = f.ingestor->untracked_dropped();
+  stats.records_repaired = std::accumulate(
+      f.repaired_by_hour.begin(), f.repaired_by_hour.end(), std::size_t{0});
+  stats.records_rejected = std::accumulate(
+      f.rejected_by_hour.begin(), f.rejected_by_hour.end(), std::size_t{0});
   stats.covered_hours = static_cast<std::int64_t>(
       std::count(f.covered.begin(), f.covered.end(), std::uint8_t{1}));
   return stats;
@@ -303,6 +431,18 @@ std::span<const std::uint8_t> FeedSupervisor::covered(std::size_t feed) const {
   return feeds_[feed]->covered;
 }
 
+std::span<const std::uint32_t> FeedSupervisor::rejected_by_hour(
+    std::size_t feed) const {
+  ICN_REQUIRE(feed < feeds_.size(), "feed index");
+  return feeds_[feed]->rejected_by_hour;
+}
+
+std::span<const std::uint32_t> FeedSupervisor::repaired_by_hour(
+    std::size_t feed) const {
+  ICN_REQUIRE(feed < feeds_.size(), "feed index");
+  return feeds_[feed]->repaired_by_hour;
+}
+
 MergedStudy FeedSupervisor::merge() const {
   ICN_REQUIRE(finished(), "merge needs every feed done or quarantined");
   std::size_t total_rows = 0;
@@ -311,18 +451,29 @@ MergedStudy FeedSupervisor::merge() const {
   MergedStudy study;
   study.traffic = ml::Matrix(total_rows, params_.num_services);
   study.coverage = CoverageMask(total_rows, params_.num_hours);
+  const auto hours = static_cast<std::size_t>(params_.num_hours);
+  study.quarantine.rejected_by_hour.assign(hours, 0);
+  study.quarantine.repaired_by_hour.assign(hours, 0);
   std::size_t row0 = 0;
   for (const auto& f : feeds_) {
     const std::size_t rows = f->spec.antenna_ids.size();
     study.antenna_ids.insert(study.antenna_ids.end(),
                              f->spec.antenna_ids.begin(),
                              f->spec.antenna_ids.end());
-    const ml::Matrix totals = f->ingestor->traffic_matrix();
+    // Fold the feed's windows in closing order — bit-identical to the live
+    // ingestor's running totals, and it also covers the durable windows a
+    // resumed feed preloaded instead of re-ingesting.
+    ml::Matrix totals(rows, params_.num_services);
+    for (const auto& w : f->windows) add_window_cells(totals, w.cells);
     std::copy(totals.data().begin(), totals.data().end(),
               study.traffic.data().begin() +
                   static_cast<std::ptrdiff_t>(row0 * params_.num_services));
     for (std::size_t r = 0; r < rows; ++r) {
       study.coverage.set_row(row0 + r, f->covered);
+    }
+    for (std::size_t h = 0; h < hours; ++h) {
+      study.quarantine.rejected_by_hour[h] += f->rejected_by_hour[h];
+      study.quarantine.repaired_by_hour[h] += f->repaired_by_hour[h];
     }
     row0 += rows;
   }
@@ -353,8 +504,26 @@ std::string to_string(const SupervisorEvent& event) {
     case SupervisorEventKind::kFeedDone:
       out += "done covered_hours=" + std::to_string(event.a);
       break;
+    case SupervisorEventKind::kRecordsQuarantined:
+      out += "records_quarantined rejected=" + std::to_string(event.a) +
+             " repaired=" + std::to_string(event.b);
+      break;
   }
   return out;
+}
+
+std::uint64_t QuarantineCounts::total_rejected() const {
+  return std::accumulate(rejected_by_hour.begin(), rejected_by_hour.end(),
+                         std::uint64_t{0});
+}
+
+std::uint64_t QuarantineCounts::total_repaired() const {
+  return std::accumulate(repaired_by_hour.begin(), repaired_by_hour.end(),
+                         std::uint64_t{0});
+}
+
+bool QuarantineCounts::any() const {
+  return total_rejected() != 0 || total_repaired() != 0;
 }
 
 MergedStudy merge_snapshots(std::span<const std::string> paths) {
@@ -398,6 +567,10 @@ MergedStudy merge_snapshots(std::span<const std::string> paths) {
 
   study.traffic = ml::Matrix(total_rows, num_services);
   study.coverage = CoverageMask(total_rows, num_hours);
+  study.quarantine.rejected_by_hour.assign(
+      static_cast<std::size_t>(num_hours), 0);
+  study.quarantine.repaired_by_hour.assign(
+      static_cast<std::size_t>(num_hours), 0);
   std::size_t row0 = 0;
   for (std::size_t i = 0; i < snaps.size(); ++i) {
     const auto meta = *snaps[i].stream_meta();
@@ -454,6 +627,17 @@ MergedStudy merge_snapshots(std::span<const std::string> paths) {
         study.coverage.set_row(row0 + r, hours);
       }
     }
+
+    if (const auto quar = snaps[i].quarantine()) {
+      if (quar->num_hours != num_hours) {
+        throw store::SnapshotError("snapshot " + paths[i] +
+                                   ": quarantine shape mismatch");
+      }
+      for (std::size_t h = 0; h < static_cast<std::size_t>(num_hours); ++h) {
+        study.quarantine.rejected_by_hour[h] += quar->rejected[h];
+        study.quarantine.repaired_by_hour[h] += quar->repaired[h];
+      }
+    }
     row0 += rows;
   }
   return study;
@@ -471,6 +655,11 @@ void write_merged_snapshot(const MergedStudy& study, const std::string& path) {
   if (!study.coverage.complete()) {
     writer.append_coverage(study.coverage.rows(), study.coverage.num_hours(),
                            study.coverage.bits());
+  }
+  if (study.quarantine.any()) {
+    writer.append_quarantine(study.coverage.num_hours(),
+                             study.quarantine.rejected_by_hour,
+                             study.quarantine.repaired_by_hour);
   }
   writer.sync();
   writer.close();

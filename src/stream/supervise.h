@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "ml/matrix.h"
+#include "quality/ledger.h"
 #include "store/snapshot.h"
 #include "stream/coverage.h"
 #include "stream/feed.h"
@@ -70,6 +71,14 @@ struct SupervisorParams {
   /// Hard bound on run(); feeds still pending then are quarantined with
   /// reason kTimeout.
   std::int64_t max_ticks = 1'000'000;
+  /// Record-level data quality (opt-in). When set, the per-record range scan
+  /// of accept_batch is replaced by a quality::RecordValidator: repairable
+  /// defects are fixed in place, fatal ones drop just the offending record
+  /// (logged to the quarantine ledger with provenance) instead of striking
+  /// the whole batch. The roster/shape fields (antenna_ids, num_services,
+  /// num_hours) are overwritten per feed from the spec and these params.
+  /// Disengaged (the default) keeps the pre-quality behavior bit-for-bit.
+  std::optional<quality::ValidatorParams> quality;
 };
 
 /// One probe feed under supervision.
@@ -112,6 +121,8 @@ struct FeedStats {
   std::size_t corrupt_batches = 0;
   std::size_t late_dropped = 0;       ///< From the feed's ingestor.
   std::size_t untracked_dropped = 0;  ///< From the feed's ingestor.
+  std::size_t records_repaired = 0;   ///< Quality layer (0 when disengaged).
+  std::size_t records_rejected = 0;   ///< Quality layer (0 when disengaged).
   std::int64_t covered_hours = 0;
 };
 
@@ -122,6 +133,7 @@ enum class SupervisorEventKind : std::uint8_t {
   kCorruptBatch,      ///< a = sequence, b = declared record count.
   kQuarantined,       ///< a = QuarantineReason.
   kFeedDone,          ///< a = covered hours.
+  kRecordsQuarantined,  ///< a = records rejected, b = records repaired.
 };
 
 /// One supervision decision — the deterministic audit log two equal-seed
@@ -137,6 +149,18 @@ struct SupervisorEvent {
 
 [[nodiscard]] std::string to_string(const SupervisorEvent& event);
 
+/// Per-hour record-quarantine totals of a study (summed across feeds). The
+/// arrays are always sized num_hours; all-zero means a clean run.
+struct QuarantineCounts {
+  std::vector<std::uint32_t> rejected_by_hour;
+  std::vector<std::uint32_t> repaired_by_hour;
+
+  [[nodiscard]] std::uint64_t total_rejected() const;
+  [[nodiscard]] std::uint64_t total_repaired() const;
+  [[nodiscard]] bool any() const;
+  bool operator==(const QuarantineCounts&) const = default;
+};
+
 /// The merged multi-probe study: tensor rows concatenate the feeds' antennas
 /// in spec order, and the mask records which (antenna, hour) cells are
 /// backed by delivered data.
@@ -144,6 +168,7 @@ struct MergedStudy {
   std::vector<std::uint32_t> antenna_ids;
   ml::Matrix traffic;  ///< (antenna x service) MB totals.
   CoverageMask coverage;
+  QuarantineCounts quarantine;  ///< Study-wide per-hour quarantine counts.
 };
 
 class FeedSupervisor {
@@ -152,6 +177,23 @@ class FeedSupervisor {
   /// Requires valid params, >= 1 feed, and globally disjoint antenna ids.
   FeedSupervisor(SupervisorParams params, std::vector<FeedSpec> specs);
   ~FeedSupervisor();  // Out of line: Runtime is an incomplete type here.
+  FeedSupervisor(FeedSupervisor&&) noexcept;  // Same reason.
+  FeedSupervisor& operator=(FeedSupervisor&&) = delete;
+  FeedSupervisor(const FeedSupervisor&) = delete;
+  FeedSupervisor& operator=(const FeedSupervisor&) = delete;
+
+  /// Resumes a killed study from the feeds' durable checkpoints. For every
+  /// feed with a checkpoint_path: recovers the snapshot (truncating a torn
+  /// tail and any seal-time kCoverage/kQuarantine sections, which replay
+  /// regenerates), preloads the durable windows, reopens the file for
+  /// append, and puts the feed's ingestor in resume_before() mode so the
+  /// replayed source skips already-durable records. Sources must replay from
+  /// the start of the stream; coverage and quarantine accounting rebuild
+  /// fully during replay, so a resumed run converges on the same merged
+  /// study, ledger, and checkpoint bytes as an uninterrupted one. Feeds
+  /// without a checkpoint_path start fresh.
+  [[nodiscard]] static FeedSupervisor resume(SupervisorParams params,
+                                             std::vector<FeedSpec> specs);
 
   /// One polling round: every runnable feed due at the current tick is
   /// polled once, then the virtual clock advances. Returns true while any
@@ -179,12 +221,29 @@ class FeedSupervisor {
   /// Per-hour covered bitmap (0/1 bytes, length num_hours) of one feed.
   [[nodiscard]] std::span<const std::uint8_t> covered(std::size_t feed) const;
 
+  /// The study-wide quarantine ledger (empty when quality is disengaged).
+  /// Entries carry the feed index as `probe`.
+  [[nodiscard]] const quality::QuarantineLedger& quarantine_ledger() const {
+    return ledger_;
+  }
+
+  /// Per-hour rejected/repaired record counts of one feed (length
+  /// num_hours; all zero when quality is disengaged).
+  [[nodiscard]] std::span<const std::uint32_t> rejected_by_hour(
+      std::size_t feed) const;
+  [[nodiscard]] std::span<const std::uint32_t> repaired_by_hour(
+      std::size_t feed) const;
+
   /// Merges the per-feed totals and coverage into the study tensor.
   /// Requires finished().
   [[nodiscard]] MergedStudy merge() const;
 
  private:
   struct Runtime;
+
+  enum class Mode : std::uint8_t { kFresh, kResume };
+  FeedSupervisor(SupervisorParams params, std::vector<FeedSpec> specs,
+                 Mode mode);
 
   void poll(std::size_t feed);
   void accept_batch(std::size_t feed, FeedBatch&& batch);
@@ -197,6 +256,7 @@ class FeedSupervisor {
   SupervisorParams params_;
   std::vector<std::unique_ptr<Runtime>> feeds_;
   std::vector<SupervisorEvent> events_;
+  quality::QuarantineLedger ledger_;
   std::int64_t tick_ = 0;
 };
 
@@ -205,12 +265,15 @@ class FeedSupervisor {
 /// tensor. Coverage per feed comes from its kCoverage section when present;
 /// a truncated snapshot without one is credited only for the hours whose
 /// windows survived, and a clean snapshot without one counts as fully
-/// covered. Requires >= 1 path, consistent services/hours across snapshots,
-/// and globally disjoint antenna ids.
+/// covered. Quarantine counts sum each snapshot's kQuarantine section (a
+/// truncated snapshot that lost it contributes zeros). Requires >= 1 path,
+/// consistent services/hours across snapshots, and globally disjoint antenna
+/// ids.
 [[nodiscard]] MergedStudy merge_snapshots(std::span<const std::string> paths);
 
 /// Writes a merged study as one snapshot: kStreamMeta + kMatrix (+ kCoverage
-/// when incomplete). run_pipeline_from_snapshot consumes this directly.
+/// when incomplete, + kQuarantine when any record was quarantined).
+/// run_pipeline_from_snapshot consumes this directly.
 void write_merged_snapshot(const MergedStudy& study, const std::string& path);
 
 }  // namespace icn::stream

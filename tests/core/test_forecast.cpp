@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "util/error.h"
 #include "util/rng.h"
@@ -221,6 +222,65 @@ TEST(SeasonalForecasterTest, MaskedFitFallsBackWhenSlotNeverCovered) {
   f.fit_masked(series, covered, season);
   // Fallback = median over all covered samples = 4.0, not the garbage value.
   EXPECT_EQ(f.slot_value(2), 4.0);
+}
+
+TEST(SeasonalForecasterTest, MaskedFitNeverReadsUncoveredGarbage) {
+  // Uncovered samples hold NaN (what a fuzzed, unrepaired volume looks
+  // like): the masked fit must never read them, or the slot medians and the
+  // global fallback would both be poisoned.
+  const std::size_t season = 6;
+  std::vector<double> series(season * 4);
+  std::vector<std::uint8_t> covered(series.size(), 1);
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    series[t] = 5.0 + static_cast<double>(t % season);
+  }
+  // Every third hour lost; with season 6 that blanks slots 0 and 3 entirely.
+  for (std::size_t t = 0; t < series.size(); t += 3) {
+    series[t] = std::numeric_limits<double>::quiet_NaN();
+    covered[t] = 0;
+  }
+  SeasonalForecaster f;
+  f.fit_masked(series, covered, season);
+  // Covered slots keep their exact profile values...
+  EXPECT_EQ(f.slot_value(1), 6.0);
+  EXPECT_EQ(f.slot_value(2), 7.0);
+  EXPECT_EQ(f.slot_value(4), 9.0);
+  EXPECT_EQ(f.slot_value(5), 10.0);
+  // ...and the never-covered slots get the global median of the covered
+  // samples (median of 6,7,9,10 repeated = 8), not NaN.
+  EXPECT_EQ(f.slot_value(0), 8.0);
+  EXPECT_EQ(f.slot_value(3), 8.0);
+}
+
+TEST(SeasonalForecasterTest, MaskedFitSingleCoveredSampleFillsEverySlot) {
+  const std::size_t season = 4;
+  std::vector<double> series(season * 2, -1.0e9);
+  std::vector<std::uint8_t> covered(series.size(), 0);
+  series[5] = 42.0;
+  covered[5] = 1;
+  SeasonalForecaster f;
+  f.fit_masked(series, covered, season);
+  for (std::size_t slot = 0; slot < season; ++slot) {
+    EXPECT_EQ(f.slot_value(slot), 42.0) << "slot " << slot;
+  }
+}
+
+TEST(SeasonalForecasterTest, MaskedFitMatchesPlainFitOnFullCoverage) {
+  const std::size_t season = 24;
+  std::vector<double> series;
+  icn::util::Rng rng(404);
+  for (std::size_t t = 0; t < season * 7; ++t) {
+    series.push_back(rng.uniform(0.0, 100.0));
+  }
+  const std::vector<std::uint8_t> covered(series.size(), 1);
+  SeasonalForecaster plain;
+  plain.fit(series, season);
+  SeasonalForecaster masked;
+  masked.fit_masked(series, covered, season);
+  for (std::size_t slot = 0; slot < season; ++slot) {
+    EXPECT_EQ(masked.slot_value(slot), plain.slot_value(slot))
+        << "slot " << slot;
+  }
 }
 
 TEST(SeasonalForecasterTest, MaskedFitValidation) {

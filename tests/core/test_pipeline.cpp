@@ -318,6 +318,34 @@ TEST(DegradedPipelineTest, FullCoverageSnapshotIsNotDegraded) {
   EXPECT_TRUE(result.coverage.excluded_antennas.empty());
 }
 
+TEST(DegradedPipelineTest, QuarantineSectionSurfacesInCoverageReport) {
+  PipelineParams params;
+  params.scenario.seed = 2024;
+  params.scenario.scale = 0.05;
+  params.scenario.outdoor_ratio = 0.0;
+  params.align_to_archetypes = false;
+  params.surrogate.num_trees = 10;
+  const Scenario scenario = Scenario::build(params.scenario);
+
+  const std::string path = ::testing::TempDir() + "icn_quarantine.snap";
+  std::remove(path.c_str());
+  {
+    store::SnapshotWriter writer(path);
+    writer.append_matrix(scenario.demand().traffic_matrix());
+    const std::vector<std::uint32_t> rejected = {0, 3, 0, 1};
+    const std::vector<std::uint32_t> repaired = {2, 0, 0, 5};
+    writer.append_quarantine(4, rejected, repaired);
+    writer.close();
+  }
+  const auto result = run_pipeline_from_snapshot(path, params);
+  std::remove(path.c_str());
+  EXPECT_EQ(result.coverage.records_rejected, 4u);
+  EXPECT_EQ(result.coverage.records_repaired, 7u);
+  const std::string text = to_text(result.coverage);
+  EXPECT_NE(text.find("quarantined records: 4 rejected, 7 repaired"),
+            std::string::npos);
+}
+
 TEST(DegradedPipelineTest, MultiSnapshotMergeAnalyzesAcrossProbeFiles) {
   // Two per-probe ingest checkpoints, the second with half its hours lost:
   // run_pipeline_from_snapshots merges, excludes the under-covered probe,

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "util/rng.h"
+
 namespace icn::probe {
 namespace {
 
@@ -50,6 +54,51 @@ TEST_F(DpiClassifierTest, EveryCatalogSignatureClassified) {
     EXPECT_EQ(*hit, j);
   }
   EXPECT_EQ(dpi_.classified(), catalog_.size());
+}
+
+TEST_F(DpiClassifierTest, EverySingleCharMutationOfEverySignatureIsTyped) {
+  // Exhaustive single-character mutation of every catalogue signature: the
+  // classifier must return either a valid catalogue index or a typed miss —
+  // never crash — and the counters must account for every call.
+  std::size_t calls = 0;
+  for (std::size_t j = 0; j < catalog_.size(); ++j) {
+    const std::string signature(catalog_.at(j).signature);
+    for (std::size_t at = 0; at < signature.size(); ++at) {
+      for (int value = 0; value < 256; ++value) {
+        std::string mutated = signature;
+        mutated[at] = static_cast<char>(value);
+        const auto hit = dpi_.classify(mutated);
+        ++calls;
+        if (hit.has_value()) {
+          EXPECT_LT(*hit, catalog_.size());
+        }
+      }
+    }
+  }
+  EXPECT_EQ(dpi_.classified() + dpi_.unmatched(), calls);
+  EXPECT_GT(dpi_.unmatched(), 0u);
+}
+
+TEST_F(DpiClassifierTest, RandomHostMutationFuzzNeverCrashes) {
+  // GTPC-style multi-byte fuzz on the string path, including embedded NULs,
+  // control bytes, and truncation.
+  icn::util::Rng rng(0xD81);
+  const std::string base = "api.cdn.netflix.com";
+  std::size_t calls = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::string mutated = base;
+    const std::size_t flips = 1 + rng.uniform_index(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.uniform_index(mutated.size())] =
+          static_cast<char>(rng.uniform_index(256));
+    }
+    if (rng.bernoulli(0.25)) {
+      mutated.resize(rng.uniform_index(mutated.size() + 1));
+    }
+    (void)dpi_.classify(mutated);
+    ++calls;
+  }
+  EXPECT_EQ(dpi_.classified() + dpi_.unmatched(), calls);
 }
 
 }  // namespace

@@ -87,6 +87,24 @@ TEST(TlsSniTest, BitFlippedRecordsNeverCrash) {
   SUCCEED();
 }
 
+TEST(TlsSniTest, EverySingleByteMutationIsHandledTyped) {
+  // Exhaustive: every byte position x every value. The extractor must hand
+  // back either a bounded, non-empty name or a typed rejection (nullopt) —
+  // no crash, no over-read, no garbage length.
+  const auto record = build_client_hello("service.example.fr", 7);
+  for (std::size_t at = 0; at < record.size(); ++at) {
+    auto mutated = record;
+    for (int value = 0; value < 256; ++value) {
+      mutated[at] = static_cast<std::uint8_t>(value);
+      const auto sni = extract_sni(mutated);
+      if (sni.has_value()) {
+        EXPECT_FALSE(sni->empty()) << "at " << at << " value " << value;
+        EXPECT_LE(sni->size(), 255u) << "at " << at << " value " << value;
+      }
+    }
+  }
+}
+
 TEST(TlsSniDpiTest, WireLevelClassificationPath) {
   icn::traffic::ServiceCatalog catalog;
   DpiClassifier dpi(catalog);
@@ -95,6 +113,34 @@ TEST(TlsSniDpiTest, WireLevelClassificationPath) {
   ASSERT_TRUE(service.has_value());
   EXPECT_EQ(catalog.at(*service).name, "Spotify");
   EXPECT_EQ(dpi.classified(), 1u);
+}
+
+TEST(TlsSniDpiTest, MutationFuzzKeepsCountersConsistent) {
+  // GTPC-style mutation fuzz through the wire-level classification path:
+  // every call either classifies into a valid catalogue index or counts a
+  // typed miss — exactly one of the two, never a crash.
+  icn::traffic::ServiceCatalog catalog;
+  DpiClassifier dpi(catalog);
+  const auto wire = build_client_hello("api.spotify.com", 11);
+  icn::util::Rng rng(0xFA11);
+  std::size_t calls = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    auto mutated = wire;
+    const std::size_t flips = 1 + rng.uniform_index(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.uniform_index(mutated.size())] =
+          static_cast<std::uint8_t>(rng.uniform_index(256));
+    }
+    if (rng.bernoulli(0.25)) {
+      mutated.resize(rng.uniform_index(mutated.size() + 1));
+    }
+    const auto service = dpi.classify_client_hello(mutated);
+    ++calls;
+    if (service.has_value()) {
+      EXPECT_LT(*service, catalog.size());
+    }
+    EXPECT_EQ(dpi.classified() + dpi.unmatched(), calls);
+  }
 }
 
 TEST(TlsSniDpiTest, MalformedRecordCountsAsMiss) {

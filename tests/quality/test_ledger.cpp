@@ -1,0 +1,118 @@
+#include "quality/ledger.h"
+
+#include <gtest/gtest.h>
+
+#include "quality/validate.h"
+
+namespace {
+
+using icn::probe::ServiceSession;
+using icn::quality::Action;
+using icn::quality::Defect;
+using icn::quality::Field;
+using icn::quality::QuarantineLedger;
+using icn::quality::RecordValidator;
+using icn::quality::ValidatorParams;
+using icn::quality::Verdict;
+
+ValidatorParams params() {
+  ValidatorParams p;
+  p.antenna_ids = {100, 101};
+  p.num_services = 4;
+  p.num_hours = 24;
+  return p;
+}
+
+TEST(QuarantineLedgerTest, AcceptedRecordsCountButDoNotAppend) {
+  QuarantineLedger ledger;
+  ledger.begin_batch(0, 7, 3);
+  Verdict clean;
+  ledger.log(0, clean);
+  ledger.log(1, clean);
+  EXPECT_TRUE(ledger.entries().empty());
+  EXPECT_EQ(ledger.stats().records_seen, 2u);
+  EXPECT_EQ(ledger.stats().accepted, 2u);
+}
+
+TEST(QuarantineLedgerTest, EntriesCarryBatchProvenance) {
+  const RecordValidator validator(params());
+  QuarantineLedger ledger;
+  ledger.begin_batch(2, 17, 5);
+  ServiceSession bad{.antenna_id = 999, .service = 0, .hour = 5,
+                     .down_bytes = 1.0, .up_bytes = 1.0};
+  ledger.log(4, validator.validate(bad, 5));
+  ASSERT_EQ(ledger.entries().size(), 1u);
+  const auto& e = ledger.entries()[0];
+  EXPECT_EQ(e.probe, 2u);
+  EXPECT_EQ(e.sequence, 17u);
+  EXPECT_EQ(e.hour, 5);
+  EXPECT_EQ(e.record, 4u);
+  EXPECT_EQ(e.field, Field::kAntennaId);
+  EXPECT_EQ(e.defect, Defect::kUnknownAntenna);
+  EXPECT_EQ(e.action, Action::kRejected);
+  EXPECT_EQ(e.observed, 999.0);
+}
+
+TEST(QuarantineLedgerTest, StatsBucketByDefect) {
+  const RecordValidator validator(params());
+  QuarantineLedger ledger;
+  ledger.begin_batch(0, 0, 2);
+  ServiceSession skewed{.antenna_id = 100, .service = 1, .hour = 9,
+                        .down_bytes = 1.0, .up_bytes = 1.0};
+  ledger.log(0, validator.validate(skewed, 2));
+  ServiceSession alien{.antenna_id = 100, .service = 9, .hour = 2,
+                       .down_bytes = 1.0, .up_bytes = 1.0};
+  ledger.log(1, validator.validate(alien, 2));
+  ServiceSession fine{.antenna_id = 101, .service = 1, .hour = 2,
+                      .down_bytes = 1.0, .up_bytes = 1.0};
+  ledger.log(2, validator.validate(fine, 2));
+  const auto& s = ledger.stats();
+  EXPECT_EQ(s.records_seen, 3u);
+  EXPECT_EQ(s.accepted, 1u);
+  EXPECT_EQ(s.repaired, 1u);
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.by_defect[static_cast<std::size_t>(Defect::kClockSkew)], 1u);
+  EXPECT_EQ(
+      s.by_defect[static_cast<std::size_t>(Defect::kServiceOutOfAlphabet)],
+      1u);
+}
+
+TEST(QuarantineLedgerTest, EqualInputsProduceEqualLedgers) {
+  const RecordValidator validator(params());
+  const auto run = [&] {
+    QuarantineLedger ledger;
+    ledger.begin_batch(1, 3, 4);
+    ServiceSession skewed{.antenna_id = 100, .service = 1, .hour = 6,
+                          .down_bytes = -2.0e6, .up_bytes = 1.0};
+    ledger.log(0, validator.validate(skewed, 4));
+    ServiceSession alien{.antenna_id = 7, .service = 1, .hour = 4,
+                         .down_bytes = 1.0, .up_bytes = 1.0};
+    ledger.log(1, validator.validate(alien, 4));
+    return ledger;
+  };
+  const QuarantineLedger a = run();
+  const QuarantineLedger b = run();
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(to_text(a), to_text(b));
+}
+
+TEST(QuarantineLedgerTest, TextFormatIsStable) {
+  QuarantineLedger ledger;
+  ledger.begin_batch(1, 3, 4);
+  Verdict repaired;
+  repaired.action = Action::kRepaired;
+  repaired.field = Field::kHour;
+  repaired.defect = Defect::kClockSkew;
+  repaired.observed = 6.0;
+  repaired.repaired_to = 4.0;
+  ledger.log(0, repaired);
+  const std::string text = to_text(ledger);
+  EXPECT_NE(text.find("probe=1 seq=3 hour=4 rec=0 repaired hour clock_skew"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("seen=1 accepted=0 repaired=1 rejected=0"),
+            std::string::npos)
+      << text;
+}
+
+}  // namespace

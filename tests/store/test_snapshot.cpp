@@ -246,6 +246,54 @@ TEST(SnapshotTest, CoverageSectionRoundTrips) {
   }
 }
 
+TEST(SnapshotTest, QuarantineSectionRoundTrips) {
+  TempFile file("quarantine");
+  const std::vector<std::uint32_t> rejected = {0, 3, 0, 7};
+  const std::vector<std::uint32_t> repaired = {1, 0, 0, 2};
+  {
+    SnapshotWriter writer(file.path());
+    writer.append_quarantine(4, rejected, repaired);
+    writer.sync();
+  }
+  const MappedSnapshot snapshot(file.path());
+  const auto view = snapshot.quarantine();
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->num_hours, 4);
+  ASSERT_EQ(view->rejected.size(), rejected.size());
+  ASSERT_EQ(view->repaired.size(), repaired.size());
+  for (std::size_t i = 0; i < rejected.size(); ++i) {
+    EXPECT_EQ(view->rejected[i], rejected[i]) << "hour " << i;
+    EXPECT_EQ(view->repaired[i], repaired[i]) << "hour " << i;
+  }
+}
+
+TEST(SnapshotTest, QuarantineSectionRejectsBadShapes) {
+  TempFile file("quarantine_bad");
+  SnapshotWriter writer(file.path());
+  const std::vector<std::uint32_t> counts = {1, 2, 3};
+  EXPECT_THROW(writer.append_quarantine(0, {}, {}),
+               icn::util::PreconditionError);
+  EXPECT_THROW(writer.append_quarantine(4, counts, counts),
+               icn::util::PreconditionError);
+  const std::vector<std::uint32_t> short_counts = {1, 2};
+  EXPECT_THROW(writer.append_quarantine(3, counts, short_counts),
+               icn::util::PreconditionError);
+}
+
+TEST(SnapshotTest, QuarantineAccessorRejectsMalformedPayload) {
+  TempFile file("quarantine_malformed");
+  {
+    SnapshotWriter writer(file.path());
+    // Raw payload claiming 4 hours but carrying only 2 hours of counts.
+    std::vector<std::uint8_t> payload(8 + 2 * 8, 0);
+    payload[0] = 4;
+    writer.append_section(SectionType::kQuarantine, payload);
+    writer.sync();
+  }
+  const MappedSnapshot snapshot(file.path());
+  EXPECT_THROW((void)snapshot.quarantine(), SnapshotError);
+}
+
 TEST(SnapshotTest, CoverageSectionRejectsBadShapes) {
   TempFile file("coverage_bad");
   SnapshotWriter writer(file.path());

@@ -424,5 +424,234 @@ TEST(FeedSupervisorTest, TimeoutQuarantinesPendingFeeds) {
   EXPECT_TRUE(supervisor.finished());
 }
 
+SupervisorParams quality_params(std::size_t shards = 1) {
+  auto params = base_params(shards);
+  params.quality.emplace();
+  return params;
+}
+
+TEST(FeedSupervisorTest, QualityEngagedOnCleanFeedChangesNothing) {
+  const std::vector<std::uint32_t> ids = {11, 22, 33};
+  const auto sessions = probe_sessions(ids, 77);
+  const auto script = hourly_script(sessions, kHours);
+
+  TempFile plain_ckpt("plainq.snap");
+  TempFile quality_ckpt("qualityq.snap");
+  VectorFeed plain_feed{script};
+  VectorFeed quality_feed{script};
+
+  FeedSupervisor plain(base_params(),
+                       {{"probe-0", ids, &plain_feed, plain_ckpt.path()}});
+  plain.run();
+  FeedSupervisor with_quality(
+      quality_params(), {{"probe-0", ids, &quality_feed, quality_ckpt.path()}});
+  with_quality.run();
+
+  EXPECT_TRUE(with_quality.quarantine_ledger().entries().empty());
+  EXPECT_EQ(with_quality.stats(0).records_rejected, 0u);
+  EXPECT_EQ(with_quality.stats(0).records_repaired, 0u);
+  // A clean feed's checkpoint carries no kQuarantine section: byte-identical.
+  EXPECT_EQ(read_file(plain_ckpt.path()), read_file(quality_ckpt.path()));
+
+  const MergedStudy a = plain.merge();
+  const MergedStudy b = with_quality.merge();
+  expect_matrices_equal(a.traffic, b.traffic);
+  EXPECT_TRUE(a.coverage == b.coverage);
+  EXPECT_TRUE(a.quarantine == b.quarantine);
+  EXPECT_FALSE(b.quarantine.any());
+}
+
+TEST(FeedSupervisorTest, QualityRepairsAndRejectsPerRecord) {
+  const std::vector<std::uint32_t> ids = {11, 22, 33};
+  const auto sessions = probe_sessions(ids, 42);
+  auto script = hourly_script(sessions, kHours);
+
+  // Inject per-record defects into three batches:
+  //  hour 2: record 0 sign-flipped (repairable), record 1 skewed (repairable)
+  //  hour 5: record 0 unknown antenna (fatal)
+  //  hour 9: every record out-of-alphabet service (fatal -> coverage gap)
+  script[2].records[0].down_bytes = -script[2].records[0].down_bytes;
+  script[2].records[1].hour = 3;
+  script[5].records[0].antenna_id = 0x80000000u | ids[0];
+  for (auto& r : script[9].records) r.service = kServices + 7;
+
+  TempFile ckpt("quality_defects.snap");
+  VectorFeed feed{script};
+  FeedSupervisor supervisor(quality_params(),
+                            {{"probe-0", ids, &feed, ckpt.path()}});
+  supervisor.run();
+
+  ASSERT_TRUE(supervisor.finished());
+  const FeedStats stats = supervisor.stats(0);
+  EXPECT_EQ(stats.state, FeedState::kDone);
+  EXPECT_EQ(stats.corrupt_batches, 0u);  // Per-record, not per-batch, now.
+  EXPECT_EQ(stats.records_repaired, 2u);
+  EXPECT_EQ(stats.records_rejected, 1u + script[9].records.size());
+
+  // Only the all-rejected hour loses coverage.
+  const auto covered = supervisor.covered(0);
+  EXPECT_EQ(covered[9], 0);
+  EXPECT_EQ(covered[2], 1);
+  EXPECT_EQ(covered[5], 1);
+
+  // The ledger carries per-record provenance.
+  const auto& entries = supervisor.quarantine_ledger().entries();
+  ASSERT_GE(entries.size(), 3u);
+  EXPECT_EQ(entries[0].hour, 2);
+  EXPECT_EQ(entries[0].defect, icn::quality::Defect::kNegativeVolume);
+  EXPECT_EQ(entries[1].defect, icn::quality::Defect::kClockSkew);
+  EXPECT_EQ(entries[2].hour, 5);
+  EXPECT_EQ(entries[2].defect, icn::quality::Defect::kUnknownAntenna);
+
+  // The repaired records kept their (restored) traffic; the merged study
+  // equals a clean ingest of the surviving+repaired record set.
+  const MergedStudy study = supervisor.merge();
+  EXPECT_EQ(study.quarantine.total_repaired(), 2u);
+  EXPECT_EQ(study.quarantine.total_rejected(), 1u + script[9].records.size());
+  EXPECT_EQ(study.quarantine.rejected_by_hour[9],
+            static_cast<std::uint32_t>(script[9].records.size()));
+
+  // Durable path agrees: the checkpoint's kQuarantine section round-trips
+  // through merge_snapshots.
+  const std::vector<std::string> paths = {ckpt.path()};
+  const MergedStudy durable = merge_snapshots(paths);
+  expect_matrices_equal(study.traffic, durable.traffic);
+  EXPECT_TRUE(study.coverage == durable.coverage);
+  EXPECT_TRUE(study.quarantine == durable.quarantine);
+
+  // And a written merged snapshot preserves the quarantine counts.
+  TempFile merged("quality_merged.snap");
+  write_merged_snapshot(study, merged.path());
+  const store::MappedSnapshot snap(merged.path());
+  const auto quar = snap.quarantine();
+  ASSERT_TRUE(quar.has_value());
+  EXPECT_EQ(quar->rejected[9],
+            static_cast<std::uint32_t>(script[9].records.size()));
+}
+
+TEST(FeedSupervisorTest, QualityRepairedRunMatchesCleanRunBitForBit) {
+  // Repairable damage only (sign flips + clock skew): after repair the
+  // record stream is bit-identical to the clean one, so windows, totals,
+  // and checkpoint bytes must all converge on the clean run's.
+  const std::vector<std::uint32_t> ids = {11, 22, 33};
+  const auto sessions = probe_sessions(ids, 123);
+  const auto clean_script = hourly_script(sessions, kHours);
+  auto damaged_script = clean_script;
+  damaged_script[1].records[0].up_bytes =
+      -damaged_script[1].records[0].up_bytes;
+  damaged_script[7].records[2].hour = 6;
+  damaged_script[12].records[1].down_bytes =
+      -damaged_script[12].records[1].down_bytes;
+
+  TempFile clean_ckpt("repair_clean.snap");
+  TempFile damaged_ckpt("repair_damaged.snap");
+  VectorFeed clean_feed{clean_script};
+  VectorFeed damaged_feed{damaged_script};
+
+  FeedSupervisor clean(quality_params(),
+                       {{"probe-0", ids, &clean_feed, clean_ckpt.path()}});
+  clean.run();
+  FeedSupervisor damaged(
+      quality_params(), {{"probe-0", ids, &damaged_feed, damaged_ckpt.path()}});
+  damaged.run();
+
+  EXPECT_EQ(damaged.stats(0).records_repaired, 3u);
+  expect_matrices_equal(clean.merge().traffic, damaged.merge().traffic);
+  EXPECT_TRUE(clean.merge().coverage == damaged.merge().coverage);
+  // The damaged checkpoint differs only by its kQuarantine section — windows
+  // are byte-identical. Compare the common prefix (all windows).
+  const auto clean_bytes = read_file(clean_ckpt.path());
+  const auto damaged_bytes = read_file(damaged_ckpt.path());
+  ASSERT_GT(damaged_bytes.size(), clean_bytes.size());
+  EXPECT_TRUE(std::equal(clean_bytes.begin(), clean_bytes.end(),
+                         damaged_bytes.begin()));
+}
+
+TEST(FeedSupervisorTest, ResumeConvergesOnUninterruptedRun) {
+  const std::vector<std::uint32_t> ids_a = {11, 22};
+  const std::vector<std::uint32_t> ids_b = {44};
+  const auto script_a = hourly_script(probe_sessions(ids_a, 7), kHours);
+  const auto script_b = hourly_script(probe_sessions(ids_b, 8), kHours);
+
+  // Reference: uninterrupted run.
+  TempFile ref_a("resume_ref_a.snap");
+  TempFile ref_b("resume_ref_b.snap");
+  VectorFeed ref_feed_a{script_a};
+  VectorFeed ref_feed_b{script_b};
+  FeedSupervisor reference(base_params(),
+                           {{"probe-a", ids_a, &ref_feed_a, ref_a.path()},
+                            {"probe-b", ids_b, &ref_feed_b, ref_b.path()}});
+  reference.run();
+
+  // Killed run: step part-way, then drop the supervisor (no seal).
+  TempFile kill_a("resume_kill_a.snap");
+  TempFile kill_b("resume_kill_b.snap");
+  {
+    VectorFeed feed_a{script_a};
+    VectorFeed feed_b{script_b};
+    FeedSupervisor doomed(base_params(),
+                          {{"probe-a", ids_a, &feed_a, kill_a.path()},
+                           {"probe-b", ids_b, &feed_b, kill_b.path()}});
+    for (int i = 0; i < 9; ++i) doomed.step();
+  }
+
+  // Resume with fresh sources replaying from the start of each stream.
+  VectorFeed replay_a{script_a};
+  VectorFeed replay_b{script_b};
+  FeedSupervisor resumed = FeedSupervisor::resume(
+      base_params(), {{"probe-a", ids_a, &replay_a, kill_a.path()},
+                      {"probe-b", ids_b, &replay_b, kill_b.path()}});
+  resumed.run();
+
+  ASSERT_TRUE(resumed.finished());
+  const MergedStudy want = reference.merge();
+  const MergedStudy got = resumed.merge();
+  EXPECT_EQ(want.antenna_ids, got.antenna_ids);
+  expect_matrices_equal(want.traffic, got.traffic);
+  EXPECT_TRUE(want.coverage == got.coverage);
+  // Checkpoint files converge byte-for-byte.
+  EXPECT_EQ(read_file(ref_a.path()), read_file(kill_a.path()));
+  EXPECT_EQ(read_file(ref_b.path()), read_file(kill_b.path()));
+  // The resumed ingest actually skipped the durable prefix.
+  EXPECT_GT(resumed.stats(0).batches_accepted, 0u);
+}
+
+TEST(FeedSupervisorTest, ResumeRegeneratesSealSectionsOfFinishedFeeds) {
+  // A feed sealed with incomplete coverage + quarantined records before the
+  // kill: resume must truncate and regenerate its kCoverage/kQuarantine
+  // sections rather than duplicating them.
+  const std::vector<std::uint32_t> ids = {11, 22};
+  auto script = hourly_script(probe_sessions(ids, 9), kHours);
+  for (auto& r : script[4].records) r.service = kServices + 1;  // Gap + logs.
+  script[6].records[0].down_bytes = -script[6].records[0].down_bytes;
+
+  TempFile ref("seal_ref.snap");
+  VectorFeed ref_feed{script};
+  FeedSupervisor reference(quality_params(),
+                           {{"probe-0", ids, &ref_feed, ref.path()}});
+  reference.run();
+
+  // "Kill" after completion: the checkpoint is fully sealed. Resume anyway.
+  TempFile sealed("seal_resume.snap");
+  {
+    VectorFeed feed{script};
+    FeedSupervisor first(quality_params(),
+                         {{"probe-0", ids, &feed, sealed.path()}});
+    first.run();
+  }
+  VectorFeed replay{script};
+  FeedSupervisor resumed = FeedSupervisor::resume(
+      quality_params(), {{"probe-0", ids, &replay, sealed.path()}});
+  resumed.run();
+
+  EXPECT_EQ(read_file(ref.path()), read_file(sealed.path()));
+  const MergedStudy want = reference.merge();
+  const MergedStudy got = resumed.merge();
+  expect_matrices_equal(want.traffic, got.traffic);
+  EXPECT_TRUE(want.coverage == got.coverage);
+  EXPECT_TRUE(want.quarantine == got.quarantine);
+  EXPECT_TRUE(resumed.quarantine_ledger() == reference.quarantine_ledger());
+}
+
 }  // namespace
 }  // namespace icn::stream
