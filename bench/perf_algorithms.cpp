@@ -1,12 +1,23 @@
 // Performance microbenches (google-benchmark) for the core algorithms:
 // Ward NN-chain scaling, silhouette, RCA/RSCA transform throughput,
-// random-forest training, TreeSHAP vs KernelSHAP per explanation, and the
-// probe-path aggregation throughput.
+// random-forest training, TreeSHAP vs KernelSHAP per explanation, the
+// probe-path aggregation throughput, the per-level SIMD kernels, CRC32C
+// backends, the Hungarian assignment, seasonal batch fitting, and the
+// static-vs-stealing scheduler on a skewed workload. Emits
+// BENCH_perf_algorithms.json via bench/report.h.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/forecast.h"
 #include "core/rca.h"
 #include "core/scenario.h"
+#include "ml/distance.h"
 #include "ml/forest.h"
+#include "ml/hungarian.h"
 #include "ml/kernelshap.h"
 #include "ml/linkage.h"
 #include "ml/metrics.h"
@@ -15,9 +26,12 @@
 #include "probe/dpi.h"
 #include "probe/gtp.h"
 #include "probe/probe.h"
+#include "report.h"
+#include "store/crc32c.h"
 #include "traffic/flows.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -62,6 +76,7 @@ void BM_WardNnChainThreads(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(1));
   const ml::Matrix x = random_features(n, 73);
   icn::util::ThreadPool::ScopedOverride pool(threads);
+  state.counters["threads"] = static_cast<double>(threads);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ml::agglomerative_cluster(x, ml::Linkage::kWard));
   }
@@ -89,6 +104,7 @@ void BM_SilhouetteScoreThreads(benchmark::State& state) {
   const auto labels = random_labels(n, 9);
   const ml::CondensedDistances dist(x);
   icn::util::ThreadPool::ScopedOverride pool(threads);
+  state.counters["threads"] = static_cast<double>(threads);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ml::silhouette_score(dist, labels));
   }
@@ -132,6 +148,7 @@ void BM_ForestTrainingThreads(benchmark::State& state) {
   const ml::Matrix x = random_features(1000, 73);
   const auto y = random_labels(1000, 9);
   icn::util::ThreadPool::ScopedOverride pool(threads);
+  state.counters["threads"] = static_cast<double>(threads);
   for (auto _ : state) {
     ml::RandomForest forest;
     ml::RandomForest::Params params;
@@ -174,6 +191,7 @@ BENCHMARK_DEFINE_F(ShapFixture, BM_TreeShapBatchThreads)
   for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i * 3;
   const ml::Matrix batch = x.select_rows(rows);
   icn::util::ThreadPool::ScopedOverride pool(threads);
+  state.counters["threads"] = static_cast<double>(threads);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ml::forest_shap_batch(forest, batch));
   }
@@ -228,6 +246,166 @@ void BM_ProbeAggregation(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbeAggregation)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// SIMD lanes: the same kernel at each dispatch level. The curve scalar ->
+// sse2 -> avx2 -> avx512 is the measured value of the runtime dispatch; all
+// four produce identical bits (tests/ml/test_simd_dispatch.cpp).
+
+// args: {level}
+void BM_SquaredEuclideanSimd(benchmark::State& state) {
+  const auto level = static_cast<icn::util::SimdLevel>(state.range(0));
+  if (level > icn::util::max_supported_simd_level()) {
+    state.SkipWithError("SIMD level not supported on this CPU");
+    return;
+  }
+  constexpr std::size_t kDim = 4096;
+  icn::util::Rng rng(5);
+  std::vector<double> a(kDim), b(kDim);
+  for (std::size_t i = 0; i < kDim; ++i) {
+    a[i] = rng.normal();
+    b[i] = rng.normal();
+  }
+  for (auto _ : state) {
+    double d = 0.0;
+    switch (level) {
+      case icn::util::SimdLevel::kScalar:
+        d = ml::detail::squared_euclidean_scalar(a.data(), b.data(), kDim);
+        break;
+      case icn::util::SimdLevel::kSse2:
+        d = ml::detail::squared_euclidean_sse2(a.data(), b.data(), kDim);
+        break;
+      case icn::util::SimdLevel::kAvx2:
+        d = ml::detail::squared_euclidean_avx2(a.data(), b.data(), kDim);
+        break;
+      case icn::util::SimdLevel::kAvx512:
+        d = ml::detail::squared_euclidean_avx512(a.data(), b.data(), kDim);
+        break;
+    }
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * kDim * sizeof(double)));
+  state.SetLabel(icn::util::simd_level_name(level));
+}
+BENCHMARK(BM_SquaredEuclideanSimd)->DenseRange(0, 3)
+    ->Unit(benchmark::kNanosecond);
+
+// ---------------------------------------------------------------------------
+// CRC32C backends: slicing-by-8 table vs the SSE4.2 crc32 instruction over a
+// snapshot-sized buffer.
+
+void BM_Crc32cTable(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> buf(bytes);
+  icn::util::Rng rng(17);
+  for (auto& v : buf) v = static_cast<std::uint8_t>(rng.next_u64() & 0xFF);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store::detail::crc32c_table_extend(0, buf));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_Crc32cTable)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
+
+void BM_Crc32cHw(benchmark::State& state) {
+  if (!icn::util::cpu_supports_crc32c()) {
+    state.SkipWithError("no SSE4.2 crc32 instruction on this CPU");
+    return;
+  }
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> buf(bytes);
+  icn::util::Rng rng(17);
+  for (auto& v : buf) v = static_cast<std::uint8_t>(rng.next_u64() & 0xFF);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store::detail::crc32c_hw_extend(0, buf));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_Crc32cHw)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Scheduler: static block-dealing vs work-stealing on a deliberately skewed
+// workload (chunk i costs ~i work — a triangular profile like the condensed
+// distance rows). Same chunks, same outputs; only idle time differs.
+// args: {threads, schedule}
+void BM_SchedulerSkewed(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto schedule = state.range(1) == 0
+                            ? icn::util::ThreadPool::Schedule::kStatic
+                            : icn::util::ThreadPool::Schedule::kSteal;
+  icn::util::ThreadPool::ScopedOverride pool(threads, schedule);
+  state.counters["threads"] = static_cast<double>(threads);
+  constexpr std::size_t kChunks = 512;
+  std::vector<double> out(kChunks);
+  for (auto _ : state) {
+    icn::util::parallel_for(
+        0, kChunks, 1, [&](std::size_t lo, std::size_t) {
+          double acc = 0.0;
+          for (std::size_t k = 0; k < lo * 300; ++k) {
+            acc += 1e-9 * static_cast<double>(k);
+          }
+          out[lo] = acc;
+        });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(schedule == icn::util::ThreadPool::Schedule::kStatic
+                     ? "static"
+                     : "steal");
+}
+BENCHMARK(BM_SchedulerSkewed)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Hungarian assignment with the parallel row/column reduction and gated
+// parallel augmenting scans.
+void BM_HungarianAssign(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  icn::util::Rng rng(23);
+  ml::Matrix cost(n, n);
+  for (auto& v : cost.data()) v = rng.uniform(0.0, 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::hungarian_min_cost(cost));
+  }
+}
+BENCHMARK(BM_HungarianAssign)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Parallel seasonal-median batch fit across antennas.
+// args: {antennas, threads}
+void BM_SeasonalBatchFitThreads(benchmark::State& state) {
+  const auto antennas = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kHours = 9 * 168;
+  icn::util::Rng rng(29);
+  std::vector<std::vector<double>> series(antennas,
+                                          std::vector<double>(kHours));
+  std::vector<std::span<const double>> spans;
+  spans.reserve(antennas);
+  for (auto& s : series) {
+    for (auto& v : s) v = std::abs(rng.normal()) * 1e3;
+    spans.emplace_back(s);
+  }
+  icn::util::ThreadPool::ScopedOverride pool(threads);
+  state.counters["threads"] = static_cast<double>(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fit_seasonal_batch(spans, 168));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(antennas));
+}
+BENCHMARK(BM_SeasonalBatchFitThreads)
+    ->ArgsProduct({{256}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Smoke preset: drop the big problem sizes and the slow model-agnostic
+  // SHAP path; keep one point per op family so the JSON schema and every
+  // code path still get exercised in CI.
+  return icn::bench::trajectory_main(
+      "perf_algorithms", "-(/(1000|2000|4762)($|/)|KernelShap)", argc, argv);
+}

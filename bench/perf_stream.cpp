@@ -1,8 +1,11 @@
 // Performance microbenches (google-benchmark) for the streaming subsystem:
 // ingest throughput vs shard count, checkpointed ingest (fsync per window),
 // supervised multi-feed ingest (clean and fault-injected), and snapshot
-// mmap load vs regenerating the same tensor from the scenario.
+// mmap load vs regenerating the same tensor from the scenario. Emits
+// BENCH_perf_stream.json via bench/report.h.
 #include <benchmark/benchmark.h>
+
+#include "report.h"
 
 #include <cstdio>
 #include <memory>
@@ -231,4 +234,10 @@ BENCHMARK(BM_SnapshotRegenerate)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Smoke preset: skip the fsync-heavy checkpoint bench and the scenario
+  // regeneration; the remaining benches cover ingest, supervision (clean and
+  // faulty), and the snapshot load path.
+  return icn::bench::trajectory_main(
+      "perf_stream", "-(Checkpointed|Regenerate)", argc, argv);
+}

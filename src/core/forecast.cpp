@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "ml/distance.h"
 #include "util/error.h"
+#include "util/parallel.h"
 #include "util/stats.h"
 
 namespace icn::core {
@@ -50,6 +52,39 @@ void SeasonalForecaster::fit_masked(std::span<const double> series,
   train_hours_ = series.size();
 }
 
+std::vector<SeasonalForecaster> fit_seasonal_batch(
+    std::span<const std::span<const double>> series,
+    std::size_t season_hours) {
+  std::vector<SeasonalForecaster> out(series.size());
+  // Forecaster i is written only by the chunk owning index i, so any
+  // decomposition — including stolen chunks — produces the same batch.
+  icn::util::parallel_for(
+      0, series.size(), icn::util::adaptive_grain(0, series.size()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i].fit(series[i], season_hours);
+        }
+      });
+  return out;
+}
+
+std::vector<SeasonalForecaster> fit_seasonal_batch_masked(
+    std::span<const std::span<const double>> series,
+    std::span<const std::span<const std::uint8_t>> covered,
+    std::size_t season_hours) {
+  ICN_REQUIRE(series.size() == covered.size(),
+              "one coverage bitmap per series");
+  std::vector<SeasonalForecaster> out(series.size());
+  icn::util::parallel_for(
+      0, series.size(), icn::util::adaptive_grain(0, series.size()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i].fit_masked(series[i], covered[i], season_hours);
+        }
+      });
+  return out;
+}
+
 double SeasonalForecaster::slot_value(std::size_t slot) const {
   ICN_REQUIRE(is_fitted(), "forecaster not fitted");
   ICN_REQUIRE(slot < slot_median_.size(), "slot index");
@@ -81,12 +116,12 @@ void HoltWintersForecaster::fit(std::span<const double> series,
   }
   const std::size_t m = season_hours;
   // Initialization: level = mean of season 1; trend = mean season-over-
-  // season change; seasonal = first-season deviations from the level.
-  double mean1 = 0.0, mean2 = 0.0;
-  for (std::size_t t = 0; t < m; ++t) {
-    mean1 += series[t] / static_cast<double>(m);
-    mean2 += series[m + t] / static_cast<double>(m);
-  }
+  // season change; seasonal = first-season deviations from the level. The
+  // season sums go through the dispatched canonical-order kernel, so the
+  // initial state is the same at every ICN_SIMD level.
+  const double inv_m = 1.0 / static_cast<double>(m);
+  const double mean1 = icn::ml::vector_sum(series.first(m)) * inv_m;
+  const double mean2 = icn::ml::vector_sum(series.subspan(m, m)) * inv_m;
   level_ = mean1;
   trend_ = (mean2 - mean1) / static_cast<double>(m);
   seasonal_.assign(m, 0.0);

@@ -49,6 +49,22 @@ class SeasonalForecaster {
   std::size_t train_hours_ = 0;
 };
 
+/// Fits one SeasonalForecaster per series, in parallel across antennas on
+/// the active thread pool. Forecaster i is exactly what
+/// `SeasonalForecaster::fit(series[i], season_hours)` produces — each fit is
+/// independent, so the batch is bit-identical to the serial loop for every
+/// thread count.
+[[nodiscard]] std::vector<SeasonalForecaster> fit_seasonal_batch(
+    std::span<const std::span<const double>> series,
+    std::size_t season_hours = 168);
+
+/// Parallel batch of `SeasonalForecaster::fit_masked`: series[i] is fitted
+/// against coverage bitmap covered[i]. Requires equal outer sizes.
+[[nodiscard]] std::vector<SeasonalForecaster> fit_seasonal_batch_masked(
+    std::span<const std::span<const double>> series,
+    std::span<const std::span<const std::uint8_t>> covered,
+    std::size_t season_hours = 168);
+
 /// Additive Holt-Winters (triple exponential smoothing) with a weekly
 /// season — the classic step up from the seasonal median when the traffic
 /// carries a trend (e.g. a slowly filling office building).

@@ -4,26 +4,67 @@
 
 #include "util/error.h"
 #include "util/parallel.h"
+#include "util/simd.h"
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
+#if defined(__x86_64__) || defined(__i386__)
+#define ICN_ML_X86 1
+#include <immintrin.h>
 #endif
 
 namespace icn::ml {
 
-namespace {
+// All kernels accumulate in the same canonical 4-lane order: lane k sums the
+// elements i == k (mod 4), the lanes combine as (s0 + s2) + (s1 + s3), and
+// the remaining 0-3 tail elements add sequentially. Fixing one order —
+// instead of matching whatever a serial loop would do — is what lets every
+// vector width and the scalar build produce the same bits. The AVX-512
+// kernels run subtract/multiply 8-wide but fold the two 4-lane halves into
+// the accumulator in element order, so they join the same canonical order
+// rather than inventing an 8-lane one.
 
-// Both paths below accumulate in the same canonical 4-wide order: lane k
-// sums the squared differences of elements i == k (mod 4), the lanes
-// combine as (s0 + s2) + (s1 + s3), and the remaining 0-3 tail elements
-// are added sequentially. Fixing one order — instead of matching whatever
-// a serial loop would do — is what lets the vector and scalar builds
-// produce the same bits.
+namespace detail {
 
-#if defined(__SSE2__)
-
-double squared_euclidean_kernel(const double* a, const double* b,
+double squared_euclidean_scalar(const double* a, const double* b,
                                 std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = a[i] - b[i];
+    const double d1 = a[i + 1] - b[i + 1];
+    const double d2 = a[i + 2] - b[i + 2];
+    const double d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  double acc = (s0 + s2) + (s1 + s3);
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double vector_sum_scalar(const double* xs, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += xs[i];
+    s1 += xs[i + 1];
+    s2 += xs[i + 2];
+    s3 += xs[i + 3];
+  }
+  double acc = (s0 + s2) + (s1 + s3);
+  for (; i < n; ++i) acc += xs[i];
+  return acc;
+}
+
+#if defined(ICN_ML_X86)
+
+__attribute__((target("sse2"))) double squared_euclidean_sse2(const double* a,
+                                                              const double* b,
+                                                              std::size_t n) {
   __m128d acc01 = _mm_setzero_pd();  // lanes 0, 1
   __m128d acc23 = _mm_setzero_pd();  // lanes 2, 3
   std::size_t i = 0;
@@ -46,57 +87,214 @@ double squared_euclidean_kernel(const double* a, const double* b,
   return acc;
 }
 
-#else
-
-double squared_euclidean_kernel(const double* a, const double* b,
-                                std::size_t n) {
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+__attribute__((target("avx2"))) double squared_euclidean_avx2(const double* a,
+                                                              const double* b,
+                                                              std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();  // lane k = class k (mod 4)
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
-    const double d0 = a[i] - b[i];
-    const double d1 = a[i + 1] - b[i + 1];
-    const double d2 = a[i + 2] - b[i + 2];
-    const double d3 = a[i + 3] - b[i + 3];
-    s0 += d0 * d0;
-    s1 += d1 * d1;
-    s2 += d2 * d2;
-    s3 += d3 * d3;
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
   }
-  double acc = (s0 + s2) + (s1 + s3);
+  alignas(32) double s[4];
+  _mm256_store_pd(s, acc);
+  double total = (s[0] + s[2]) + (s[1] + s[3]);
   for (; i < n; ++i) {
     const double d = a[i] - b[i];
-    acc += d * d;
+    total += d * d;
   }
+  return total;
+}
+
+// GCC's _mm512_extractf64x4_pd expands through _mm256_undefined_pd, which
+// trips -Wmaybe-uninitialized in the intrinsic header itself; the mask
+// argument is -1 so every lane is written.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+__attribute__((target("avx512f"))) double squared_euclidean_avx512(
+    const double* a, const double* b, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();  // lane k = class k (mod 4)
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d d =
+        _mm512_sub_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i));
+    const __m512d sq = _mm512_mul_pd(d, d);
+    // Fold the halves in element order to stay in the canonical 4-lane order.
+    acc = _mm256_add_pd(acc, _mm512_castpd512_pd256(sq));
+    acc = _mm256_add_pd(acc, _mm512_extractf64x4_pd(sq, 1));
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  alignas(32) double s[4];
+  _mm256_store_pd(s, acc);
+  double total = (s[0] + s[2]) + (s[1] + s[3]);
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+__attribute__((target("sse2"))) double vector_sum_sse2(const double* xs,
+                                                       std::size_t n) {
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc01 = _mm_add_pd(acc01, _mm_loadu_pd(xs + i));
+    acc23 = _mm_add_pd(acc23, _mm_loadu_pd(xs + i + 2));
+  }
+  alignas(16) double s01[2];
+  alignas(16) double s23[2];
+  _mm_store_pd(s01, acc01);
+  _mm_store_pd(s23, acc23);
+  double acc = (s01[0] + s23[0]) + (s01[1] + s23[1]);
+  for (; i < n; ++i) acc += xs[i];
   return acc;
 }
 
+__attribute__((target("avx2"))) double vector_sum_avx2(const double* xs,
+                                                       std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(xs + i));
+  }
+  alignas(32) double s[4];
+  _mm256_store_pd(s, acc);
+  double total = (s[0] + s[2]) + (s[1] + s[3]);
+  for (; i < n; ++i) total += xs[i];
+  return total;
+}
+
+__attribute__((target("avx512f"))) double vector_sum_avx512(const double* xs,
+                                                            std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d v = _mm512_loadu_pd(xs + i);
+    acc = _mm256_add_pd(acc, _mm512_castpd512_pd256(v));
+    acc = _mm256_add_pd(acc, _mm512_extractf64x4_pd(v, 1));
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(xs + i));
+  }
+  alignas(32) double s[4];
+  _mm256_store_pd(s, acc);
+  double total = (s[0] + s[2]) + (s[1] + s[3]);
+  for (; i < n; ++i) total += xs[i];
+  return total;
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
 #endif
+
+#else  // !ICN_ML_X86
+
+// Non-x86 builds: every lane aliases the scalar kernel — dispatch still
+// works, ICN_SIMD levels above scalar are rejected by util::simd_level().
+double squared_euclidean_sse2(const double* a, const double* b,
+                              std::size_t n) {
+  return squared_euclidean_scalar(a, b, n);
+}
+double squared_euclidean_avx2(const double* a, const double* b,
+                              std::size_t n) {
+  return squared_euclidean_scalar(a, b, n);
+}
+double squared_euclidean_avx512(const double* a, const double* b,
+                                std::size_t n) {
+  return squared_euclidean_scalar(a, b, n);
+}
+double vector_sum_sse2(const double* xs, std::size_t n) {
+  return vector_sum_scalar(xs, n);
+}
+double vector_sum_avx2(const double* xs, std::size_t n) {
+  return vector_sum_scalar(xs, n);
+}
+double vector_sum_avx512(const double* xs, std::size_t n) {
+  return vector_sum_scalar(xs, n);
+}
+
+#endif  // ICN_ML_X86
+
+}  // namespace detail
+
+namespace {
+
+using SquaredEuclideanFn = double (*)(const double*, const double*,
+                                      std::size_t);
+using VectorSumFn = double (*)(const double*, std::size_t);
+
+SquaredEuclideanFn pick_squared_euclidean() {
+  switch (icn::util::simd_level()) {
+    case icn::util::SimdLevel::kScalar:
+      return detail::squared_euclidean_scalar;
+    case icn::util::SimdLevel::kSse2:
+      return detail::squared_euclidean_sse2;
+    case icn::util::SimdLevel::kAvx2:
+      return detail::squared_euclidean_avx2;
+    case icn::util::SimdLevel::kAvx512:
+      return detail::squared_euclidean_avx512;
+  }
+  return detail::squared_euclidean_scalar;
+}
+
+VectorSumFn pick_vector_sum() {
+  switch (icn::util::simd_level()) {
+    case icn::util::SimdLevel::kScalar:
+      return detail::vector_sum_scalar;
+    case icn::util::SimdLevel::kSse2:
+      return detail::vector_sum_sse2;
+    case icn::util::SimdLevel::kAvx2:
+      return detail::vector_sum_avx2;
+    case icn::util::SimdLevel::kAvx512:
+      return detail::vector_sum_avx512;
+  }
+  return detail::vector_sum_scalar;
+}
 
 }  // namespace
 
 double squared_euclidean(std::span<const double> a,
                          std::span<const double> b) {
   ICN_REQUIRE(a.size() == b.size(), "distance dimensions");
-  return squared_euclidean_kernel(a.data(), b.data(), a.size());
+  static const SquaredEuclideanFn kernel = pick_squared_euclidean();
+  return kernel(a.data(), b.data(), a.size());
 }
 
 double euclidean(std::span<const double> a, std::span<const double> b) {
   return std::sqrt(squared_euclidean(a, b));
 }
 
+double vector_sum(std::span<const double> xs) {
+  static const VectorSumFn kernel = pick_vector_sum();
+  return kernel(xs.data(), xs.size());
+}
+
 CondensedDistances::CondensedDistances(const Matrix& x) : n_(x.rows()) {
   ICN_REQUIRE(n_ >= 1, "CondensedDistances needs >= 1 point");
   d_.resize(n_ * (n_ - 1) / 2);
   // Row i fills the disjoint slice d_[index(i, i+1) .. index(i, n-1)]; the
-  // small grain load-balances the shrinking upper-triangle rows.
-  icn::util::parallel_for(0, n_, 4, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      const auto ri = x.row(i);
-      for (std::size_t j = i + 1; j < n_; ++j) {
-        d_[index(i, j)] = euclidean(ri, x.row(j));
-      }
-    }
-  });
+  // upper-triangle rows shrink, so the adaptive grain plus work-stealing
+  // keeps every lane busy to the end.
+  icn::util::parallel_for(
+      0, n_, icn::util::adaptive_grain(0, n_),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto ri = x.row(i);
+          for (std::size_t j = i + 1; j < n_; ++j) {
+            d_[index(i, j)] = euclidean(ri, x.row(j));
+          }
+        }
+      });
 }
 
 }  // namespace icn::ml

@@ -1,5 +1,15 @@
-// Distance kernels and the condensed pairwise-distance matrix used by the
-// clustering and cluster-validity code.
+// Distance and accumulation kernels and the condensed pairwise-distance
+// matrix used by the clustering and cluster-validity code.
+//
+// The hot kernels (squared_euclidean, vector_sum) are runtime-dispatched over
+// scalar / SSE2 / AVX2 / AVX-512 lanes (util/simd.h: cpuid probe at first
+// use, ICN_SIMD override). Every lane accumulates in the SAME canonical
+// 4-lane order — lane k sums elements i == k (mod 4), lanes combine as
+// (s0 + s2) + (s1 + s3), the 0-3 tail elements add sequentially — so widening
+// the vectors changes speed, never bits: ICN_SIMD=scalar output is
+// byte-identical to the widest available lane. (The AVX-512 lanes run the
+// element-wise subtract/multiply 8-wide but fold into a 4-lane accumulator in
+// element order, which is what preserves the canonical order.)
 #pragma once
 
 #include <cstddef>
@@ -12,17 +22,39 @@
 
 namespace icn::ml {
 
-/// Squared Euclidean distance between two equal-length vectors. The inner
-/// loop is SIMD (4-wide) where available; the accumulation order is fixed —
-/// lane k sums elements i == k (mod 4), lanes combine as (s0+s2)+(s1+s3),
-/// tail elements add sequentially — so the vector and scalar builds return
-/// the same bits.
+/// Squared Euclidean distance between two equal-length vectors, in the
+/// canonical accumulation order (see file comment).
 [[nodiscard]] double squared_euclidean(std::span<const double> a,
                                        std::span<const double> b);
 
 /// Euclidean distance between two equal-length vectors.
 [[nodiscard]] double euclidean(std::span<const double> a,
                                std::span<const double> b);
+
+/// Sum of a vector in the canonical accumulation order — the dispatched
+/// building block of the forecast/linkage accumulation loops.
+[[nodiscard]] double vector_sum(std::span<const double> xs);
+
+namespace detail {
+
+// Per-level kernels, exposed for the bit-exactness parity tests and the
+// SIMD benches. The wide variants must only be called when the CPU supports
+// the level (util::max_supported_simd_level()); on non-x86 builds they all
+// alias the scalar kernel.
+[[nodiscard]] double squared_euclidean_scalar(const double* a, const double* b,
+                                              std::size_t n);
+[[nodiscard]] double squared_euclidean_sse2(const double* a, const double* b,
+                                            std::size_t n);
+[[nodiscard]] double squared_euclidean_avx2(const double* a, const double* b,
+                                            std::size_t n);
+[[nodiscard]] double squared_euclidean_avx512(const double* a, const double* b,
+                                              std::size_t n);
+[[nodiscard]] double vector_sum_scalar(const double* xs, std::size_t n);
+[[nodiscard]] double vector_sum_sse2(const double* xs, std::size_t n);
+[[nodiscard]] double vector_sum_avx2(const double* xs, std::size_t n);
+[[nodiscard]] double vector_sum_avx512(const double* xs, std::size_t n);
+
+}  // namespace detail
 
 /// Upper-triangle (i < j) pairwise Euclidean distances of the rows of X,
 /// stored condensed in double (N = 4,762 -> ~90 MB) so lookups agree exactly

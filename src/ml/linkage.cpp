@@ -139,13 +139,11 @@ std::vector<Dendrogram::RawMerge> ward_nn_chain(const Matrix& x) {
   raw.reserve(n - 1);
 
   auto ward_d2 = [&](std::size_t a, std::size_t b) {
-    double cd = 0.0;
-    const double* ca = centroid.data() + a * m;
-    const double* cb = centroid.data() + b * m;
-    for (std::size_t f = 0; f < m; ++f) {
-      const double d = ca[f] - cb[f];
-      cd += d * d;
-    }
+    // Dispatched kernel (scalar/SSE2/AVX2/AVX-512); every lane accumulates in
+    // the canonical order, so the chain's merge decisions are the same at any
+    // ICN_SIMD level.
+    const double cd = squared_euclidean({centroid.data() + a * m, m},
+                                        {centroid.data() + b * m, m});
     return ward_height_sq(size[a], size[b], cd);
   };
 
@@ -503,21 +501,37 @@ Dendrogram naive_agglomerative(const Matrix& x, Linkage linkage) {
   std::vector<bool> alive(n, true);
   std::vector<Dendrogram::RawMerge> raw;
   raw.reserve(n - 1);
+  // Winner of the naive O(N^2) argmin scan: smallest distance, row-major
+  // earliest pair on ties — exactly what the serial strict-< scan picks.
+  struct BestPair {
+    double d = std::numeric_limits<double>::infinity();
+    std::size_t i = 0, j = 0;
+  };
   for (std::size_t step = 0; step + 1 < n; ++step) {
-    std::size_t ba = 0, bb = 0;
-    double best = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!alive[i]) continue;
-      for (std::size_t j = i + 1; j < n; ++j) {
-        if (!alive[j]) continue;
-        const double d = dist.get(i, j);
-        if (d < best) {
-          best = d;
-          ba = i;
-          bb = j;
-        }
-      }
-    }
+    // Chunks scan disjoint row ranges; partials fold in chunk order with
+    // strict <, so earlier rows win ties and the result matches the serial
+    // scan for every thread count and grain.
+    const BestPair win = icn::util::parallel_reduce(
+        std::size_t{0}, n, kScanGrain, BestPair{},
+        [&](std::size_t lo, std::size_t hi) {
+          BestPair p;
+          for (std::size_t i = lo; i < hi; ++i) {
+            if (!alive[i]) continue;
+            for (std::size_t j = i + 1; j < n; ++j) {
+              if (!alive[j]) continue;
+              const double d = dist.get(i, j);
+              if (d < p.d) {
+                p.d = d;
+                p.i = i;
+                p.j = j;
+              }
+            }
+          }
+          return p;
+        },
+        [](BestPair acc, BestPair p) { return p.d < acc.d ? p : acc; });
+    const std::size_t ba = win.i, bb = win.j;
+    const double best = win.d;
     raw.push_back(Dendrogram::RawMerge{rep[ba], rep[bb],
                                        squared ? std::sqrt(best) : best});
     for (std::size_t k = 0; k < n; ++k) {

@@ -1,6 +1,14 @@
 #include "store/crc32c.h"
 
 #include <array>
+#include <cstring>
+
+#include "util/simd.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define ICN_CRC_X86 1
+#include <nmmintrin.h>
+#endif
 
 namespace icn::store {
 namespace {
@@ -34,8 +42,10 @@ constexpr Tables kTables{};
 
 }  // namespace
 
-std::uint32_t crc32c_extend(std::uint32_t crc,
-                            std::span<const std::uint8_t> bytes) {
+namespace detail {
+
+std::uint32_t crc32c_table_extend(std::uint32_t crc,
+                                  std::span<const std::uint8_t> bytes) {
   const auto& t = kTables.t;
   crc = ~crc;
   const std::uint8_t* p = bytes.data();
@@ -56,6 +66,83 @@ std::uint32_t crc32c_extend(std::uint32_t crc,
     crc = t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
   }
   return ~crc;
+}
+
+#if defined(ICN_CRC_X86)
+
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw_extend(
+    std::uint32_t crc, std::span<const std::uint8_t> bytes) {
+  crc = ~crc;
+  const std::uint8_t* p = bytes.data();
+  std::size_t n = bytes.size();
+  // Byte steps up to 8-byte alignment, then crc32 on aligned quadwords.
+  while (n > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+#if defined(__x86_64__)
+  std::uint64_t crc64 = crc;
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = _mm_crc32_u64(crc64, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<std::uint32_t>(crc64);
+#else
+  while (n >= 4) {
+    std::uint32_t word;
+    std::memcpy(&word, p, 4);
+    crc = _mm_crc32_u32(crc, word);
+    p += 4;
+    n -= 4;
+  }
+#endif
+  while (n-- > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+  }
+  return ~crc;
+}
+
+#else  // !ICN_CRC_X86
+
+std::uint32_t crc32c_hw_extend(std::uint32_t crc,
+                               std::span<const std::uint8_t> bytes) {
+  return crc32c_table_extend(crc, bytes);
+}
+
+#endif  // ICN_CRC_X86
+
+}  // namespace detail
+
+namespace {
+
+using Crc32cFn = std::uint32_t (*)(std::uint32_t, std::span<const std::uint8_t>);
+
+bool use_hw_crc32c() {
+  // ICN_SIMD=scalar pins the portable path; any other setting (or unset)
+  // takes the hardware instruction whenever the CPU has SSE4.2.
+  return icn::util::simd_level() != icn::util::SimdLevel::kScalar &&
+         icn::util::cpu_supports_crc32c();
+}
+
+Crc32cFn pick_crc32c() {
+  return use_hw_crc32c() ? detail::crc32c_hw_extend
+                         : detail::crc32c_table_extend;
+}
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t crc,
+                            std::span<const std::uint8_t> bytes) {
+  static const Crc32cFn kernel = pick_crc32c();
+  return kernel(crc, bytes);
+}
+
+const char* crc32c_backend() {
+  static const char* const backend = use_hw_crc32c() ? "sse4.2" : "table";
+  return backend;
 }
 
 }  // namespace icn::store

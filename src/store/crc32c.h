@@ -1,8 +1,13 @@
 // CRC32C (Castagnoli, polynomial 0x1EDC6F41 reflected) — the checksum the
 // snapshot store stamps on every section so bit rot, torn writes and
 // truncated tails are detected before any payload byte reaches the analysis
-// code. Software slicing-by-8 implementation; no hardware or library
-// dependency, identical output on every platform.
+// code.
+//
+// Two backends compute the identical function: a portable slicing-by-8 table
+// implementation, and the SSE4.2 crc32 instruction (_mm_crc32_u64) when the
+// CPU has it. The backend is picked once at first use; ICN_SIMD=scalar forces
+// the table path (util/simd.h) so the two can be A/B-tested and benchmarked.
+// Both produce the standard CRC32C, byte-identical on every platform.
 #pragma once
 
 #include <cstddef>
@@ -21,5 +26,20 @@ namespace icn::store {
 [[nodiscard]] inline std::uint32_t crc32c(std::span<const std::uint8_t> bytes) {
   return crc32c_extend(0, bytes);
 }
+
+/// Name of the backend crc32c_extend dispatches to: "sse4.2" or "table".
+[[nodiscard]] const char* crc32c_backend();
+
+namespace detail {
+
+// The two backends, exposed for the hw-vs-table parity tests and benches.
+// crc32c_hw_extend must only be called when util::cpu_supports_crc32c(); on
+// non-x86 builds it aliases the table path.
+[[nodiscard]] std::uint32_t crc32c_table_extend(
+    std::uint32_t crc, std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::uint32_t crc32c_hw_extend(
+    std::uint32_t crc, std::span<const std::uint8_t> bytes);
+
+}  // namespace detail
 
 }  // namespace icn::store

@@ -17,6 +17,16 @@ class PreconditionError : public std::invalid_argument {
       : std::invalid_argument(what_arg) {}
 };
 
+/// Thrown when an ICN_* environment variable holds a value that cannot be
+/// interpreted (ICN_THREADS=banana, ICN_SIMD=avx9000). Configuration typos
+/// fail loudly at first use instead of silently falling back to a default
+/// the operator did not ask for.
+class EnvConfigError : public std::runtime_error {
+ public:
+  explicit EnvConfigError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
 /// Thrown on operating-system I/O failures at store/stream boundaries: a
 /// missing, empty, or unreadable file, a failed write/fsync/truncate. Distinct
 /// from structural errors (e.g. store::SnapshotError, which means the bytes

@@ -17,19 +17,35 @@
 //    left-to-right on the calling thread, so floating-point results are
 //    identical for 1 thread and N threads.
 //
+// Scheduling: chunks are dealt into per-lane ranges (one lane per thread,
+// contiguous blocks in chunk order) and executed work-stealing style — each
+// lane pops from the bottom of its own range and, when empty, steals from
+// the top of another lane's range. Skewed workloads (shrinking upper-triangle
+// rows, non-uniform antenna shards) therefore no longer strand idle lanes:
+// a straggler's unstarted chunks migrate to whoever is free. Stealing moves
+// chunks between threads but never changes what a chunk computes, so the
+// bit-exactness contract is untouched. ThreadPool::Schedule::kStatic disables
+// stealing (each lane runs only its own block) — kept as the measurable
+// baseline for the scheduler benches and as a determinism cross-check.
+//
 // Sizing: the process-wide pool uses ICN_THREADS when set (>= 1), otherwise
-// std::thread::hardware_concurrency(). ThreadPool::ScopedOverride swaps in a
-// differently-sized pool for tests and thread-scaling benches.
+// std::thread::hardware_concurrency(). A malformed ICN_THREADS value throws
+// icn::util::EnvConfigError at first use instead of silently falling back.
+// ThreadPool::ScopedOverride swaps in a differently-sized pool for tests and
+// thread-scaling benches.
 //
 // Semantics:
 //  * The calling thread participates in the work, so a "1-thread" pool runs
 //    entirely inline and spawns nothing.
 //  * Nested parallel_for/parallel_reduce from inside a pool task runs inline
 //    serially (no deadlock, no oversubscription).
-//  * The first exception thrown by a chunk cancels the remaining chunks and
-//    is rethrown on the calling thread once all in-flight chunks finished.
+//  * An exception thrown by a chunk cancels the unstarted chunks; once every
+//    in-flight chunk finished, the exception of the LOWEST-INDEXED chunk that
+//    threw is rethrown on the calling thread (deterministic by chunk index,
+//    not by wall-clock race order).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -49,10 +65,15 @@ namespace icn::util {
 /// their own job's chunks.
 class ThreadPool {
  public:
+  /// How chunks move between lanes. kSteal is the default everywhere;
+  /// kStatic pins each lane to its dealt block (bench baseline only).
+  enum class Schedule { kStatic, kSteal };
+
   /// Creates a pool with `num_threads` total lanes of execution (the caller
   /// counts as one, so `num_threads - 1` worker threads are spawned).
   /// Requires num_threads >= 1.
-  explicit ThreadPool(std::size_t num_threads);
+  explicit ThreadPool(std::size_t num_threads,
+                      Schedule schedule = Schedule::kSteal);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -61,16 +82,28 @@ class ThreadPool {
   /// Total lanes of execution (workers + the submitting thread).
   [[nodiscard]] std::size_t num_threads() const { return num_threads_; }
 
+  /// Chunk scheduling policy of this pool.
+  [[nodiscard]] Schedule schedule() const { return schedule_; }
+
   /// The process-wide pool used by parallel_for/parallel_reduce, created on
   /// first use with configured_threads() lanes.
   static ThreadPool& instance();
 
+  /// The pool parallel_for/parallel_reduce would use right now: the innermost
+  /// ScopedOverride when one is installed, else instance().
+  static ThreadPool& active();
+
   /// Thread count the global pool is created with: ICN_THREADS when set to a
-  /// positive integer, else hardware_concurrency() (at least 1).
+  /// positive integer, else hardware_concurrency() (at least 1). Throws
+  /// EnvConfigError when ICN_THREADS holds garbage.
   [[nodiscard]] static std::size_t configured_threads();
 
-  /// Parses an ICN_THREADS-style value; returns 0 when the value is unset,
-  /// empty, non-numeric, or zero (meaning "use the hardware default").
+  /// Parses an ICN_THREADS-style value. Returns 0 when the value is unset,
+  /// empty, or the explicit "0" (all meaning "use the hardware default");
+  /// returns the count (capped at 512) for a plain digit string. Any other
+  /// value — negative, non-numeric, trailing junk — throws EnvConfigError:
+  /// a typo must not silently hand the pool a default the operator did not
+  /// choose.
   [[nodiscard]] static std::size_t parse_thread_count(const char* value);
 
   /// RAII override of the pool used by parallel_for/parallel_reduce, for
@@ -78,7 +111,8 @@ class ThreadPool {
   /// single thread only; overrides nest (last installed wins).
   class ScopedOverride {
    public:
-    explicit ScopedOverride(std::size_t num_threads);
+    explicit ScopedOverride(std::size_t num_threads,
+                            Schedule schedule = Schedule::kSteal);
     ~ScopedOverride();
     ScopedOverride(const ScopedOverride&) = delete;
     ScopedOverride& operator=(const ScopedOverride&) = delete;
@@ -88,19 +122,23 @@ class ThreadPool {
     ThreadPool* previous_;
   };
 
-  /// Runs fn(0) ... fn(num_chunks - 1), distributing chunks over the workers
-  /// and the calling thread. Blocks until every chunk finished; rethrows the
-  /// first chunk exception. Calls from inside a pool task run inline.
+  /// Runs fn(0) ... fn(num_chunks - 1), dealing the chunk indices into
+  /// per-lane ranges and (under kSteal) rebalancing them by stealing. Blocks
+  /// until every started chunk finished; rethrows the exception of the
+  /// lowest-indexed chunk that threw. Calls from inside a pool task run
+  /// inline.
   void run_chunks(std::size_t num_chunks,
                   const std::function<void(std::size_t)>& fn);
 
  private:
   struct Job;
 
-  void worker_loop();
-  static void work_on(Job& job);
+  void worker_loop(std::size_t lane);
+  static void work_on(Job& job, std::size_t lane, Schedule schedule);
+  static void record_error(Job& job, std::size_t chunk);
 
   std::size_t num_threads_ = 1;
+  Schedule schedule_ = Schedule::kSteal;
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable wake_cv_;  // workers wait for a new job
@@ -127,6 +165,18 @@ void run_chunked(
 }
 
 }  // namespace detail
+
+/// Picks a grain for [begin, end) from the problem size and the active pool's
+/// lane count, aiming for enough chunks per lane that stealing can rebalance
+/// a skewed workload, and never below `min_grain`.
+///
+/// ONLY for disjoint-write parallel_for loops: their outputs are bit-identical
+/// under ANY chunk decomposition, so a thread-count-dependent grain is safe.
+/// Order-sensitive parallel_reduce folds must keep an explicit fixed grain —
+/// their result depends on the chunk boundaries.
+/// Requires min_grain > 0 and begin <= end.
+[[nodiscard]] std::size_t adaptive_grain(std::size_t begin, std::size_t end,
+                                         std::size_t min_grain = 1);
 
 /// Runs body(lo, hi) over consecutive sub-ranges of [begin, end) of at most
 /// `grain` indices each. The body must only write state owned by its range;

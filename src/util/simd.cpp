@@ -1,0 +1,80 @@
+#include "util/simd.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/error.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define ICN_SIMD_X86 1
+#endif
+
+namespace icn::util {
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+SimdLevel max_supported_simd_level() {
+#if defined(ICN_SIMD_X86)
+  if (__builtin_cpu_supports("avx512f")) return SimdLevel::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return SimdLevel::kSse2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+std::optional<SimdLevel> parse_simd_level(const char* value) {
+  if (value == nullptr) return std::nullopt;
+  std::string v;
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p == ' ' || *p == '\t') continue;
+    v += (*p >= 'A' && *p <= 'Z') ? static_cast<char>(*p - 'A' + 'a') : *p;
+  }
+  if (v.empty()) return std::nullopt;
+  if (v == "scalar") return SimdLevel::kScalar;
+  if (v == "sse2") return SimdLevel::kSse2;
+  if (v == "avx2") return SimdLevel::kAvx2;
+  if (v == "avx512") return SimdLevel::kAvx512;
+  throw EnvConfigError(std::string("ICN_SIMD=\"") + value +
+                       "\" is not a SIMD level (expected scalar, sse2, avx2, "
+                       "or avx512; unset = auto-detect)");
+}
+
+SimdLevel simd_level() {
+  // Resolved once; a throwing resolution (garbage or unsupported ICN_SIMD)
+  // is retried — and rethrown — on every call, so the error cannot be lost.
+  static const SimdLevel level = [] {
+    const auto requested = parse_simd_level(std::getenv("ICN_SIMD"));
+    const SimdLevel supported = max_supported_simd_level();
+    if (!requested.has_value()) return supported;
+    if (*requested > supported) {
+      throw EnvConfigError(
+          std::string("ICN_SIMD=") + simd_level_name(*requested) +
+          " requested but this CPU only supports " +
+          simd_level_name(supported));
+    }
+    return *requested;
+  }();
+  return level;
+}
+
+bool cpu_supports_crc32c() {
+#if defined(ICN_SIMD_X86)
+  return __builtin_cpu_supports("sse4.2");
+#else
+  return false;
+#endif
+}
+
+}  // namespace icn::util

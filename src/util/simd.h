@@ -1,0 +1,49 @@
+// Runtime SIMD dispatch policy for the vectorized kernels (squared-Euclidean
+// distances, canonical-order accumulation, hardware CRC32C).
+//
+// The widest instruction set is probed once via cpuid at first use and every
+// kernel dispatches through a function pointer picked from that probe, so one
+// binary runs correctly from a scalar-only container to an AVX-512 server.
+// The ICN_SIMD environment variable pins the lane width for A/B parity tests
+// and benchmarks:
+//
+//   ICN_SIMD=scalar | sse2 | avx2 | avx512
+//
+// A garbage value, or a level the CPU cannot execute, throws
+// icn::util::EnvConfigError at first use — configuration typos fail loudly
+// instead of silently benchmarking the wrong kernel. Every lane preserves the
+// same canonical accumulation order (see ml/distance.h), so ICN_SIMD changes
+// speed, never bits.
+#pragma once
+
+#include <optional>
+
+namespace icn::util {
+
+/// Kernel lanes, orderable: a CPU supporting level L supports all levels
+/// below it (AVX-512-capable hardware always has AVX2 and SSE2).
+enum class SimdLevel { kScalar = 0, kSse2 = 1, kAvx2 = 2, kAvx512 = 3 };
+
+/// Lower-case canonical name ("scalar", "sse2", "avx2", "avx512").
+[[nodiscard]] const char* simd_level_name(SimdLevel level);
+
+/// Widest level this CPU can execute, probed via cpuid. kScalar on non-x86
+/// builds.
+[[nodiscard]] SimdLevel max_supported_simd_level();
+
+/// Parses an ICN_SIMD-style value: nullopt when unset/blank (auto-detect),
+/// the level for one of the four canonical names (case-insensitive), and
+/// EnvConfigError for anything else.
+[[nodiscard]] std::optional<SimdLevel> parse_simd_level(const char* value);
+
+/// The level the dispatched kernels run at: ICN_SIMD when set (EnvConfigError
+/// if it is garbage or exceeds what the CPU supports), else the probed
+/// maximum. Resolved once and cached for the process lifetime.
+[[nodiscard]] SimdLevel simd_level();
+
+/// True when the CPU has SSE4.2 (the crc32 instruction). Probed separately
+/// from SimdLevel because CRC32C is an integer-lane feature, but the store's
+/// dispatch still honours ICN_SIMD=scalar to force the table path.
+[[nodiscard]] bool cpu_supports_crc32c();
+
+}  // namespace icn::util

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/error.h"
@@ -124,18 +125,141 @@ TEST(ThreadPoolTest, RejectsZeroThreads) {
 }
 
 TEST(ThreadPoolTest, ParsesIcnThreadsValues) {
+  // Unset, blank, and the explicit "0" all mean "use the hardware default".
   EXPECT_EQ(ThreadPool::parse_thread_count(nullptr), 0u);
   EXPECT_EQ(ThreadPool::parse_thread_count(""), 0u);
   EXPECT_EQ(ThreadPool::parse_thread_count("0"), 0u);
   EXPECT_EQ(ThreadPool::parse_thread_count("8"), 8u);
   EXPECT_EQ(ThreadPool::parse_thread_count("16"), 16u);
-  EXPECT_EQ(ThreadPool::parse_thread_count("not-a-number"), 0u);
-  EXPECT_EQ(ThreadPool::parse_thread_count("4x"), 0u);
-  // A minus sign must not wrap through strtoull into a huge count.
-  EXPECT_EQ(ThreadPool::parse_thread_count("-3"), 0u);
-  EXPECT_EQ(ThreadPool::parse_thread_count(" -3"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count(" 8 "), 8u);
   // Absurd counts are capped rather than spawning thousands of threads.
   EXPECT_EQ(ThreadPool::parse_thread_count("99999999"), 512u);
+}
+
+TEST(ThreadPoolTest, GarbageIcnThreadsThrowsTypedError) {
+  // A typo must fail loudly, not silently hand the pool a default the
+  // operator did not choose.
+  EXPECT_THROW((void)ThreadPool::parse_thread_count("not-a-number"),
+               EnvConfigError);
+  EXPECT_THROW((void)ThreadPool::parse_thread_count("4x"), EnvConfigError);
+  // A minus sign must not wrap through strtoull into a huge count.
+  EXPECT_THROW((void)ThreadPool::parse_thread_count("-3"), EnvConfigError);
+  EXPECT_THROW((void)ThreadPool::parse_thread_count(" -3"), EnvConfigError);
+  EXPECT_THROW((void)ThreadPool::parse_thread_count("3.5"), EnvConfigError);
+  EXPECT_THROW((void)ThreadPool::parse_thread_count("+4"), EnvConfigError);
+  try {
+    (void)ThreadPool::parse_thread_count("4x");
+    FAIL() << "expected EnvConfigError";
+  } catch (const EnvConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("ICN_THREADS"), std::string::npos);
+  }
+}
+
+TEST(ThreadPoolTest, StealingCoversSkewedWorkExactlyOnce) {
+  // A pathologically skewed workload: one early chunk carries almost all the
+  // work. Under kSteal the other lanes drain the straggler's block; every
+  // chunk must still run exactly once.
+  ThreadPool::ScopedOverride pool(4, ThreadPool::Schedule::kSteal);
+  std::vector<std::atomic<int>> hits(512);
+  parallel_for(0, hits.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (i == 0) {
+        // Busy work so other lanes run dry and start stealing.
+        volatile double sink = 0.0;
+        for (int k = 0; k < 200000; ++k) sink = sink + 1e-9 * k;
+      }
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, StaticScheduleMatchesStealBitForBit) {
+  // Chunk contents are a pure function of (begin, end, grain), so the two
+  // schedules — and any thread count — produce identical reduce results.
+  std::vector<double> values(4'096);
+  double v = 0.5;
+  for (auto& x : values) {
+    v = v * 1.00021 + 0.013;
+    x = v;
+  }
+  auto run = [&](std::size_t threads, ThreadPool::Schedule schedule) {
+    ThreadPool::ScopedOverride pool(threads, schedule);
+    return parallel_reduce(
+        std::size_t{0}, values.size(), std::size_t{53}, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+          double s = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) s += values[i] * values[i];
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double serial = run(1, ThreadPool::Schedule::kStatic);
+  EXPECT_EQ(serial, run(4, ThreadPool::Schedule::kStatic));
+  EXPECT_EQ(serial, run(4, ThreadPool::Schedule::kSteal));
+  EXPECT_EQ(serial, run(8, ThreadPool::Schedule::kSteal));
+}
+
+TEST(ThreadPoolTest, LowestIndexedChunkExceptionWins) {
+  // Every chunk throws its own index after recording that it ran. Whatever
+  // subset got executed before cancellation, the rethrown exception must be
+  // the LOWEST index that actually threw — by chunk index, not wall order.
+  for (const auto schedule :
+       {ThreadPool::Schedule::kStatic, ThreadPool::Schedule::kSteal}) {
+    ThreadPool::ScopedOverride pool(4, schedule);
+    constexpr std::size_t kChunks = 256;
+    std::vector<std::atomic<int>> threw(kChunks);
+    std::size_t reported = kChunks;
+    try {
+      parallel_for(0, kChunks, 1, [&](std::size_t lo, std::size_t) {
+        threw[lo].store(1, std::memory_order_relaxed);
+        throw std::runtime_error(std::to_string(lo));
+      });
+      FAIL() << "expected a rethrown chunk exception";
+    } catch (const std::runtime_error& e) {
+      reported = static_cast<std::size_t>(std::stoul(e.what()));
+    }
+    std::size_t lowest = kChunks;
+    for (std::size_t i = 0; i < kChunks; ++i) {
+      if (threw[i].load() != 0) {
+        lowest = i;
+        break;
+      }
+    }
+    ASSERT_LT(lowest, kChunks);
+    EXPECT_EQ(reported, lowest);
+  }
+}
+
+TEST(ThreadPoolTest, SerialExceptionIsFirstChunkDeterministically) {
+  // Inline (1-thread) execution stops at the first throwing chunk, so the
+  // rethrown index is exactly the serial one.
+  ThreadPool::ScopedOverride pool(1);
+  try {
+    parallel_for(0, 100, 1, [&](std::size_t lo, std::size_t) {
+      if (lo >= 40) throw std::runtime_error(std::to_string(lo));
+    });
+    FAIL() << "expected a rethrown chunk exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "40");
+  }
+}
+
+TEST(AdaptiveGrainTest, ScalesWithPoolAndRespectsFloor) {
+  {
+    ThreadPool::ScopedOverride pool(4);
+    const std::size_t g = adaptive_grain(0, 100'000);
+    EXPECT_GE(g, 1u);
+    // Enough chunks per lane that stealing can rebalance a skewed tail.
+    const std::size_t chunks = (100'000 + g - 1) / g;
+    EXPECT_GE(chunks, 4u * 8u);
+  }
+  {
+    ThreadPool::ScopedOverride pool(1);
+    EXPECT_GE(adaptive_grain(0, 10), 1u);
+    EXPECT_EQ(adaptive_grain(5, 5, 7), 7u);   // empty range: the floor
+    EXPECT_GE(adaptive_grain(0, 1'000'000, 64), 64u);
+  }
 }
 
 TEST(ThreadPoolTest, ConfiguredThreadsIsPositive) {
