@@ -1,9 +1,11 @@
 // Performance microbenches (google-benchmark) for the core algorithms:
 // Ward NN-chain scaling, silhouette, RCA/RSCA transform throughput,
 // random-forest training, TreeSHAP vs KernelSHAP per explanation, the
-// probe-path aggregation throughput, the per-level SIMD kernels, CRC32C
-// backends, the Hungarian assignment, seasonal batch fitting, and the
-// static-vs-stealing scheduler on a skewed workload. Emits
+// probe-path aggregation throughput, the per-level SIMD kernels (distance,
+// x4 row-batched distance, RSCA row, labeled sums — including the opt-in
+// avx2fma lane), the tiled condensed-distance sweep, scratch-arena vs heap
+// allocation, CRC32C backends, the Hungarian assignment, seasonal batch
+// fitting, and the static-vs-stealing scheduler on a skewed workload. Emits
 // BENCH_perf_algorithms.json via bench/report.h.
 #include <benchmark/benchmark.h>
 
@@ -18,6 +20,7 @@
 #include "ml/distance.h"
 #include "ml/forest.h"
 #include "ml/hungarian.h"
+#include "ml/kernels.h"
 #include "ml/kernelshap.h"
 #include "ml/linkage.h"
 #include "ml/metrics.h"
@@ -29,6 +32,7 @@
 #include "report.h"
 #include "store/crc32c.h"
 #include "traffic/flows.h"
+#include "util/arena.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/simd.h"
@@ -249,12 +253,25 @@ BENCHMARK(BM_ProbeAggregation)->Unit(benchmark::kMillisecond);
 // ---------------------------------------------------------------------------
 // SIMD lanes: the same kernel at each dispatch level. The curve scalar ->
 // sse2 -> avx2 -> avx512 is the measured value of the runtime dispatch; all
-// four produce identical bits (tests/ml/test_simd_dispatch.cpp).
+// non-FMA lanes produce identical bits (tests/ml/test_simd_dispatch.cpp,
+// tests/ml/test_kernels_dispatch.cpp). Level 4 is the opt-in avx2fma lane,
+// parity-checked against its own std::fma scalar reference.
+
+/// True when the per-level detail kernel may run on this CPU. The FMA lane
+/// sits outside the scalar..avx512 order, so it gets its own check.
+bool level_runnable(icn::util::SimdLevel level) {
+  if (level == icn::util::SimdLevel::kAvx2Fma) {
+    return icn::util::max_supported_simd_level() >=
+               icn::util::SimdLevel::kAvx2 &&
+           icn::util::cpu_supports_fma();
+  }
+  return level <= icn::util::max_supported_simd_level();
+}
 
 // args: {level}
 void BM_SquaredEuclideanSimd(benchmark::State& state) {
   const auto level = static_cast<icn::util::SimdLevel>(state.range(0));
-  if (level > icn::util::max_supported_simd_level()) {
+  if (!level_runnable(level)) {
     state.SkipWithError("SIMD level not supported on this CPU");
     return;
   }
@@ -280,6 +297,9 @@ void BM_SquaredEuclideanSimd(benchmark::State& state) {
       case icn::util::SimdLevel::kAvx512:
         d = ml::detail::squared_euclidean_avx512(a.data(), b.data(), kDim);
         break;
+      case icn::util::SimdLevel::kAvx2Fma:
+        d = ml::detail::squared_euclidean_fma(a.data(), b.data(), kDim);
+        break;
     }
     benchmark::DoNotOptimize(d);
   }
@@ -287,7 +307,201 @@ void BM_SquaredEuclideanSimd(benchmark::State& state) {
                           static_cast<std::int64_t>(2 * kDim * sizeof(double)));
   state.SetLabel(icn::util::simd_level_name(level));
 }
-BENCHMARK(BM_SquaredEuclideanSimd)->DenseRange(0, 3)
+BENCHMARK(BM_SquaredEuclideanSimd)->DenseRange(0, 4)
+    ->Unit(benchmark::kNanosecond);
+
+// Row-batched kernel: one query row against 4 consecutive matrix rows, four
+// independent accumulator chains. The win over 4x the single-pair kernel is
+// the add-latency bottleneck breaking, not extra SIMD width.
+// args: {level}
+void BM_SquaredEuclideanX4Simd(benchmark::State& state) {
+  const auto level = static_cast<icn::util::SimdLevel>(state.range(0));
+  if (!level_runnable(level)) {
+    state.SkipWithError("SIMD level not supported on this CPU");
+    return;
+  }
+  constexpr std::size_t kDim = 4096;
+  icn::util::Rng rng(5);
+  std::vector<double> a(kDim), b(4 * kDim);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  double out[4];
+  for (auto _ : state) {
+    switch (level) {
+      case icn::util::SimdLevel::kScalar:
+        ml::detail::squared_euclidean_x4_scalar(a.data(), b.data(), kDim,
+                                                kDim, out);
+        break;
+      case icn::util::SimdLevel::kSse2:
+        ml::detail::squared_euclidean_x4_sse2(a.data(), b.data(), kDim, kDim,
+                                              out);
+        break;
+      case icn::util::SimdLevel::kAvx2:
+        ml::detail::squared_euclidean_x4_avx2(a.data(), b.data(), kDim, kDim,
+                                              out);
+        break;
+      case icn::util::SimdLevel::kAvx512:
+        ml::detail::squared_euclidean_x4_avx512(a.data(), b.data(), kDim,
+                                                kDim, out);
+        break;
+      case icn::util::SimdLevel::kAvx2Fma:
+        ml::detail::squared_euclidean_x4_fma(a.data(), b.data(), kDim, kDim,
+                                             out);
+        break;
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(5 * kDim * sizeof(double)));
+  state.SetLabel(icn::util::simd_level_name(level));
+}
+BENCHMARK(BM_SquaredEuclideanX4Simd)->DenseRange(0, 4)
+    ->Unit(benchmark::kNanosecond);
+
+// Fused RSCA row transform per lane. Level 4 uses fnmadd/fmadd and is the
+// one lane allowed to differ in bits.
+// args: {level}
+void BM_RscaRowSimd(benchmark::State& state) {
+  const auto level = static_cast<icn::util::SimdLevel>(state.range(0));
+  if (!level_runnable(level)) {
+    state.SkipWithError("SIMD level not supported on this CPU");
+    return;
+  }
+  constexpr std::size_t kDim = 4096;
+  icn::util::Rng rng(7);
+  std::vector<double> t(kDim), s(kDim), out(kDim);
+  double total = 0.0;
+  for (std::size_t i = 0; i < kDim; ++i) {
+    t[i] = std::abs(rng.normal()) + 0.01;
+    s[i] = std::abs(rng.normal()) + 0.01;
+    total += t[i];
+  }
+  for (auto _ : state) {
+    switch (level) {
+      case icn::util::SimdLevel::kScalar:
+        ml::detail::rsca_row_scalar(t.data(), s.data(), total, kDim,
+                                    out.data());
+        break;
+      case icn::util::SimdLevel::kSse2:
+        ml::detail::rsca_row_sse2(t.data(), s.data(), total, kDim,
+                                  out.data());
+        break;
+      case icn::util::SimdLevel::kAvx2:
+        ml::detail::rsca_row_avx2(t.data(), s.data(), total, kDim,
+                                  out.data());
+        break;
+      case icn::util::SimdLevel::kAvx512:
+        ml::detail::rsca_row_avx512(t.data(), s.data(), total, kDim,
+                                    out.data());
+        break;
+      case icn::util::SimdLevel::kAvx2Fma:
+        ml::detail::rsca_row_fma(t.data(), s.data(), total, kDim, out.data());
+        break;
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kDim));
+  state.SetLabel(icn::util::simd_level_name(level));
+}
+BENCHMARK(BM_RscaRowSimd)->DenseRange(0, 4)->Unit(benchmark::kNanosecond);
+
+// Silhouette inner loop: per-cluster masked sums of a distance segment.
+// avx512 forwards to avx2 (compare/blend bound), so levels 3 and 2 should
+// read the same.
+// args: {level}
+void BM_LabeledSumsSimd(benchmark::State& state) {
+  const auto level = static_cast<icn::util::SimdLevel>(state.range(0));
+  if (!level_runnable(level)) {
+    state.SkipWithError("SIMD level not supported on this CPU");
+    return;
+  }
+  constexpr std::size_t kDim = 4096;
+  constexpr std::size_t kClusters = 9;
+  icn::util::Rng rng(11);
+  std::vector<double> d(kDim);
+  for (auto& v : d) v = std::abs(rng.normal());
+  const auto labels = random_labels(kDim, kClusters, 13);
+  double sums[kClusters];
+  for (auto _ : state) {
+    for (auto& v : sums) v = 0.0;
+    switch (level) {
+      case icn::util::SimdLevel::kScalar:
+        ml::detail::labeled_sums_scalar(d.data(), labels.data(), kDim,
+                                        kClusters, sums);
+        break;
+      case icn::util::SimdLevel::kSse2:
+        ml::detail::labeled_sums_sse2(d.data(), labels.data(), kDim,
+                                      kClusters, sums);
+        break;
+      case icn::util::SimdLevel::kAvx2:
+      case icn::util::SimdLevel::kAvx2Fma:
+        ml::detail::labeled_sums_avx2(d.data(), labels.data(), kDim,
+                                      kClusters, sums);
+        break;
+      case icn::util::SimdLevel::kAvx512:
+        ml::detail::labeled_sums_avx512(d.data(), labels.data(), kDim,
+                                        kClusters, sums);
+        break;
+    }
+    benchmark::DoNotOptimize(sums);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kDim));
+  state.SetLabel(icn::util::simd_level_name(level));
+}
+BENCHMARK(BM_LabeledSumsSimd)->DenseRange(0, 3)->Unit(benchmark::kNanosecond);
+
+// ---------------------------------------------------------------------------
+// Tiled condensed-distance construction. Every tile size produces
+// byte-identical output (tests/ml/test_kernels_dispatch.cpp); the sweep
+// measures the cache-blocking win alone. args: {n, tile}
+void BM_CondensedDistances(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto tile = static_cast<std::size_t>(state.range(1));
+  const ml::Matrix x = random_features(n, 73);
+  std::vector<double> out(n * (n - 1) / 2);
+  for (auto _ : state) {
+    ml::fill_condensed(x, /*squared=*/false, out, tile);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["tile"] = static_cast<double>(tile);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(out.size()));
+}
+BENCHMARK(BM_CondensedDistances)
+    ->ArgsProduct({{512, 2000}, {16, 64, 256}})
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Scratch arena vs heap for short-lived hot-path buffers. The heap variant
+// pays malloc/free plus the vector's zero-fill every round trip; the arena
+// rewinds a bump pointer over memory it already owns.
+
+// args: {doubles}
+void BM_ScratchAllocHeap(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<double> buf(n);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetLabel("heap");
+}
+BENCHMARK(BM_ScratchAllocHeap)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kNanosecond);
+
+// args: {doubles}
+void BM_ScratchAllocArena(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto& arena = icn::util::scratch_arena();
+  for (auto _ : state) {
+    const icn::util::Arena::Frame frame(arena);
+    const auto buf = arena.alloc_span<double>(n);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetLabel("arena");
+}
+BENCHMARK(BM_ScratchAllocArena)->Arg(64)->Arg(1024)
     ->Unit(benchmark::kNanosecond);
 
 // ---------------------------------------------------------------------------

@@ -162,7 +162,12 @@ int trajectory_main(const char* bench_name, const char* smoke_filter,
       << icn::util::simd_level_name(icn::util::simd_level()) << "\",\n";
   out << "  \"crc32c_backend\": \"" << icn::store::crc32c_backend()
       << "\",\n";
-  out << "  \"hw_threads\": " << std::thread::hardware_concurrency() << ",\n";
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  out << "  \"hw_threads\": " << hw_threads << ",\n";
+  if (hw_threads <= 1) {
+    out << "  \"notes\": \"single-core host: threaded sweeps measure "
+           "scheduling overhead, not parallel speedup\",\n";
+  }
   out << "  \"runs\": [\n";
   const auto& runs = reporter.runs();
   for (std::size_t i = 0; i < runs.size(); ++i) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "ml/distance.h"
+#include "util/arena.h"
 #include "util/error.h"
 #include "util/parallel.h"
 #include "util/stats.h"
@@ -15,13 +16,20 @@ void SeasonalForecaster::fit(std::span<const double> series,
   ICN_REQUIRE(series.size() >= season_hours,
               "need at least one full season of training data");
   slot_median_.assign(season_hours, 0.0);
-  std::vector<double> bucket;
+  // Slot buckets live in the per-thread scratch arena: a batch fit over
+  // thousands of antennas reuses one warm block per worker instead of a
+  // malloc per (antenna, slot). median_inplace sorts the same values the
+  // copying median sorted, so slot medians are bit-identical.
+  auto& arena = icn::util::scratch_arena();
+  const icn::util::Arena::Frame frame(arena);
+  const std::span<double> bucket = arena.alloc_span<double>(
+      (series.size() + season_hours - 1) / season_hours);
   for (std::size_t slot = 0; slot < season_hours; ++slot) {
-    bucket.clear();
+    std::size_t n = 0;
     for (std::size_t t = slot; t < series.size(); t += season_hours) {
-      bucket.push_back(series[t]);
+      bucket[n++] = series[t];
     }
-    slot_median_[slot] = icn::util::median(bucket);
+    slot_median_[slot] = icn::util::median_inplace(bucket.first(n));
   }
   train_hours_ = series.size();
 }
@@ -34,20 +42,27 @@ void SeasonalForecaster::fit_masked(std::span<const double> series,
               "need at least one full season of training data");
   ICN_REQUIRE(covered.size() == series.size(),
               "coverage bitmap must match the series");
-  std::vector<double> all_covered;
+  auto& arena = icn::util::scratch_arena();
+  const icn::util::Arena::Frame frame(arena);
+  const std::span<double> all_covered =
+      arena.alloc_span<double>(series.size());
+  std::size_t covered_n = 0;
   for (std::size_t t = 0; t < series.size(); ++t) {
-    if (covered[t] != 0) all_covered.push_back(series[t]);
+    if (covered[t] != 0) all_covered[covered_n++] = series[t];
   }
-  ICN_REQUIRE(!all_covered.empty(), "series has no covered samples");
-  const double fallback = icn::util::median(all_covered);
+  ICN_REQUIRE(covered_n != 0, "series has no covered samples");
+  const double fallback =
+      icn::util::median_inplace(all_covered.first(covered_n));
   slot_median_.assign(season_hours, 0.0);
-  std::vector<double> bucket;
+  const std::span<double> bucket = arena.alloc_span<double>(
+      (series.size() + season_hours - 1) / season_hours);
   for (std::size_t slot = 0; slot < season_hours; ++slot) {
-    bucket.clear();
+    std::size_t n = 0;
     for (std::size_t t = slot; t < series.size(); t += season_hours) {
-      if (covered[t] != 0) bucket.push_back(series[t]);
+      if (covered[t] != 0) bucket[n++] = series[t];
     }
-    slot_median_[slot] = bucket.empty() ? fallback : icn::util::median(bucket);
+    slot_median_[slot] =
+        n == 0 ? fallback : icn::util::median_inplace(bucket.first(n));
   }
   train_hours_ = series.size();
 }

@@ -19,19 +19,25 @@ std::vector<ClusterProfile> build_cluster_profiles(
   ICN_REQUIRE(k >= 1, "profiles cluster count");
   const std::size_t m = rsca.cols();
 
-  // Cluster-mean RSCA signatures.
-  std::vector<std::vector<double>> signature(k, std::vector<double>(m, 0.0));
+  // Cluster-mean RSCA signatures in one flat k*m buffer (row per cluster)
+  // instead of k separate heap vectors.
+  std::vector<double> signature(k * m, 0.0);
   std::vector<std::size_t> sizes(k, 0);
   for (std::size_t i = 0; i < rsca.rows(); ++i) {
     ICN_REQUIRE(labels[i] >= 0 && static_cast<std::size_t>(labels[i]) < k,
                 "label out of range");
     const auto c = static_cast<std::size_t>(labels[i]);
     ++sizes[c];
-    for (std::size_t j = 0; j < m; ++j) signature[c][j] += rsca(i, j);
+    const auto row = rsca.row(i);
+    double* sig = &signature[c * m];
+    for (std::size_t j = 0; j < m; ++j) sig[j] += row[j];
   }
   for (std::size_t c = 0; c < k; ++c) {
     ICN_REQUIRE(sizes[c] > 0, "empty cluster in profiles");
-    for (auto& v : signature[c]) v /= static_cast<double>(sizes[c]);
+    double* sig = &signature[c * m];
+    for (std::size_t j = 0; j < m; ++j) {
+      sig[j] /= static_cast<double>(sizes[c]);
+    }
   }
 
   std::vector<ClusterProfile> profiles;
@@ -42,19 +48,20 @@ std::vector<ClusterProfile> build_cluster_profiles(
     profile.size = sizes[c];
 
     // Rank services by the cluster-mean RSCA.
+    const double* sig = &signature[c * m];
     std::vector<std::size_t> order(m);
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return signature[c][a] > signature[c][b];
+      return sig[a] > sig[b];
     });
     for (std::size_t r = 0; r < std::min(params.top_n, m); ++r) {
-      if (signature[c][order[r]] > 0.0) {
+      if (sig[order[r]] > 0.0) {
         profile.top_services.push_back(order[r]);
       }
     }
     for (std::size_t r = 0; r < std::min(params.top_n, m); ++r) {
       const std::size_t j = order[m - 1 - r];
-      if (signature[c][j] < 0.0) profile.suppressed_services.push_back(j);
+      if (sig[j] < 0.0) profile.suppressed_services.push_back(j);
     }
 
     // Temporal statistics from the cluster's median heatmap.

@@ -10,6 +10,21 @@
 // byte-identical to the widest available lane. (The AVX-512 lanes run the
 // element-wise subtract/multiply 8-wide but fold into a 4-lane accumulator in
 // element order, which is what preserves the canonical order.)
+//
+// Two extensions on top of that contract:
+//
+//   - x4 row-batched kernels compute one query row against four consecutive
+//     matrix rows with four independent accumulator chains. Per output they
+//     run exactly the canonical order, so each of the four results is
+//     byte-identical to the single-pair kernel — the batching exists to break
+//     the add-latency dependency chain that bounds the single-accumulator
+//     kernels, not to change the math.
+//
+//   - The opt-in FMA lane (ICN_SIMD=avx2fma; see util/simd.h) fuses each
+//     d*d + acc into one rounding. That is a DIFFERENT canonical order —
+//     same lane structure, fused multiply-adds — so it is never auto-
+//     selected, and its parity reference is squared_euclidean_fma_reference
+//     (std::fma in the canonical 4-lane order), not the plain scalar kernel.
 #pragma once
 
 #include <cstddef>
@@ -54,16 +69,61 @@ namespace detail {
 [[nodiscard]] double vector_sum_avx2(const double* xs, std::size_t n);
 [[nodiscard]] double vector_sum_avx512(const double* xs, std::size_t n);
 
+// Row-batched variants: distances from `a` to the four rows starting at `b`
+// with `stride` doubles between row starts. out[r] is byte-identical to the
+// same-level single-pair kernel on (a, b + r*stride).
+void squared_euclidean_x4_scalar(const double* a, const double* b,
+                                 std::size_t stride, std::size_t n,
+                                 double out[4]);
+void squared_euclidean_x4_sse2(const double* a, const double* b,
+                               std::size_t stride, std::size_t n,
+                               double out[4]);
+void squared_euclidean_x4_avx2(const double* a, const double* b,
+                               std::size_t stride, std::size_t n,
+                               double out[4]);
+void squared_euclidean_x4_avx512(const double* a, const double* b,
+                                 std::size_t stride, std::size_t n,
+                                 double out[4]);
+
+// Opt-in FMA lane (ICN_SIMD=avx2fma). The vector kernels must only run on
+// AVX2+FMA hardware; the _reference kernel is portable scalar code using
+// std::fma in the canonical 4-lane order and defines the bits the FMA lane
+// must reproduce.
+[[nodiscard]] double squared_euclidean_fma_reference(const double* a,
+                                                     const double* b,
+                                                     std::size_t n);
+[[nodiscard]] double squared_euclidean_fma(const double* a, const double* b,
+                                           std::size_t n);
+void squared_euclidean_x4_fma(const double* a, const double* b,
+                              std::size_t stride, std::size_t n,
+                              double out[4]);
+
 }  // namespace detail
+
+/// Default row/column tile (in rows) for the cache-blocked condensed-distance
+/// fill: 64 rows of a 168-service feature matrix is ~86 KB per panel, so one
+/// row panel plus one column panel stay L2-resident.
+inline constexpr std::size_t kDefaultDistanceTile = 64;
+
+/// Fills `out` (length n*(n-1)/2, condensed upper-triangle layout) with
+/// pairwise Euclidean (or squared-Euclidean) distances between the rows of X,
+/// cache-blocked into `tile`-row panels and parallelized over row panels.
+/// Every pair value is a pure function of rows (i, j) — panels only decide
+/// iteration order, never accumulation order — so the result is byte-
+/// identical for every tile size and thread count. Requires tile >= 1.
+void fill_condensed(const Matrix& x, bool squared, std::span<double> out,
+                    std::size_t tile = kDefaultDistanceTile);
 
 /// Upper-triangle (i < j) pairwise Euclidean distances of the rows of X,
 /// stored condensed in double (N = 4,762 -> ~90 MB) so lookups agree exactly
-/// with the double-precision working distances of the linkage code. Rows are
-/// computed in parallel; the result is identical for every thread count.
+/// with the double-precision working distances of the linkage code. Built by
+/// the tiled fill_condensed; identical for every tile size and thread count.
 class CondensedDistances {
  public:
-  /// Computes all pairwise distances of X's rows. Requires X.rows() >= 1.
-  explicit CondensedDistances(const Matrix& x);
+  /// Computes all pairwise distances of X's rows. Requires X.rows() >= 1 and
+  /// tile >= 1.
+  explicit CondensedDistances(const Matrix& x,
+                              std::size_t tile = kDefaultDistanceTile);
 
   /// Number of points.
   [[nodiscard]] std::size_t size() const { return n_; }
@@ -75,6 +135,15 @@ class CondensedDistances {
     if (i == j) return 0.0;
     if (i > j) std::swap(i, j);
     return d_[index(i, j)];
+  }
+
+  /// Contiguous condensed slice d(i, i+1), d(i, i+2), ..., d(i, n-1) — the
+  /// unit the vectorized silhouette/Dunn row kernels consume. Empty for the
+  /// last row. Requires i < size().
+  [[nodiscard]] std::span<const double> row_tail(std::size_t i) const {
+    ICN_DBG_REQUIRE(i < n_, "distance row index");
+    if (i + 1 >= n_) return {};
+    return {d_.data() + index(i, i + 1), n_ - i - 1};
   }
 
  private:

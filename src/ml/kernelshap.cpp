@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ml/linalg.h"
+#include "util/arena.h"
 #include "util/error.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -40,7 +41,11 @@ std::vector<double> interventional_value(const ModelFunction& model,
   ICN_REQUIRE(background.rows() > 0 && background.cols() == x.size(),
               "background shape");
   ICN_REQUIRE(present.size() == x.size(), "present mask size");
-  std::vector<double> composite(x.size());
+  // The composite row is rebuilt once per (coalition, background) pair —
+  // scratch-arena storage keeps that loop allocation-free.
+  auto& arena = icn::util::scratch_arena();
+  const icn::util::Arena::Frame frame(arena);
+  const std::span<double> composite = arena.alloc_span<double>(x.size());
   std::vector<double> acc;
   for (std::size_t b = 0; b < background.rows(); ++b) {
     const auto bg = background.row(b);

@@ -84,17 +84,9 @@ class WorkingDistances {
  public:
   WorkingDistances(const Matrix& x, bool squared) : n_(x.rows()) {
     d_.resize(n_ * (n_ - 1) / 2);
-    // Row i fills the disjoint slice index(i, i+1) .. index(i, n-1); the
-    // small grain load-balances the shrinking upper-triangle rows.
-    icn::util::parallel_for(0, n_, 4, [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) {
-        const auto ri = x.row(i);
-        for (std::size_t j = i + 1; j < n_; ++j) {
-          const double sq = squared_euclidean(ri, x.row(j));
-          d_[index(i, j)] = squared ? sq : std::sqrt(sq);
-        }
-      }
-    });
+    // Shared cache-blocked fill (ml/distance.h): byte-identical to the old
+    // row-by-row loop at every tile size and thread count.
+    fill_condensed(x, squared, d_);
   }
 
   double get(std::size_t i, std::size_t j) const {

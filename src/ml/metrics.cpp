@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "ml/kernels.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -34,27 +35,47 @@ double silhouette_score(const CondensedDistances& dist,
   const auto counts = cluster_counts(labels);
   const std::size_t n = labels.size();
   const std::size_t k = counts.size();
-  // s(i) depends only on row i of the distance matrix: compute the rows in
-  // parallel, then fold the per-point values serially in index order so the
-  // sum is bit-identical to the serial loop on any thread count.
+  // Linear-pass formulation: sums[i*k + c] = sum of d(i, j) over j != i with
+  // labels[j] == c, assembled from condensed row tails so every distance is
+  // read once from contiguous memory (the old per-point row scan read the
+  // lower triangle through strided index arithmetic).
+  //
+  // For the chunk [lo, hi):
+  //   forward  — row i's tail (j > i) feeds the dispatched labeled_sums
+  //              kernel straight into sums row i;
+  //   backward — the contributions with j < i live in the tails of earlier
+  //              rows: tail(j) holds d(j, i) contiguously for i in
+  //              [max(j+1, lo), hi), one strided += per element.
+  // Cell (i, c) therefore receives its canonical forward value first, then
+  // the j < i contributions in ascending-j order — a fixed order regardless
+  // of chunk boundaries — and is written only by the chunk owning i, so the
+  // score is identical at any grain, thread count, or steal schedule.
   std::vector<double> s(n, 0.0);
+  std::vector<double> sums(n * k, 0.0);
   icn::util::parallel_for(0, n, 16, [&](std::size_t lo, std::size_t hi) {
-    std::vector<double> sums(k);
     for (std::size_t i = lo; i < hi; ++i) {
-      std::fill(sums.begin(), sums.end(), 0.0);
-      for (std::size_t j = 0; j < n; ++j) {
-        if (i == j) continue;
-        sums[static_cast<std::size_t>(labels[j])] += dist(i, j);
+      labeled_sums(dist.row_tail(i), labels.subspan(i + 1), k,
+                   &sums[i * k]);
+    }
+    for (std::size_t j = 0; j + 1 < hi; ++j) {
+      const std::size_t first = std::max(j + 1, lo);
+      const auto tail = dist.row_tail(j);
+      const auto c = static_cast<std::size_t>(labels[j]);
+      for (std::size_t i = first; i < hi; ++i) {
+        sums[i * k + c] += tail[i - j - 1];
       }
+    }
+    for (std::size_t i = lo; i < hi; ++i) {
       const auto own = static_cast<std::size_t>(labels[i]);
       if (counts[own] == 1) {
         continue;  // s(i) = 0 for singletons
       }
-      const double a = sums[own] / static_cast<double>(counts[own] - 1);
+      const double* row = &sums[i * k];
+      const double a = row[own] / static_cast<double>(counts[own] - 1);
       double b = std::numeric_limits<double>::infinity();
       for (std::size_t c = 0; c < k; ++c) {
         if (c == own) continue;
-        b = std::min(b, sums[c] / static_cast<double>(counts[c]));
+        b = std::min(b, row[c] / static_cast<double>(counts[c]));
       }
       const double denom = std::max(a, b);
       if (denom > 0.0) s[i] = (b - a) / denom;
@@ -81,14 +102,8 @@ double dunn_index(const CondensedDistances& dist,
       [&](std::size_t lo, std::size_t hi) {
         Extrema e;
         for (std::size_t i = lo; i < hi; ++i) {
-          for (std::size_t j = i + 1; j < n; ++j) {
-            const double d = dist(i, j);
-            if (labels[i] == labels[j]) {
-              e.max_diam = std::max(e.max_diam, d);
-            } else {
-              e.min_inter = std::min(e.min_inter, d);
-            }
-          }
+          labeled_extrema(dist.row_tail(i), labels.subspan(i + 1), labels[i],
+                          &e.min_inter, &e.max_diam);
         }
         return e;
       },

@@ -1,7 +1,9 @@
 #include "ml/treeshap.h"
 
 #include <cstddef>
+#include <cstring>
 
+#include "util/arena.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -16,12 +18,34 @@ struct PathElement {
   double w = 0.0;  ///< Permutation weight of subsets of this size.
 };
 
-using Path = std::vector<PathElement>;
+/// Non-owning path slice over arena storage. Each recursion level copies its
+/// parent's elements into a fresh arena allocation (one level of spare
+/// capacity for the extend), replacing the per-node-visit heap vector copy
+/// the recursion used to make. memcpy of the elements is bit-identical to
+/// the old vector copy, so the algorithm's output is unchanged.
+struct Path {
+  PathElement* data = nullptr;
+  std::size_t size = 0;
 
-/// Grows the path by one split (EXTEND of Alg. 2).
+  PathElement& operator[](std::size_t i) { return data[i]; }
+  const PathElement& operator[](std::size_t i) const { return data[i]; }
+};
+
+/// Arena-allocates a copy of `parent` with room for one more element.
+Path clone_for_extend(const Path& parent, icn::util::Arena& arena) {
+  Path out{arena.alloc<PathElement>(parent.size + 1), parent.size};
+  if (parent.size != 0) {
+    std::memcpy(out.data, parent.data, parent.size * sizeof(PathElement));
+  }
+  return out;
+}
+
+/// Grows the path by one split (EXTEND of Alg. 2). The caller guarantees one
+/// element of spare capacity (see clone_for_extend).
 void extend(Path& m, double pz, double po, int pi) {
-  const std::size_t l = m.size();
-  m.push_back(PathElement{pi, pz, po, l == 0 ? 1.0 : 0.0});
+  const std::size_t l = m.size;
+  m.data[l] = PathElement{pi, pz, po, l == 0 ? 1.0 : 0.0};
+  m.size = l + 1;
   for (std::size_t i = l; i-- > 0;) {
     m[i + 1].w += po * m[i].w * static_cast<double>(i + 1) /
                   static_cast<double>(l + 1);
@@ -32,7 +56,7 @@ void extend(Path& m, double pz, double po, int pi) {
 
 /// Removes path element i, restoring the weights (UNWIND of Alg. 2).
 void unwind(Path& m, std::size_t i) {
-  const std::size_t depth = m.size();
+  const std::size_t depth = m.size;
   const double o_i = m[i].o;
   const double z_i = m[i].z;
   double n = m[depth - 1].w;
@@ -53,12 +77,12 @@ void unwind(Path& m, std::size_t i) {
     m[j].z = m[j + 1].z;
     m[j].o = m[j + 1].o;
   }
-  m.pop_back();
+  --m.size;
 }
 
 /// Sum of the weights unwind(m, i) would produce, without mutating the path.
 double unwound_sum(const Path& m, std::size_t i) {
-  const std::size_t depth = m.size();
+  const std::size_t depth = m.size;
   const double o_i = m[i].o;
   const double z_i = m[i].z;
   double n = m[depth - 1].w;
@@ -79,12 +103,19 @@ double unwound_sum(const Path& m, std::size_t i) {
 }
 
 /// Recursive pass of Alg. 2 accumulating phi (M x K, row-major in `phi`).
+/// The frame opened here releases this level's path copy (and everything the
+/// two child calls allocated) when the level returns, so a whole-tree pass
+/// peaks at O(depth²) arena bytes and does zero heap allocations after the
+/// arena warms up.
 void recurse(const std::vector<TreeNode>& nodes, std::span<const double> x,
-             Matrix& phi, int node_id, Path m, double pz, double po, int pi) {
+             Matrix& phi, int node_id, const Path& parent, double pz,
+             double po, int pi, icn::util::Arena& arena) {
+  const icn::util::Arena::Frame frame(arena);
+  Path m = clone_for_extend(parent, arena);
   extend(m, pz, po, pi);
   const TreeNode& node = nodes[static_cast<std::size_t>(node_id)];
   if (node.is_leaf()) {
-    for (std::size_t i = 1; i < m.size(); ++i) {
+    for (std::size_t i = 1; i < m.size; ++i) {
       const double w = unwound_sum(m, i);
       const double scale = w * (m[i].o - m[i].z);
       const auto f = static_cast<std::size_t>(m[i].d);
@@ -102,7 +133,7 @@ void recurse(const std::vector<TreeNode>& nodes, std::span<const double> x,
   double incoming_o = 1.0;
   // If this feature already appeared on the path, undo its element first so
   // each feature is unique on the path.
-  for (std::size_t i = 1; i < m.size(); ++i) {
+  for (std::size_t i = 1; i < m.size; ++i) {
     if (m[i].d == node.feature) {
       incoming_z = m[i].z;
       incoming_o = m[i].o;
@@ -114,9 +145,9 @@ void recurse(const std::vector<TreeNode>& nodes, std::span<const double> x,
   const double hot_cover = nodes[static_cast<std::size_t>(hot)].cover;
   const double cold_cover = nodes[static_cast<std::size_t>(cold)].cover;
   recurse(nodes, x, phi, hot, m, incoming_z * hot_cover / cover, incoming_o,
-          node.feature);
+          node.feature, arena);
   recurse(nodes, x, phi, cold, m, incoming_z * cold_cover / cover, 0.0,
-          node.feature);
+          node.feature, arena);
 }
 
 std::vector<double> conditional_expectation_impl(
@@ -147,7 +178,9 @@ std::vector<double> conditional_expectation_impl(
 Matrix tree_shap(const DecisionTree& tree, std::span<const double> x) {
   ICN_REQUIRE(tree.is_fitted(), "tree_shap on unfitted tree");
   Matrix phi(x.size(), static_cast<std::size_t>(tree.num_classes()));
-  recurse(tree.nodes(), x, phi, 0, Path{}, 1.0, 1.0, -1);
+  auto& arena = icn::util::scratch_arena();
+  const icn::util::Arena::Frame frame(arena);
+  recurse(tree.nodes(), x, phi, 0, Path{}, 1.0, 1.0, -1, arena);
   return phi;
 }
 

@@ -1,0 +1,99 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace icn::util {
+
+namespace {
+
+std::size_t align_up(std::size_t value, std::size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t initial_block_bytes)
+    : initial_block_bytes_(std::max<std::size_t>(initial_block_bytes, 64)) {}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  ICN_REQUIRE(align != 0 && (align & (align - 1)) == 0,
+              "Arena: alignment must be a power of two");
+  if (!blocks_.empty()) {
+    Block& b = blocks_[current_];
+    // Align on the absolute address: block bases are only max_align_t-aligned,
+    // so over-aligned (e.g. 64-byte) requests cannot use a relative offset.
+    const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+    const std::size_t offset = align_up(base + b.used, align) - base;
+    if (offset + bytes <= b.capacity) {
+      b.used = offset + bytes;
+      return b.data.get() + offset;
+    }
+  }
+  return allocate_slow(bytes, align);
+}
+
+void* Arena::allocate_slow(std::size_t bytes, std::size_t align) {
+  // Advance through already-reserved blocks (left over from a rewind) before
+  // growing. Skipped blocks stay at used == their rewound value; the next
+  // rewind puts the cursor back anyway.
+  while (current_ + 1 < blocks_.size()) {
+    ++current_;
+    Block& b = blocks_[current_];
+    b.used = 0;
+    const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+    const std::size_t offset = align_up(base, align) - base;
+    if (offset + bytes <= b.capacity) {
+      b.used = offset + bytes;
+      return b.data.get() + offset;
+    }
+  }
+  std::size_t cap = blocks_.empty() ? initial_block_bytes_
+                                    : blocks_.back().capacity * 2;
+  // `align - 1` headroom guarantees the aligned offset fits whatever the
+  // block base alignment turns out to be.
+  cap = std::max(cap, bytes + align - 1);
+  Block b;
+  b.data = std::make_unique<std::byte[]>(cap);
+  b.capacity = cap;
+  blocks_.push_back(std::move(b));
+  current_ = blocks_.size() - 1;
+  Block& nb = blocks_[current_];
+  const std::size_t offset =
+      align_up(reinterpret_cast<std::uintptr_t>(nb.data.get()), align) -
+      reinterpret_cast<std::uintptr_t>(nb.data.get());
+  nb.used = offset + bytes;
+  return nb.data.get() + offset;
+}
+
+void Arena::rewind(Mark m) {
+  if (blocks_.empty()) return;
+  ICN_REQUIRE(m.block < blocks_.size(), "Arena: rewind past reserved blocks");
+  current_ = m.block;
+  blocks_[current_].used = m.used;
+  for (std::size_t i = current_ + 1; i < blocks_.size(); ++i) {
+    blocks_[i].used = 0;
+  }
+}
+
+std::size_t Arena::bytes_reserved() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.capacity;
+  return total;
+}
+
+std::size_t Arena::bytes_used() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i <= current_ && i < blocks_.size(); ++i) {
+    total += blocks_[i].used;
+  }
+  return total;
+}
+
+Arena& scratch_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace icn::util

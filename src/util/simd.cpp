@@ -21,6 +21,8 @@ const char* simd_level_name(SimdLevel level) {
       return "avx2";
     case SimdLevel::kAvx512:
       return "avx512";
+    case SimdLevel::kAvx2Fma:
+      return "avx2fma";
   }
   return "?";
 }
@@ -32,6 +34,14 @@ SimdLevel max_supported_simd_level() {
   if (__builtin_cpu_supports("sse2")) return SimdLevel::kSse2;
 #endif
   return SimdLevel::kScalar;
+}
+
+bool cpu_supports_fma() {
+#if defined(ICN_SIMD_X86)
+  return __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
 }
 
 std::optional<SimdLevel> parse_simd_level(const char* value) {
@@ -46,26 +56,42 @@ std::optional<SimdLevel> parse_simd_level(const char* value) {
   if (v == "sse2") return SimdLevel::kSse2;
   if (v == "avx2") return SimdLevel::kAvx2;
   if (v == "avx512") return SimdLevel::kAvx512;
+  if (v == "avx2fma") return SimdLevel::kAvx2Fma;
   throw EnvConfigError(std::string("ICN_SIMD=\"") + value +
                        "\" is not a SIMD level (expected scalar, sse2, avx2, "
-                       "or avx512; unset = auto-detect)");
+                       "avx512, or avx2fma; unset = auto-detect)");
+}
+
+SimdLevel resolve_simd_level(std::optional<SimdLevel> requested,
+                             SimdLevel supported, bool has_fma) {
+  if (!requested.has_value()) return supported;
+  if (*requested == SimdLevel::kAvx2Fma) {
+    // The FMA lane sits outside the scalar..avx512 total order: it needs
+    // AVX2-class vectors plus the FMA3 cpuid bit, checked independently of
+    // which non-FMA level is widest.
+    if (supported < SimdLevel::kAvx2 || !has_fma) {
+      throw EnvConfigError(
+          "ICN_SIMD=avx2fma requested but this CPU lacks AVX2+FMA (widest "
+          "supported non-FMA level: " +
+          std::string(simd_level_name(supported)) + ")");
+    }
+    return SimdLevel::kAvx2Fma;
+  }
+  if (*requested > supported) {
+    throw EnvConfigError(std::string("ICN_SIMD=") +
+                         simd_level_name(*requested) +
+                         " requested but this CPU only supports " +
+                         simd_level_name(supported));
+  }
+  return *requested;
 }
 
 SimdLevel simd_level() {
   // Resolved once; a throwing resolution (garbage or unsupported ICN_SIMD)
   // is retried — and rethrown — on every call, so the error cannot be lost.
-  static const SimdLevel level = [] {
-    const auto requested = parse_simd_level(std::getenv("ICN_SIMD"));
-    const SimdLevel supported = max_supported_simd_level();
-    if (!requested.has_value()) return supported;
-    if (*requested > supported) {
-      throw EnvConfigError(
-          std::string("ICN_SIMD=") + simd_level_name(*requested) +
-          " requested but this CPU only supports " +
-          simd_level_name(supported));
-    }
-    return *requested;
-  }();
+  static const SimdLevel level =
+      resolve_simd_level(parse_simd_level(std::getenv("ICN_SIMD")),
+                         max_supported_simd_level(), cpu_supports_fma());
   return level;
 }
 

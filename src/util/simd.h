@@ -1,5 +1,6 @@
 // Runtime SIMD dispatch policy for the vectorized kernels (squared-Euclidean
-// distances, canonical-order accumulation, hardware CRC32C).
+// distances, canonical-order accumulation, RSCA/labeled-sum kernels, hardware
+// CRC32C).
 //
 // The widest instruction set is probed once via cpuid at first use and every
 // kernel dispatches through a function pointer picked from that probe, so one
@@ -7,38 +8,69 @@
 // The ICN_SIMD environment variable pins the lane width for A/B parity tests
 // and benchmarks:
 //
-//   ICN_SIMD=scalar | sse2 | avx2 | avx512
+//   ICN_SIMD=scalar | sse2 | avx2 | avx512 | avx2fma
 //
 // A garbage value, or a level the CPU cannot execute, throws
 // icn::util::EnvConfigError at first use — configuration typos fail loudly
-// instead of silently benchmarking the wrong kernel. Every lane preserves the
-// same canonical accumulation order (see ml/distance.h), so ICN_SIMD changes
-// speed, never bits.
+// instead of silently benchmarking the wrong kernel. Every non-FMA lane
+// preserves the same canonical accumulation order (see ml/distance.h), so
+// those ICN_SIMD values change speed, never bits.
+//
+// `avx2fma` is the exception and is therefore strictly opt-in: it fuses
+// multiply+add pairs into FMAs, which rounds once instead of twice and
+// produces different (usually slightly more accurate) bits. Auto-detection
+// NEVER selects it — an unset ICN_SIMD resolves to the widest non-FMA lane
+// even on FMA-capable hardware — and requesting it on hardware without
+// AVX2+FMA throws EnvConfigError. The FMA lane has its own re-baselined
+// scalar reference (std::fma in the canonical order) that the parity tests
+// compare against; see DESIGN.md §6.2.
 #pragma once
 
 #include <optional>
 
 namespace icn::util {
 
-/// Kernel lanes, orderable: a CPU supporting level L supports all levels
-/// below it (AVX-512-capable hardware always has AVX2 and SSE2).
-enum class SimdLevel { kScalar = 0, kSse2 = 1, kAvx2 = 2, kAvx512 = 3 };
+/// Kernel lanes. kScalar..kAvx512 are orderable: a CPU supporting level L
+/// supports all levels below it (AVX-512-capable hardware always has AVX2 and
+/// SSE2). kAvx2Fma sits outside that total order — it is the opt-in fused
+/// multiply-add variant of kAvx2 and is gated separately on the FMA cpuid
+/// bit, never chosen by auto-detection.
+enum class SimdLevel {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+  kAvx2Fma = 4,
+};
 
-/// Lower-case canonical name ("scalar", "sse2", "avx2", "avx512").
+/// Lower-case canonical name ("scalar", "sse2", "avx2", "avx512", "avx2fma").
 [[nodiscard]] const char* simd_level_name(SimdLevel level);
 
-/// Widest level this CPU can execute, probed via cpuid. kScalar on non-x86
-/// builds.
+/// Widest *non-FMA* level this CPU can execute, probed via cpuid. kScalar on
+/// non-x86 builds. Never returns kAvx2Fma: the FMA lane changes bits and must
+/// be requested explicitly.
 [[nodiscard]] SimdLevel max_supported_simd_level();
 
+/// True when the CPU has the FMA3 instructions (vfmadd*). Probed separately:
+/// the FMA lane additionally requires AVX2.
+[[nodiscard]] bool cpu_supports_fma();
+
 /// Parses an ICN_SIMD-style value: nullopt when unset/blank (auto-detect),
-/// the level for one of the four canonical names (case-insensitive), and
+/// the level for one of the five canonical names (case-insensitive), and
 /// EnvConfigError for anything else.
 [[nodiscard]] std::optional<SimdLevel> parse_simd_level(const char* value);
 
+/// Pure resolution policy, exposed so the hardware-dependent rejection paths
+/// are testable on any machine: returns `supported` when nothing was
+/// requested; throws EnvConfigError (naming ICN_SIMD and the offending value)
+/// when the request exceeds `supported`, or when kAvx2Fma is requested and
+/// the CPU lacks AVX2 or FMA.
+[[nodiscard]] SimdLevel resolve_simd_level(std::optional<SimdLevel> requested,
+                                           SimdLevel supported, bool has_fma);
+
 /// The level the dispatched kernels run at: ICN_SIMD when set (EnvConfigError
 /// if it is garbage or exceeds what the CPU supports), else the probed
-/// maximum. Resolved once and cached for the process lifetime.
+/// non-FMA maximum. Resolved once and cached for the process lifetime.
 [[nodiscard]] SimdLevel simd_level();
 
 /// True when the CPU has SSE4.2 (the crc32 instruction). Probed separately

@@ -34,14 +34,23 @@ double median(std::span<const double> xs) { return quantile(xs, 0.5); }
 
 double quantile(std::span<const double> xs, double q) {
   ICN_REQUIRE(!xs.empty(), "quantile of empty range");
-  ICN_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q in [0,1]");
   std::vector<double> sorted(xs.begin(), xs.end());
-  std::sort(sorted.begin(), sorted.end());
-  const double pos = q * static_cast<double>(sorted.size() - 1);
+  return quantile_inplace(sorted, q);
+}
+
+double quantile_inplace(std::span<double> xs, double q) {
+  ICN_REQUIRE(!xs.empty(), "quantile of empty range");
+  ICN_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q in [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double median_inplace(std::span<double> xs) {
+  return quantile_inplace(xs, 0.5);
 }
 
 double min_value(std::span<const double> xs) {

@@ -26,6 +26,12 @@ namespace icn::util {
 /// q-quantile, q in [0,1], linear interpolation. Requires non-empty input.
 [[nodiscard]] double quantile(std::span<const double> xs, double q);
 
+/// In-place variants for hot paths: sort the caller's buffer instead of
+/// copying it, so batch loops can reuse arena scratch with zero allocations.
+/// Same value as quantile()/median() on the same data.
+[[nodiscard]] double quantile_inplace(std::span<double> xs, double q);
+[[nodiscard]] double median_inplace(std::span<double> xs);
+
 /// Minimum / maximum. Require non-empty input.
 [[nodiscard]] double min_value(std::span<const double> xs);
 [[nodiscard]] double max_value(std::span<const double> xs);

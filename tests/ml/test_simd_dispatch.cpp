@@ -169,6 +169,8 @@ TEST(SimdLevelTest, ParsesCanonicalNames) {
   EXPECT_EQ(icn::util::parse_simd_level("SSE2"), SimdLevel::kSse2);
   EXPECT_EQ(icn::util::parse_simd_level(" avx2 "), SimdLevel::kAvx2);
   EXPECT_EQ(icn::util::parse_simd_level("AVX512"), SimdLevel::kAvx512);
+  EXPECT_EQ(icn::util::parse_simd_level("avx2fma"), SimdLevel::kAvx2Fma);
+  EXPECT_EQ(icn::util::parse_simd_level("AVX2FMA"), SimdLevel::kAvx2Fma);
 }
 
 TEST(SimdLevelTest, GarbageIcnSimdThrowsTypedError) {
@@ -187,14 +189,71 @@ TEST(SimdLevelTest, GarbageIcnSimdThrowsTypedError) {
 TEST(SimdLevelTest, LevelNamesRoundTrip) {
   for (const SimdLevel level :
        {SimdLevel::kScalar, SimdLevel::kSse2, SimdLevel::kAvx2,
-        SimdLevel::kAvx512}) {
+        SimdLevel::kAvx512, SimdLevel::kAvx2Fma}) {
     EXPECT_EQ(icn::util::parse_simd_level(icn::util::simd_level_name(level)),
               level);
   }
 }
 
 TEST(SimdLevelTest, DispatchedLevelIsRunnable) {
-  EXPECT_LE(icn::util::simd_level(), icn::util::max_supported_simd_level());
+  // kAvx2Fma sits outside the scalar..avx512 order, so it has its own
+  // runnability condition; every other level obeys the total order.
+  if (icn::util::simd_level() == SimdLevel::kAvx2Fma) {
+    EXPECT_GE(icn::util::max_supported_simd_level(), SimdLevel::kAvx2);
+    EXPECT_TRUE(icn::util::cpu_supports_fma());
+  } else {
+    EXPECT_LE(icn::util::simd_level(), icn::util::max_supported_simd_level());
+  }
+}
+
+TEST(SimdLevelTest, AutoDetectNeverPicksTheFmaLane) {
+  // The FMA lane changes bits, so it must be opt-in: auto-detection (unset
+  // ICN_SIMD) resolves to the widest *non-FMA* level.
+  EXPECT_NE(icn::util::max_supported_simd_level(), SimdLevel::kAvx2Fma);
+  EXPECT_NE(icn::util::resolve_simd_level(std::nullopt, SimdLevel::kAvx512,
+                                          /*has_fma=*/true),
+            SimdLevel::kAvx2Fma);
+}
+
+TEST(SimdLevelTest, ResolveAcceptsFmaLaneOnCapableHardware) {
+  for (const SimdLevel supported : {SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    EXPECT_EQ(icn::util::resolve_simd_level(SimdLevel::kAvx2Fma, supported,
+                                            /*has_fma=*/true),
+              SimdLevel::kAvx2Fma);
+  }
+}
+
+TEST(SimdLevelTest, ResolveRejectsFmaLaneWithoutFmaOrAvx2) {
+  // Missing the FMA cpuid bit: typed error naming the variable and value.
+  try {
+    (void)icn::util::resolve_simd_level(SimdLevel::kAvx2Fma,
+                                        SimdLevel::kAvx512,
+                                        /*has_fma=*/false);
+    FAIL() << "expected EnvConfigError";
+  } catch (const EnvConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ICN_SIMD"), std::string::npos) << what;
+    EXPECT_NE(what.find("avx2fma"), std::string::npos) << what;
+  }
+  // AVX2-class vectors missing entirely: rejected even with the FMA bit.
+  EXPECT_THROW((void)icn::util::resolve_simd_level(SimdLevel::kAvx2Fma,
+                                                   SimdLevel::kSse2,
+                                                   /*has_fma=*/true),
+               EnvConfigError);
+}
+
+TEST(SimdLevelTest, ResolveKeepsTheNonFmaOrderContract) {
+  EXPECT_EQ(icn::util::resolve_simd_level(std::nullopt, SimdLevel::kSse2,
+                                          /*has_fma=*/false),
+            SimdLevel::kSse2);
+  EXPECT_EQ(icn::util::resolve_simd_level(SimdLevel::kScalar,
+                                          SimdLevel::kAvx512,
+                                          /*has_fma=*/true),
+            SimdLevel::kScalar);
+  EXPECT_THROW((void)icn::util::resolve_simd_level(SimdLevel::kAvx512,
+                                                   SimdLevel::kAvx2,
+                                                   /*has_fma=*/true),
+               EnvConfigError);
 }
 
 }  // namespace

@@ -1,0 +1,167 @@
+// Scratch-arena contract: bump allocation, alignment on absolute addresses,
+// geometric growth, mark/rewind/Frame lifetimes, memory retention across
+// rewinds, and per-thread isolation of scratch_arena().
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "util/arena.h"
+#include "util/parallel.h"
+
+namespace icn::util {
+namespace {
+
+bool aligned(const void* p, std::size_t align) {
+  return reinterpret_cast<std::uintptr_t>(p) % align == 0;
+}
+
+TEST(ArenaTest, AllocationsAreDisjointAndWritable) {
+  Arena arena(256);
+  double* a = arena.alloc<double>(16);
+  double* b = arena.alloc<double>(16);
+  ASSERT_NE(a, b);
+  for (std::size_t i = 0; i < 16; ++i) {
+    a[i] = static_cast<double>(i);
+    b[i] = -static_cast<double>(i);
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(a[i], static_cast<double>(i));
+    EXPECT_EQ(b[i], -static_cast<double>(i));
+  }
+}
+
+TEST(ArenaTest, RespectsAlignmentIncludingOverAligned) {
+  Arena arena(64);
+  // Interleave odd byte sizes with aligned requests so the bump pointer
+  // lands misaligned before each aligned request.
+  for (const std::size_t align : {std::size_t{8}, std::size_t{16},
+                                  std::size_t{64}, std::size_t{128}}) {
+    (void)arena.allocate(3, 1);
+    void* p = arena.allocate(align, align);
+    EXPECT_TRUE(aligned(p, align)) << "align " << align;
+  }
+}
+
+TEST(ArenaTest, GrowsBeyondTheInitialBlock) {
+  Arena arena(64);
+  // Far more than the first block; every pointer must stay valid (blocks
+  // are stable once created — growth never moves old allocations).
+  std::vector<int*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    int* p = arena.alloc<int>(8);
+    p[0] = i;
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(i, ptrs[static_cast<std::size_t>(i)][0]);
+  EXPECT_GE(arena.bytes_reserved(), 100u * 8u * sizeof(int));
+}
+
+TEST(ArenaTest, SingleAllocationLargerThanBlockSucceeds) {
+  Arena arena(32);
+  double* p = arena.alloc<double>(1000);
+  p[0] = 1.0;
+  p[999] = 2.0;
+  EXPECT_EQ(1.0, p[0]);
+  EXPECT_EQ(2.0, p[999]);
+}
+
+TEST(ArenaTest, RewindReusesMemoryWithoutNewReservation) {
+  Arena arena(1u << 12);
+  const Arena::Mark m = arena.mark();
+  void* first = arena.allocate(512, 8);
+  arena.rewind(m);
+  const std::size_t reserved = arena.bytes_reserved();
+  void* again = arena.allocate(512, 8);
+  EXPECT_EQ(first, again);  // bump pointer returned to the same spot
+  EXPECT_EQ(reserved, arena.bytes_reserved());  // no new blocks
+}
+
+TEST(ArenaTest, FrameRewindsOnScopeExit) {
+  Arena arena(1u << 12);
+  const std::size_t before = arena.bytes_used();
+  void* inside = nullptr;
+  {
+    const Arena::Frame frame(arena);
+    inside = arena.allocate(256, 8);
+    EXPECT_GT(arena.bytes_used(), before);
+  }
+  EXPECT_EQ(before, arena.bytes_used());
+  // The next allocation reuses the frame's storage.
+  EXPECT_EQ(inside, arena.allocate(256, 8));
+}
+
+TEST(ArenaTest, NestedFramesUnwindInOrder) {
+  Arena arena(1u << 12);
+  const Arena::Frame outer(arena);
+  double* a = arena.alloc<double>(4);
+  a[0] = 42.0;
+  {
+    const Arena::Frame inner(arena);
+    double* b = arena.alloc<double>(4);
+    b[0] = 7.0;
+    EXPECT_NE(a, b);
+  }
+  // Inner rewound; outer allocation untouched.
+  EXPECT_EQ(42.0, a[0]);
+  double* c = arena.alloc<double>(4);
+  EXPECT_NE(a, c);
+}
+
+TEST(ArenaTest, ResetKeepsBlocksForReuse) {
+  Arena arena(128);
+  for (int round = 0; round < 3; ++round) {
+    (void)arena.allocate(4096, 8);
+  }
+  const std::size_t reserved = arena.bytes_reserved();
+  arena.reset();
+  EXPECT_EQ(0u, arena.bytes_used());
+  EXPECT_EQ(reserved, arena.bytes_reserved());
+  (void)arena.allocate(4096, 8);
+  EXPECT_EQ(reserved, arena.bytes_reserved());
+}
+
+TEST(ArenaTest, ZeroByteAllocationReturnsValidPointer) {
+  Arena arena(64);
+  EXPECT_NE(nullptr, arena.allocate(0, 8));
+  EXPECT_NE(nullptr, arena.alloc<double>(0));
+}
+
+TEST(ArenaTest, ScratchArenaIsPerThread) {
+  Arena* main_arena = &scratch_arena();
+  EXPECT_EQ(main_arena, &scratch_arena());  // stable within a thread
+  Arena* other = nullptr;
+  std::thread t([&] { other = &scratch_arena(); });
+  t.join();
+  EXPECT_NE(nullptr, other);
+  EXPECT_NE(main_arena, other);
+}
+
+TEST(ArenaTest, PoolWorkersAllocateConcurrentlyWithoutInterference) {
+  // Every worker hammers its own thread-local arena; values written inside
+  // each task must read back intact (TSan-clean by construction).
+  ThreadPool::ScopedOverride pool(4);
+  std::vector<double> results(64, 0.0);
+  parallel_for(0, results.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      auto& arena = scratch_arena();
+      const Arena::Frame frame(arena);
+      const auto buf = arena.alloc_span<double>(128);
+      for (std::size_t j = 0; j < buf.size(); ++j) {
+        buf[j] = static_cast<double>(i + j);
+      }
+      double acc = 0.0;
+      for (const double v : buf) acc += v;
+      results[i] = acc;
+    }
+  });
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    // sum_{j=0..127} (i + j) = 128 i + 8128
+    EXPECT_EQ(static_cast<double>(128 * i + 8128), results[i]);
+  }
+}
+
+}  // namespace
+}  // namespace icn::util

@@ -26,9 +26,12 @@ REQUIRED_RUN = {
     "wall_ns": (int, float),
     "threads": (int, float),
 }
-SIMD_LEVELS = {"scalar", "sse2", "avx2", "avx512"}
+SIMD_LEVELS = {"scalar", "sse2", "avx2", "avx512", "avx2fma"}
 CRC_BACKENDS = {"table", "sse4.2"}
 PRESETS = {"full", "smoke"}
+# Optional top-level keys (emitted conditionally, e.g. the single-core
+# caveat note on 1-hardware-thread hosts).
+OPTIONAL_TOP = {"notes": str}
 
 
 def check(path: str) -> list[str]:
@@ -42,6 +45,9 @@ def check(path: str) -> list[str]:
         if key not in doc:
             errors.append(f"{path}: missing top-level key {key!r}")
         elif not isinstance(doc[key], typ):
+            errors.append(f"{path}: {key!r} must be {typ}, got {type(doc[key])}")
+    for key, typ in OPTIONAL_TOP.items():
+        if key in doc and not isinstance(doc[key], typ):
             errors.append(f"{path}: {key!r} must be {typ}, got {type(doc[key])}")
     if errors:
         return errors
