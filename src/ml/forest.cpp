@@ -22,6 +22,7 @@ void RandomForest::fit(const Matrix& x, std::span<const int> y,
   DecisionTree::Params tree_params;
   tree_params.max_depth = params.max_depth;
   tree_params.min_samples_leaf = params.min_samples_leaf;
+  tree_params.scratch = params.scratch;
   tree_params.max_features =
       params.max_features != 0
           ? params.max_features

@@ -26,6 +26,8 @@ class RandomForest {
     std::size_t max_features = 0;
     bool bootstrap = true;              ///< Sample rows with replacement.
     std::uint64_t seed = 42;            ///< Seed for all trees' randomness.
+    /// Per-node scratch source for every member tree (see DecisionTree).
+    DecisionTree::Scratch scratch = DecisionTree::Scratch::kArena;
   };
 
   /// Fits the ensemble. Labels must lie in [0, num_classes).

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
+#include "util/arena.h"
 #include "util/error.h"
 
 namespace icn::ml {
@@ -16,6 +18,17 @@ double gini(std::span<const double> counts, double n) {
   for (const double c : counts) acc += c * c;
   return 1.0 - acc / (n * n);
 }
+
+/// (feature value, class) pair for the split scan. A plain struct instead of
+/// std::pair so it is trivially copyable (the Arena only hands out storage
+/// for such types); the ordering matches std::pair's lexicographic one.
+struct ValClass {
+  double value = 0.0;
+  int label = 0;
+  friend bool operator<(const ValClass& a, const ValClass& b) {
+    return a.value < b.value || (a.value == b.value && a.label < b.label);
+  }
+};
 
 }  // namespace
 
@@ -53,7 +66,23 @@ int DecisionTree::build(const Matrix& x, std::span<const int> y,
   const std::size_t n = end - begin;
   const auto k = static_cast<std::size_t>(num_classes_);
 
-  std::vector<double> counts(k, 0.0);
+  // Per-node scratch. The arena path opens one Frame per node: every buffer
+  // below dies when this call returns, and steady-state recursion does zero
+  // mallocs. The heap path is bit-identical (same values, same sort, same
+  // rng draws) and kept as the parity baseline for tests.
+  const bool use_arena = params.scratch == Scratch::kArena;
+  icn::util::Arena& arena = icn::util::scratch_arena();
+  std::optional<icn::util::Arena::Frame> frame;
+  if (use_arena) frame.emplace(arena);
+  std::vector<double> heap_counts;
+  std::span<double> counts;
+  if (use_arena) {
+    counts = arena.alloc_span<double>(k);
+  } else {
+    heap_counts.resize(k);
+    counts = heap_counts;
+  }
+  std::fill(counts.begin(), counts.end(), 0.0);
   for (std::size_t i = begin; i < end; ++i) {
     counts[static_cast<std::size_t>(y[idx[i]])] += 1.0;
   }
@@ -75,7 +104,14 @@ int DecisionTree::build(const Matrix& x, std::span<const int> y,
   }
 
   // Candidate features: a random subset of size max_features (all when 0).
-  std::vector<std::size_t> features(num_features_);
+  std::vector<std::size_t> heap_features;
+  std::span<std::size_t> features;
+  if (use_arena) {
+    features = arena.alloc_span<std::size_t>(num_features_);
+  } else {
+    heap_features.resize(num_features_);
+    features = heap_features;
+  }
   std::iota(features.begin(), features.end(), std::size_t{0});
   std::size_t mtry = params.max_features == 0
                          ? num_features_
@@ -89,22 +125,31 @@ int DecisionTree::build(const Matrix& x, std::span<const int> y,
   double best_gain = 0.0;
   std::size_t best_feature = 0;
   double best_threshold = 0.0;
-  std::vector<double> left_counts(k);
-  std::vector<std::pair<double, int>> vals;  // (feature value, class)
-  vals.reserve(n);
+  std::vector<double> heap_left;
+  std::span<double> left_counts;
+  std::vector<ValClass> heap_vals;
+  std::span<ValClass> vals;
+  if (use_arena) {
+    left_counts = arena.alloc_span<double>(k);
+    vals = arena.alloc_span<ValClass>(n);
+  } else {
+    heap_left.resize(k);
+    left_counts = heap_left;
+    heap_vals.resize(n);
+    vals = heap_vals;
+  }
 
   for (std::size_t fi = 0; fi < mtry; ++fi) {
     const std::size_t f = features[fi];
-    vals.clear();
     for (std::size_t i = begin; i < end; ++i) {
-      vals.emplace_back(x(idx[i], f), y[idx[i]]);
+      vals[i - begin] = ValClass{x(idx[i], f), y[idx[i]]};
     }
     std::sort(vals.begin(), vals.end());
-    if (vals.front().first == vals.back().first) continue;  // constant feature
+    if (vals.front().value == vals.back().value) continue;  // constant feature
     std::fill(left_counts.begin(), left_counts.end(), 0.0);
     for (std::size_t i = 0; i + 1 < n; ++i) {
-      left_counts[static_cast<std::size_t>(vals[i].second)] += 1.0;
-      if (vals[i].first == vals[i + 1].first) continue;  // not a cut point
+      left_counts[static_cast<std::size_t>(vals[i].label)] += 1.0;
+      if (vals[i].value == vals[i + 1].value) continue;  // not a cut point
       const double nl = static_cast<double>(i + 1);
       const double nr = node_n - nl;
       if (nl < static_cast<double>(params.min_samples_leaf) ||
@@ -124,7 +169,7 @@ int DecisionTree::build(const Matrix& x, std::span<const int> y,
       if (gain > best_gain + 1e-12) {
         best_gain = gain;
         best_feature = f;
-        best_threshold = 0.5 * (vals[i].first + vals[i + 1].first);
+        best_threshold = 0.5 * (vals[i].value + vals[i + 1].value);
       }
     }
   }

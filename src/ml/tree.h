@@ -30,6 +30,12 @@ struct TreeNode {
 /// CART classifier with Gini impurity splits.
 class DecisionTree {
  public:
+  /// Where build() takes its per-node partition buffers from.
+  /// kArena bump-allocates from this thread's scratch_arena() (a Frame per
+  /// node, zero mallocs in steady state); kHeap keeps the original vector
+  /// path, retained so tests can assert bit-parity between the two.
+  enum class Scratch : std::uint8_t { kArena, kHeap };
+
   /// Training hyper-parameters.
   struct Params {
     std::size_t max_depth = 32;         ///< Maximum tree depth (root = 0).
@@ -38,6 +44,7 @@ class DecisionTree {
     /// Number of features sampled (without replacement) per split;
     /// 0 means "all features". Random forests use ~sqrt(M).
     std::size_t max_features = 0;
+    Scratch scratch = Scratch::kArena;  ///< Per-node buffer source.
   };
 
   /// Fits the tree on rows `sample_idx` of x (all rows when empty).

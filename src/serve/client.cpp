@@ -1,0 +1,82 @@
+#include "serve/client.h"
+
+#include <cstring>
+
+#include "util/error.h"
+
+namespace icn::serve {
+
+QueryClient::QueryClient(std::uint16_t port)
+    : fd_(icn::util::connect_loopback(port)) {}
+
+void QueryClient::read_frame() {
+  std::uint8_t header[kFrameHeaderSize];
+  if (!icn::util::read_exact(fd_.get(), std::span<std::uint8_t>(header))) {
+    throw icn::util::IoError("serve client: connection closed by server");
+  }
+  std::uint32_t len = 0;
+  std::memcpy(&len, header, sizeof(len));
+  reply_payload_.resize(len);
+  if (len > 0 &&
+      !icn::util::read_exact(fd_.get(), std::span<std::uint8_t>(
+                                            reply_payload_.data(), len))) {
+    throw icn::util::IoError(
+        "serve client: connection closed mid-reply (expected " +
+        std::to_string(len) + " payload bytes)");
+  }
+}
+
+Reply QueryClient::call(Opcode opcode, std::span<const std::uint8_t> body,
+                        std::uint32_t request_id) {
+  request_scratch_ = build_request(request_id, opcode, body);
+  icn::util::write_all(fd_.get(), request_scratch_);
+  read_frame();
+  const std::optional<Reply> reply = decode_reply(reply_payload_);
+  if (!reply) {
+    throw icn::util::IoError("serve client: malformed reply frame (" +
+                             std::to_string(reply_payload_.size()) +
+                             " payload bytes)");
+  }
+  return *reply;
+}
+
+std::vector<std::uint8_t> QueryClient::call_raw(
+    std::span<const std::uint8_t> frame) {
+  icn::util::write_all(fd_.get(), frame);
+  read_frame();
+  return reply_payload_;
+}
+
+std::vector<std::uint8_t> make_slice_body(std::uint32_t row,
+                                          std::uint32_t service,
+                                          std::int64_t hour_first,
+                                          std::int64_t hour_last) {
+  std::vector<std::uint8_t> body;
+  put_u32(body, row);
+  put_u32(body, service);
+  put_i64(body, hour_first);
+  put_i64(body, hour_last);
+  return body;
+}
+
+std::vector<std::uint8_t> make_cluster_body(std::uint32_t row) {
+  std::vector<std::uint8_t> body;
+  put_u32(body, row);
+  return body;
+}
+
+std::vector<std::uint8_t> make_shap_body(std::uint32_t cluster,
+                                         std::uint32_t max_services) {
+  std::vector<std::uint8_t> body;
+  put_u32(body, cluster);
+  put_u32(body, max_services);
+  return body;
+}
+
+std::vector<std::uint8_t> make_coverage_body(std::uint32_t row) {
+  std::vector<std::uint8_t> body;
+  put_u32(body, row);
+  return body;
+}
+
+}  // namespace icn::serve

@@ -1,0 +1,62 @@
+// Blocking query client for the snapshot server (DESIGN.md §9.6).
+//
+// QueryClient is the convenience side of the wire protocol: it connects to a
+// loopback port, frames requests, and blocks for the matching reply. It is
+// deliberately synchronous — the CLI, the examples, and the byte-exactness
+// tests all want "send one request, get one reply" semantics; concurrency in
+// tests comes from running many clients on many threads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/socket.h"
+
+namespace icn::serve {
+
+class QueryClient {
+ public:
+  /// Connects to 127.0.0.1:port; throws icn::util::IoError on failure.
+  explicit QueryClient(std::uint16_t port);
+
+  /// Sends one request and blocks for its reply. Returns the decoded reply
+  /// (its body span points into last_reply_payload(), valid until the next
+  /// call); throws IoError if the server closes the connection or the reply
+  /// frame is malformed (a server bug, not a query error — query errors come
+  /// back as typed Status values).
+  Reply call(Opcode opcode, std::span<const std::uint8_t> body,
+             std::uint32_t request_id);
+
+  /// Raw variant: sends pre-built frame bytes and returns the raw reply
+  /// payload (no decoding). Used by the byte-exactness and fuzz tests.
+  std::vector<std::uint8_t> call_raw(std::span<const std::uint8_t> frame);
+
+  /// Last reply's raw payload bytes (valid until the next call).
+  [[nodiscard]] const std::vector<std::uint8_t>& last_reply_payload() const {
+    return reply_payload_;
+  }
+
+  [[nodiscard]] int fd() const { return fd_.get(); }
+
+ private:
+  /// Reads one length-prefixed frame into reply_payload_; throws on EOF.
+  void read_frame();
+
+  icn::util::Fd fd_;
+  std::vector<std::uint8_t> request_scratch_;
+  std::vector<std::uint8_t> reply_payload_;
+};
+
+/// Body builders for the query opcodes (shared by CLI / tests / bench).
+std::vector<std::uint8_t> make_slice_body(std::uint32_t row,
+                                          std::uint32_t service,
+                                          std::int64_t hour_first,
+                                          std::int64_t hour_last);
+std::vector<std::uint8_t> make_cluster_body(std::uint32_t row);
+std::vector<std::uint8_t> make_shap_body(std::uint32_t cluster,
+                                         std::uint32_t max_services);
+std::vector<std::uint8_t> make_coverage_body(std::uint32_t row);
+
+}  // namespace icn::serve

@@ -1,0 +1,211 @@
+#include "serve/server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/error.h"
+
+namespace icn::serve {
+namespace {
+
+[[noreturn]] void fail_errno(const char* op) {
+  throw icn::util::IoError(std::string("serve: ") + op + " failed: " +
+                           std::strerror(errno));
+}
+
+/// Parses a positive integer env var; throws EnvConfigError on garbage.
+std::uint64_t parse_env_u64(const char* name, const char* value,
+                            std::uint64_t min, std::uint64_t max) {
+  std::string v;
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p == ' ' || *p == '\t') continue;
+    v += *p;
+  }
+  if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) {
+    throw icn::util::EnvConfigError(
+        std::string(name) + "=\"" + value +
+        "\" is not a non-negative integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0' || parsed < min ||
+      parsed > max) {
+    throw icn::util::EnvConfigError(
+        std::string(name) + "=\"" + value + "\" is outside [" +
+        std::to_string(min) + ", " + std::to_string(max) + "]");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+ServeConfig ServeConfig::from_env() {
+  ServeConfig config;
+  if (const char* v = std::getenv("ICN_SERVE_MAX_CONNS")) {
+    config.max_connections = static_cast<std::size_t>(
+        parse_env_u64("ICN_SERVE_MAX_CONNS", v, 1, 1u << 20));
+  }
+  if (const char* v = std::getenv("ICN_SERVE_MAX_FRAME")) {
+    // Floor of 64: below the reply header + a small error detail nothing
+    // could ever be answered.
+    config.max_frame = static_cast<std::size_t>(
+        parse_env_u64("ICN_SERVE_MAX_FRAME", v, 64, 1u << 30));
+  }
+  if (const char* v = std::getenv("ICN_SERVE_WRITE_BUF")) {
+    config.write_high_water = static_cast<std::size_t>(
+        parse_env_u64("ICN_SERVE_WRITE_BUF", v, 4096, 1u << 30));
+  }
+  if (const char* v = std::getenv("ICN_SERVE_RATE")) {
+    config.rate_tokens_per_tick = static_cast<std::uint32_t>(
+        parse_env_u64("ICN_SERVE_RATE", v, 0, 1u << 30));
+  }
+  if (const char* v = std::getenv("ICN_SERVE_RATE_BURST")) {
+    config.rate_burst = static_cast<std::uint32_t>(
+        parse_env_u64("ICN_SERVE_RATE_BURST", v, 0, 1u << 30));
+  }
+  if (config.rate_tokens_per_tick > 0 && config.rate_burst == 0) {
+    config.rate_burst = config.rate_tokens_per_tick;
+  }
+  return config;
+}
+
+Server::Server(const ServeConfig& config, const SnapshotRegistry& registry)
+    : config_(config), registry_(registry), listener_(config.port) {
+  epoll_ = icn::util::Fd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_.valid()) fail_errno("epoll_create1");
+  wakeup_ = icn::util::Fd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wakeup_.valid()) fail_errno("eventfd");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listener_.fd();
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, listener_.fd(), &ev) != 0) {
+    fail_errno("epoll_ctl(listener)");
+  }
+  ev.data.fd = wakeup_.get();
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, wakeup_.get(), &ev) != 0) {
+    fail_errno("epoll_ctl(wakeup)");
+  }
+}
+
+Server::~Server() = default;
+
+void Server::accept_pending() {
+  while (true) {
+    icn::util::Fd fd = listener_.accept_nonblocking();
+    if (!fd.valid()) return;
+    if (sessions_.size() >= config_.max_connections) {
+      // Admission control: a typed reject, best-effort (the socket buffer
+      // of a fresh connection always fits one small frame), then close.
+      std::vector<std::uint8_t> reject;
+      append_error_reply(reject, 0, Opcode::kPing, Status::kServerFull,
+                         registry_.generation(),
+                         "connection limit of " +
+                             std::to_string(config_.max_connections) +
+                             " reached");
+      (void)icn::util::write_some(fd.get(), reject);
+      stats_.connections_refused += 1;
+      continue;  // Fd closes on scope exit.
+    }
+    Session::Limits limits;
+    limits.max_frame = config_.max_frame;
+    limits.write_high_water = config_.write_high_water;
+    limits.rate_tokens_per_tick = config_.rate_tokens_per_tick;
+    limits.rate_burst = config_.rate_burst;
+    const int raw = fd.get();
+    auto session = std::make_unique<Session>(std::move(fd),
+                                             registry_.acquire(), &registry_,
+                                             limits);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = raw;
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, raw, &ev) != 0) {
+      fail_errno("epoll_ctl(session add)");
+    }
+    sessions_.emplace(raw, std::move(session));
+    stats_.connections_accepted += 1;
+  }
+}
+
+void Server::update_interest(Session& session) {
+  epoll_event ev{};
+  ev.events = (session.wants_read() ? EPOLLIN : 0u) |
+              (session.wants_write() ? EPOLLOUT : 0u);
+  ev.data.fd = session.fd();
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, session.fd(), &ev) != 0) {
+    fail_errno("epoll_ctl(session mod)");
+  }
+}
+
+void Server::drop_closed(int fd) {
+  // The Session already closed its descriptor, which removed it from the
+  // epoll set implicitly.
+  sessions_.erase(fd);
+  stats_.connections_closed += 1;
+}
+
+int Server::step(int timeout_ms) {
+  epoll_event events[128];
+  int n;
+  do {
+    n = ::epoll_wait(epoll_.get(), events, 128, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) fail_errno("epoll_wait");
+
+  stats_.ticks += 1;
+  const std::uint64_t tick = stats_.ticks;
+
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == listener_.fd()) {
+      accept_pending();
+      continue;
+    }
+    if (fd == wakeup_.get()) {
+      std::uint64_t drain;
+      while (::read(wakeup_.get(), &drain, sizeof(drain)) > 0) {
+      }
+      continue;
+    }
+    const auto it = sessions_.find(fd);
+    if (it == sessions_.end()) continue;  // Closed earlier this round.
+    Session& session = *it->second;
+    const std::uint64_t frames_before = session.frames_served();
+    if ((events[i].events & (EPOLLOUT)) != 0) session.on_writable();
+    if (session.state() != SessionState::kClosed &&
+        (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+      session.on_readable(tick);
+      // Greedy flush: most replies fit the kernel buffer, so answering in
+      // the same round avoids a second epoll round-trip per request.
+      if (session.state() != SessionState::kClosed) session.on_writable();
+    }
+    stats_.frames_served += session.frames_served() - frames_before;
+    if (session.state() == SessionState::kClosed) {
+      drop_closed(fd);
+    } else {
+      update_interest(session);
+    }
+  }
+  return n;
+}
+
+void Server::run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    step(50);
+  }
+}
+
+void Server::stop() {
+  stop_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  (void)::write(wakeup_.get(), &one, sizeof(one));
+}
+
+}  // namespace icn::serve

@@ -1,0 +1,88 @@
+// The epoll reactor serving sealed snapshots to many clients (DESIGN.md §9).
+//
+// One reactor thread owns the listener, the epoll set, and every Session;
+// queries execute inline on that thread (they are zero-copy reads, not
+// compute), so the read path has no locks at all. The only cross-thread
+// interaction is the SnapshotRegistry's atomic head swap (writer thread) and
+// the stop flag (any thread).
+//
+// Admission control: accepted connections beyond max_connections get a
+// typed kServerFull reply and are closed before a Session is built.
+//
+// Determinism: step() is the single-threaded mode — tests drive the reactor
+// one poll round at a time on their own thread, with the virtual tick clock
+// advancing per round, and replies come out byte-identical to run()'s
+// because both paths serve via Session::serve_frame -> dispatch_request.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "serve/registry.h"
+#include "serve/session.h"
+#include "util/socket.h"
+
+namespace icn::serve {
+
+/// Server knobs. from_env() reads the ICN_SERVE_* variables and throws
+/// icn::util::EnvConfigError on anything it cannot interpret, so a config
+/// typo fails loudly at startup instead of silently serving defaults.
+struct ServeConfig {
+  std::uint16_t port = 0;            ///< 0 = ephemeral (tests/examples).
+  std::size_t max_connections = 1024;            ///< ICN_SERVE_MAX_CONNS
+  std::size_t max_frame = kDefaultMaxFrame;      ///< ICN_SERVE_MAX_FRAME
+  std::size_t write_high_water = 4u << 20;       ///< ICN_SERVE_WRITE_BUF
+  std::uint32_t rate_tokens_per_tick = 0;        ///< ICN_SERVE_RATE (0 = off)
+  std::uint32_t rate_burst = 0;  ///< ICN_SERVE_RATE_BURST (0 = rate value)
+
+  /// Applies ICN_SERVE_* environment overrides to the defaults above.
+  [[nodiscard]] static ServeConfig from_env();
+};
+
+/// Running totals the reactor maintains (read between steps or after stop).
+struct ServeStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_refused = 0;  ///< Admission control rejects.
+  std::uint64_t connections_closed = 0;
+  std::uint64_t frames_served = 0;
+  std::uint64_t ticks = 0;
+};
+
+class Server {
+ public:
+  /// Binds the loopback listener (throws IoError on failure). The registry
+  /// must outlive the server; it may be published to while serving.
+  Server(const ServeConfig& config, const SnapshotRegistry& registry);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] const ServeStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t num_sessions() const { return sessions_.size(); }
+
+  /// One poll round: waits up to timeout_ms for events, serves them, and
+  /// advances the virtual tick. Returns the number of epoll events handled.
+  int step(int timeout_ms);
+
+  /// Serves until stop() is called (from any thread).
+  void run();
+  void stop();
+
+ private:
+  void accept_pending();
+  void update_interest(Session& session);
+  void drop_closed(int fd);
+
+  ServeConfig config_;
+  const SnapshotRegistry& registry_;
+  icn::util::TcpListener listener_;
+  icn::util::Fd epoll_;
+  icn::util::Fd wakeup_;  ///< eventfd for cross-thread stop().
+  std::unordered_map<int, std::unique_ptr<Session>> sessions_;
+  ServeStats stats_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace icn::serve

@@ -1,0 +1,131 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <string>
+
+namespace icn::serve {
+
+void TokenBucket::advance(std::uint64_t tick) {
+  if (rate_ == 0) return;
+  if (tick > last_tick_) {
+    const std::uint64_t elapsed = tick - last_tick_;
+    // elapsed >= burst implies a full refill for any rate >= 1; the branch
+    // also keeps elapsed * rate_ away from overflow.
+    const std::uint64_t refill =
+        elapsed >= burst_ ? burst_ : elapsed * rate_;
+    tokens_ = std::min<std::uint64_t>(burst_, tokens_ + refill);
+    last_tick_ = tick;
+  }
+}
+
+bool TokenBucket::try_take() {
+  if (rate_ == 0) return true;
+  if (tokens_ == 0) return false;
+  --tokens_;
+  return true;
+}
+
+Session::Session(icn::util::Fd fd,
+                 std::shared_ptr<const ServedSnapshot> pinned,
+                 const SnapshotRegistry* registry, const Limits& limits)
+    : fd_(std::move(fd)),
+      pinned_(std::move(pinned)),
+      registry_(registry),
+      limits_(limits),
+      bucket_(limits.rate_tokens_per_tick, limits.rate_burst) {}
+
+void Session::serve_frame(std::span<const std::uint8_t> payload,
+                          std::uint64_t tick) {
+  bucket_.advance(tick);
+  reply_scratch_.clear();
+  ++frames_served_;  // Every frame gets exactly one reply, typed or kOk.
+  if (!bucket_.try_take()) {
+    // Rate-limited requests are refused without decoding the body — but the
+    // reply still echoes the request id when the header is readable so the
+    // client can match it.
+    const DecodedRequest decoded = decode_request(payload);
+    const Opcode op =
+        decoded.request ? decoded.request->opcode : Opcode::kPing;
+    append_error_reply(reply_scratch_, decoded.request_id, op,
+                       Status::kRateLimited, pinned_generation(),
+                       to_string(Status::kRateLimited));
+    write_buf_.append(reply_scratch_);
+    return;
+  }
+
+  // kRepin swaps the session's pin *before* dispatch so the reply's
+  // generation stamp names the snapshot subsequent requests will read.
+  if (registry_ != nullptr) {
+    const DecodedRequest decoded = decode_request(payload);
+    if (decoded.request && decoded.request->opcode == Opcode::kRepin &&
+        decoded.request->body.empty()) {
+      pinned_ = registry_->acquire();
+    }
+  }
+
+  dispatch_request(pinned_.get(), payload, reply_scratch_, limits_.max_frame);
+  write_buf_.append(reply_scratch_);
+}
+
+void Session::on_readable(std::uint64_t tick) {
+  if (state_ != SessionState::kOpen) return;
+  // Drain the socket. 16 KiB per read keeps one syscall per small burst
+  // while bounding the bytes a single session can queue per round.
+  while (wants_read()) {
+    auto span = read_buf_.grow_tail(16384);
+    const std::ptrdiff_t n = icn::util::read_some(fd_.get(), span);
+    if (n < 0) {
+      close_now();
+      return;
+    }
+    read_buf_.shrink_tail(span.size() - static_cast<std::size_t>(n));
+    if (n == 0) break;  // EAGAIN: socket drained.
+
+    while (true) {
+      const FrameResult frame =
+          try_parse_frame(read_buf_.data(), limits_.max_frame);
+      if (frame.kind == FrameResult::Kind::kNeedMore) break;
+      if (frame.kind == FrameResult::Kind::kOversized) {
+        // Typed reject, then drain-and-close: the stream position after an
+        // unread over-long payload is unknowable, so the connection cannot
+        // be resynchronized.
+        reply_scratch_.clear();
+        append_error_reply(
+            reply_scratch_, 0, Opcode::kPing, Status::kOversized,
+            pinned_generation(),
+            "frame of " + std::to_string(frame.declared_len) +
+                " bytes exceeds the server max of " +
+                std::to_string(limits_.max_frame));
+        write_buf_.append(reply_scratch_);
+        state_ = SessionState::kDraining;
+        return;
+      }
+      serve_frame(frame.payload, tick);
+      read_buf_.consume(frame.consumed);
+      if (!wants_read()) break;  // Backpressure tripped mid-burst.
+    }
+  }
+}
+
+void Session::on_writable() {
+  while (!write_buf_.empty()) {
+    const std::ptrdiff_t n =
+        icn::util::write_some(fd_.get(), write_buf_.data());
+    if (n < 0) {
+      close_now();
+      return;
+    }
+    if (n == 0) return;  // EAGAIN: kernel buffer full, try next round.
+    write_buf_.consume(static_cast<std::size_t>(n));
+  }
+  if (state_ == SessionState::kDraining) close_now();
+}
+
+void Session::close_now() {
+  fd_.close();
+  state_ = SessionState::kClosed;
+  read_buf_.clear();
+  write_buf_.clear();
+}
+
+}  // namespace icn::serve

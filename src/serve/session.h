@@ -1,0 +1,123 @@
+// Per-connection state machine of the snapshot server (DESIGN.md §9.4).
+//
+// A Session owns one non-blocking socket plus its read/write ByteQueues and
+// the connection's pinned snapshot generation. The reactor calls
+// on_readable/on_writable; the session extracts length-prefixed frames,
+// applies the token-bucket rate limit, dispatches through the command table
+// against its *pinned* ServedSnapshot, and queues reply bytes.
+//
+// Pinning: the session acquires the registry head when the connection is
+// accepted and serves every query from that generation until the client
+// sends kRepin — a hot swap never changes the data an in-flight or
+// already-pinned reader sees. Sessions that connect after a swap see the new
+// generation immediately.
+//
+// Backpressure: when the write queue exceeds the configured high-water mark
+// the session stops parsing new requests (the reactor also stops polling it
+// for reads) until the queue drains below the mark — a slow reader throttles
+// itself, not the server.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "serve/command_table.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+#include "util/bytes.h"
+#include "util/socket.h"
+
+namespace icn::serve {
+
+/// Token-bucket rate limiter on the reactor's virtual tick clock (one tick
+/// per poll round, never wall time, so single-threaded replays are exactly
+/// reproducible). tokens_per_tick == 0 disables limiting.
+class TokenBucket {
+ public:
+  TokenBucket(std::uint32_t tokens_per_tick, std::uint32_t burst)
+      : rate_(tokens_per_tick), burst_(burst), tokens_(burst) {}
+
+  /// Advances the clock to `tick`, refilling rate_ tokens per elapsed tick
+  /// up to the burst cap.
+  void advance(std::uint64_t tick);
+
+  /// Consumes one token; false = rate limited.
+  [[nodiscard]] bool try_take();
+
+  [[nodiscard]] std::uint64_t tokens() const { return tokens_; }
+
+ private:
+  std::uint32_t rate_ = 0;
+  std::uint32_t burst_ = 0;
+  std::uint64_t tokens_ = 0;
+  std::uint64_t last_tick_ = 0;
+};
+
+/// Why a session wants to close (reported to the reactor).
+enum class SessionState : std::uint8_t {
+  kOpen,
+  kDraining,  ///< Flush the write queue, then close (oversized reject).
+  kClosed,    ///< EOF or hard error; reactor should drop it now.
+};
+
+class Session {
+ public:
+  /// Limits inherited from the server config (see ServeConfig).
+  struct Limits {
+    std::size_t max_frame = kDefaultMaxFrame;
+    std::size_t write_high_water = 4u << 20;
+    std::uint32_t rate_tokens_per_tick = 0;  ///< 0 = unlimited.
+    std::uint32_t rate_burst = 0;
+  };
+
+  Session(icn::util::Fd fd, std::shared_ptr<const ServedSnapshot> pinned,
+          const SnapshotRegistry* registry, const Limits& limits);
+
+  [[nodiscard]] int fd() const { return fd_.get(); }
+  [[nodiscard]] SessionState state() const { return state_; }
+
+  /// True when the session has reply bytes waiting for the socket.
+  [[nodiscard]] bool wants_write() const { return !write_buf_.empty(); }
+  /// False while backpressure (write high-water) or draining suppresses
+  /// request intake.
+  [[nodiscard]] bool wants_read() const {
+    return state_ == SessionState::kOpen &&
+           write_buf_.size() < limits_.write_high_water;
+  }
+
+  /// Drains the socket into the read queue and serves every complete frame.
+  /// `tick` is the reactor's virtual clock for the rate limiter.
+  void on_readable(std::uint64_t tick);
+
+  /// Flushes queued reply bytes. Transitions kDraining -> kClosed when the
+  /// queue empties.
+  void on_writable();
+
+  /// Generation currently pinned (0 = none).
+  [[nodiscard]] std::uint64_t pinned_generation() const {
+    return pinned_ ? pinned_->generation() : 0;
+  }
+
+  /// Frames answered over the session's lifetime (including typed errors).
+  [[nodiscard]] std::uint64_t frames_served() const { return frames_served_; }
+
+  /// Serves one already-extracted frame payload (shared with the
+  /// deterministic single-threaded mode; exposed for tests).
+  void serve_frame(std::span<const std::uint8_t> payload, std::uint64_t tick);
+
+ private:
+  void close_now();
+
+  icn::util::Fd fd_;
+  std::shared_ptr<const ServedSnapshot> pinned_;
+  const SnapshotRegistry* registry_;  ///< For kRepin; may be null in tests.
+  Limits limits_;
+  TokenBucket bucket_;
+  icn::util::ByteQueue read_buf_;
+  icn::util::ByteQueue write_buf_;
+  std::vector<std::uint8_t> reply_scratch_;
+  SessionState state_ = SessionState::kOpen;
+  std::uint64_t frames_served_ = 0;
+};
+
+}  // namespace icn::serve

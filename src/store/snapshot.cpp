@@ -245,7 +245,11 @@ SnapshotWriter::~SnapshotWriter() {
 }
 
 SnapshotWriter::SnapshotWriter(SnapshotWriter&& other) noexcept
-    : path_(std::move(other.path_)), fd_(other.fd_) {
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      seals_(other.seals_),
+      sections_since_sync_(other.sections_since_sync_),
+      seal_hook_(std::move(other.seal_hook_)) {
   other.fd_ = -1;
 }
 
@@ -254,6 +258,9 @@ SnapshotWriter& SnapshotWriter::operator=(SnapshotWriter&& other) noexcept {
     if (fd_ >= 0) ::close(fd_);
     path_ = std::move(other.path_);
     fd_ = other.fd_;
+    seals_ = other.seals_;
+    sections_since_sync_ = other.sections_since_sync_;
+    seal_hook_ = std::move(other.seal_hook_);
     other.fd_ = -1;
   }
   return *this;
@@ -290,6 +297,7 @@ void SnapshotWriter::append_section(SectionType type,
     const std::uint8_t zeros[8] = {};
     write_all({zeros, pad});
   }
+  ++sections_since_sync_;
 }
 
 void SnapshotWriter::append_matrix(const ml::Matrix& m) {
@@ -364,6 +372,10 @@ void SnapshotWriter::append_quarantine(std::int64_t num_hours,
 void SnapshotWriter::sync() {
   ICN_REQUIRE(fd_ >= 0, "snapshot writer is closed");
   if (::fsync(fd_) != 0) fail_errno(path_, "fsync");
+  ++seals_;
+  const std::size_t sealed = sections_since_sync_;
+  sections_since_sync_ = 0;
+  if (seal_hook_) seal_hook_(SealEvent{path_, seals_, sealed});
 }
 
 void SnapshotWriter::close() {
@@ -385,6 +397,29 @@ MappedSnapshot::MappedSnapshot(const std::string& path) {
   map_ = mapping.map;
   size_ = mapping.size;
   mapping.release();
+  build_section_index();
+}
+
+void MappedSnapshot::build_section_index() {
+  first_of_type_.clear();
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const SectionType type = sections_[i].type;
+    bool seen = false;
+    for (const auto& [t, _] : first_of_type_) {
+      if (t == type) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) first_of_type_.emplace_back(type, i);
+  }
+}
+
+const SectionView* MappedSnapshot::find_section(SectionType type) const {
+  for (const auto& [t, i] : first_of_type_) {
+    if (t == type) return &sections_[i];
+  }
+  return nullptr;
 }
 
 MappedSnapshot::~MappedSnapshot() {
@@ -396,10 +431,12 @@ MappedSnapshot::~MappedSnapshot() {
 MappedSnapshot::MappedSnapshot(MappedSnapshot&& other) noexcept
     : map_(other.map_),
       size_(other.size_),
-      sections_(std::move(other.sections_)) {
+      sections_(std::move(other.sections_)),
+      first_of_type_(std::move(other.first_of_type_)) {
   other.map_ = nullptr;
   other.size_ = 0;
   other.sections_.clear();
+  other.first_of_type_.clear();
 }
 
 MappedSnapshot& MappedSnapshot::operator=(MappedSnapshot&& other) noexcept {
@@ -410,53 +447,51 @@ MappedSnapshot& MappedSnapshot::operator=(MappedSnapshot&& other) noexcept {
     map_ = other.map_;
     size_ = other.size_;
     sections_ = std::move(other.sections_);
+    first_of_type_ = std::move(other.first_of_type_);
     other.map_ = nullptr;
     other.size_ = 0;
     other.sections_.clear();
+    other.first_of_type_.clear();
   }
   return *this;
 }
 
 std::optional<MatrixView> MappedSnapshot::matrix() const {
-  for (const auto& s : sections_) {
-    if (s.type != SectionType::kMatrix) continue;
-    if (s.payload.size() < 16) {
-      throw SnapshotError("malformed kMatrix payload (short header)");
-    }
-    MatrixView view;
-    view.rows = static_cast<std::size_t>(get_u64(s.payload.data()));
-    view.cols = static_cast<std::size_t>(get_u64(s.payload.data() + 8));
-    const std::size_t want = view.rows * view.cols * 8;
-    if (view.cols != 0 && view.rows != want / 8 / view.cols) {
-      throw SnapshotError("malformed kMatrix payload (shape overflow)");
-    }
-    if (s.payload.size() != 16 + want) {
-      throw SnapshotError("malformed kMatrix payload (size/shape mismatch)");
-    }
-    view.values = payload_span<double>(s.payload, 16, view.rows * view.cols);
-    return view;
+  const SectionView* s = find_section(SectionType::kMatrix);
+  if (s == nullptr) return std::nullopt;
+  if (s->payload.size() < 16) {
+    throw SnapshotError("malformed kMatrix payload (short header)");
   }
-  return std::nullopt;
+  MatrixView view;
+  view.rows = static_cast<std::size_t>(get_u64(s->payload.data()));
+  view.cols = static_cast<std::size_t>(get_u64(s->payload.data() + 8));
+  const std::size_t want = view.rows * view.cols * 8;
+  if (view.cols != 0 && view.rows != want / 8 / view.cols) {
+    throw SnapshotError("malformed kMatrix payload (shape overflow)");
+  }
+  if (s->payload.size() != 16 + want) {
+    throw SnapshotError("malformed kMatrix payload (size/shape mismatch)");
+  }
+  view.values = payload_span<double>(s->payload, 16, view.rows * view.cols);
+  return view;
 }
 
 std::optional<StreamMetaView> MappedSnapshot::stream_meta() const {
-  for (const auto& s : sections_) {
-    if (s.type != SectionType::kStreamMeta) continue;
-    if (s.payload.size() < 24) {
-      throw SnapshotError("malformed kStreamMeta payload (short header)");
-    }
-    const std::size_t num_antennas =
-        static_cast<std::size_t>(get_u64(s.payload.data()));
-    if (s.payload.size() != 24 + num_antennas * 4) {
-      throw SnapshotError("malformed kStreamMeta payload (size mismatch)");
-    }
-    StreamMetaView view;
-    view.num_services = static_cast<std::size_t>(get_u64(s.payload.data() + 8));
-    view.num_hours = static_cast<std::int64_t>(get_u64(s.payload.data() + 16));
-    view.antenna_ids = payload_span<std::uint32_t>(s.payload, 24, num_antennas);
-    return view;
+  const SectionView* s = find_section(SectionType::kStreamMeta);
+  if (s == nullptr) return std::nullopt;
+  if (s->payload.size() < 24) {
+    throw SnapshotError("malformed kStreamMeta payload (short header)");
   }
-  return std::nullopt;
+  const std::size_t num_antennas =
+      static_cast<std::size_t>(get_u64(s->payload.data()));
+  if (s->payload.size() != 24 + num_antennas * 4) {
+    throw SnapshotError("malformed kStreamMeta payload (size mismatch)");
+  }
+  StreamMetaView view;
+  view.num_services = static_cast<std::size_t>(get_u64(s->payload.data() + 8));
+  view.num_hours = static_cast<std::int64_t>(get_u64(s->payload.data() + 16));
+  view.antenna_ids = payload_span<std::uint32_t>(s->payload, 24, num_antennas);
+  return view;
 }
 
 std::vector<WindowView> MappedSnapshot::windows() const {
@@ -470,42 +505,38 @@ std::vector<WindowView> MappedSnapshot::windows() const {
 }
 
 std::optional<CoverageSectionView> MappedSnapshot::coverage() const {
-  for (const auto& s : sections_) {
-    if (s.type != SectionType::kCoverage) continue;
-    if (s.payload.size() < 16) {
-      throw SnapshotError("malformed kCoverage payload (short header)");
-    }
-    CoverageSectionView view;
-    view.rows = static_cast<std::size_t>(get_u64(s.payload.data()));
-    view.num_hours = static_cast<std::int64_t>(get_u64(s.payload.data() + 8));
-    if (view.num_hours < 0 ||
-        s.payload.size() !=
-            16 + view.rows * static_cast<std::size_t>(view.num_hours)) {
-      throw SnapshotError("malformed kCoverage payload (size mismatch)");
-    }
-    view.covered = s.payload.subspan(16);
-    return view;
+  const SectionView* s = find_section(SectionType::kCoverage);
+  if (s == nullptr) return std::nullopt;
+  if (s->payload.size() < 16) {
+    throw SnapshotError("malformed kCoverage payload (short header)");
   }
-  return std::nullopt;
+  CoverageSectionView view;
+  view.rows = static_cast<std::size_t>(get_u64(s->payload.data()));
+  view.num_hours = static_cast<std::int64_t>(get_u64(s->payload.data() + 8));
+  if (view.num_hours < 0 ||
+      s->payload.size() !=
+          16 + view.rows * static_cast<std::size_t>(view.num_hours)) {
+    throw SnapshotError("malformed kCoverage payload (size mismatch)");
+  }
+  view.covered = s->payload.subspan(16);
+  return view;
 }
 
 std::optional<QuarantineSectionView> MappedSnapshot::quarantine() const {
-  for (const auto& s : sections_) {
-    if (s.type != SectionType::kQuarantine) continue;
-    if (s.payload.size() < 8) {
-      throw SnapshotError("malformed kQuarantine payload (short header)");
-    }
-    QuarantineSectionView view;
-    view.num_hours = static_cast<std::int64_t>(get_u64(s.payload.data()));
-    const auto hours = static_cast<std::size_t>(view.num_hours);
-    if (view.num_hours <= 0 || s.payload.size() != 8 + hours * 8) {
-      throw SnapshotError("malformed kQuarantine payload (size mismatch)");
-    }
-    view.rejected = payload_span<std::uint32_t>(s.payload, 8, hours);
-    view.repaired = payload_span<std::uint32_t>(s.payload, 8 + hours * 4, hours);
-    return view;
+  const SectionView* s = find_section(SectionType::kQuarantine);
+  if (s == nullptr) return std::nullopt;
+  if (s->payload.size() < 8) {
+    throw SnapshotError("malformed kQuarantine payload (short header)");
   }
-  return std::nullopt;
+  QuarantineSectionView view;
+  view.num_hours = static_cast<std::int64_t>(get_u64(s->payload.data()));
+  const auto hours = static_cast<std::size_t>(view.num_hours);
+  if (view.num_hours <= 0 || s->payload.size() != 8 + hours * 8) {
+    throw SnapshotError("malformed kQuarantine payload (size mismatch)");
+  }
+  view.rejected = payload_span<std::uint32_t>(s->payload, 8, hours);
+  view.repaired = payload_span<std::uint32_t>(s->payload, 8 + hours * 4, hours);
+  return view;
 }
 
 // ---------------------------------------------------------------------------

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -114,6 +115,13 @@ struct QuarantineSectionView {
   std::span<const std::uint32_t> repaired;  ///< Per event hour.
 };
 
+/// What one durability barrier made durable (see SnapshotWriter::sync).
+struct SealEvent {
+  std::string path;              ///< The snapshot file that was sealed.
+  std::uint64_t seals = 0;       ///< 1-based count of sync() calls so far.
+  std::size_t sections_sealed = 0;  ///< Sections appended since the last sync.
+};
+
 /// Appends sections to a snapshot file. All write errors throw SnapshotError.
 class SnapshotWriter {
  public:
@@ -156,8 +164,18 @@ class SnapshotWriter {
 
   /// Durability barrier: flushes the file to stable storage (fsync). A
   /// snapshot is recoverable up to its last sync even if the process dies
-  /// mid-append afterwards.
+  /// mid-append afterwards. When a seal hook is installed it fires after the
+  /// fsync returns, i.e. only for data that is actually durable.
   void sync();
+
+  /// Installs a callback invoked after every successful sync() with what the
+  /// barrier sealed. This is the generation hand-off point of the serving
+  /// layer: a hook that republishes the file into a serve::SnapshotRegistry
+  /// turns every checkpoint seal into a hot snapshot swap. The hook runs on
+  /// the writer's thread; pass nullptr to remove it.
+  void set_seal_hook(std::function<void(const SealEvent&)> hook) {
+    seal_hook_ = std::move(hook);
+  }
 
   /// Closes the file (idempotent; also called by the destructor).
   void close();
@@ -170,6 +188,9 @@ class SnapshotWriter {
 
   std::string path_;
   int fd_ = -1;
+  std::uint64_t seals_ = 0;
+  std::size_t sections_since_sync_ = 0;
+  std::function<void(const SealEvent&)> seal_hook_;
 };
 
 /// Read-only mmap of a snapshot. The constructor validates the header and
@@ -188,6 +209,12 @@ class MappedSnapshot {
   [[nodiscard]] const std::vector<SectionView>& sections() const {
     return sections_;
   }
+
+  /// First section of `type`, or nullptr when the snapshot has none. O(1):
+  /// the per-type index is built once at map time, so per-query accessors
+  /// (and the typed views below) do not re-scan the section list on every
+  /// access. The pointer is valid for the lifetime of this object.
+  [[nodiscard]] const SectionView* find_section(SectionType type) const;
 
   /// First kMatrix section, if any. Throws SnapshotError on a malformed
   /// payload (size not matching rows * cols).
@@ -208,9 +235,15 @@ class MappedSnapshot {
   [[nodiscard]] std::size_t file_size() const { return size_; }
 
  private:
+  void build_section_index();
+
   void* map_ = nullptr;
   std::size_t size_ = 0;
   std::vector<SectionView> sections_;
+  /// (type, first index into sections_) pairs, one per distinct type, in
+  /// first-appearance order. Snapshots carry a handful of distinct types, so
+  /// a flat scan of this list beats any hashing.
+  std::vector<std::pair<SectionType, std::size_t>> first_of_type_;
 };
 
 /// Result of a crash-recovery scan.

@@ -1,0 +1,27 @@
+#include "util/bytes.h"
+
+#include <cstring>
+
+#include "util/error.h"
+
+namespace icn::util {
+
+void ByteQueue::consume(std::size_t n) {
+  ICN_REQUIRE(n <= size(), "ByteQueue::consume past end");
+  head_ += n;
+  if (head_ == buf_.size()) {
+    buf_.clear();
+    head_ = 0;
+    return;
+  }
+  // Compact only when the dead prefix is both large and the majority of the
+  // storage, so a half-parsed frame is not memmoved once per read() call.
+  if (head_ >= 4096 && head_ * 2 >= buf_.size()) {
+    const std::size_t live = size();
+    std::memmove(buf_.data(), buf_.data() + head_, live);
+    buf_.resize(live);
+    head_ = 0;
+  }
+}
+
+}  // namespace icn::util

@@ -1,0 +1,54 @@
+// ByteQueue: the contiguous FIFO byte buffer behind every serve-layer
+// connection. Reads append to the tail, frame parsing consumes from the
+// head; consumed space is reclaimed by sliding the live region to the front
+// only when the dead prefix dominates, so steady-state request traffic does
+// no per-frame memmove and no per-frame allocation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace icn::util {
+
+class ByteQueue {
+ public:
+  /// Bytes currently queued (appended and not yet consumed).
+  [[nodiscard]] std::size_t size() const { return buf_.size() - head_; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Contiguous view of the queued bytes.
+  [[nodiscard]] std::span<const std::uint8_t> data() const {
+    return {buf_.data() + head_, size()};
+  }
+
+  void append(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Grows the tail by `n` uninitialised bytes and returns a writable view
+  /// of them (for readv-style fills); pair with shrink_tail when the fill
+  /// came up short.
+  [[nodiscard]] std::span<std::uint8_t> grow_tail(std::size_t n) {
+    const std::size_t at = buf_.size();
+    buf_.resize(at + n);
+    return {buf_.data() + at, n};
+  }
+
+  void shrink_tail(std::size_t n) { buf_.resize(buf_.size() - n); }
+
+  /// Drops `n` bytes from the head. Requires n <= size().
+  void consume(std::size_t n);
+
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace icn::util

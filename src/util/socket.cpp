@@ -1,0 +1,176 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace icn::util {
+namespace {
+
+[[noreturn]] void fail_errno(const char* op) {
+  throw IoError(std::string("socket: ") + op + " failed: " +
+                std::strerror(errno));
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr) != 1) {
+    fail_errno("inet_pton");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Fd::~Fd() { close(); }
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Fd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Fd::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) fail_errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    fail_errno("fcntl(F_SETFL)");
+  }
+}
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0));
+  if (!fd.valid()) fail_errno("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    fail_errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    fail_errno("bind");
+  }
+  if (::listen(fd.get(), backlog) != 0) fail_errno("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    fail_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  fd_ = std::move(fd);
+}
+
+Fd TcpListener::accept_nonblocking() {
+  const int fd = ::accept4(fd_.get(), nullptr, nullptr,
+                           SOCK_CLOEXEC | SOCK_NONBLOCK);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED ||
+        errno == EINTR) {
+      return Fd();
+    }
+    fail_errno("accept4");
+  }
+  Fd out(fd);
+  set_tcp_nodelay(out.get());
+  return out;
+}
+
+Fd connect_loopback(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) fail_errno("socket");
+  const sockaddr_in addr = loopback_addr(port);
+  while (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) != 0) {
+    if (errno == EINTR) continue;
+    fail_errno("connect");
+  }
+  set_tcp_nodelay(fd.get());
+  return fd;
+}
+
+std::ptrdiff_t read_some(int fd, std::span<std::uint8_t> buf) {
+  while (true) {
+    const ssize_t n = ::read(fd, buf.data(), buf.size());
+    if (n > 0) return n;
+    if (n == 0) return -1;  // Orderly EOF.
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    if (errno == ECONNRESET) return -1;
+    fail_errno("read");
+  }
+}
+
+std::ptrdiff_t write_some(int fd, std::span<const std::uint8_t> buf) {
+  while (true) {
+    const ssize_t n = ::send(fd, buf.data(), buf.size(), MSG_NOSIGNAL);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    if (errno == EPIPE || errno == ECONNRESET) return -1;
+    fail_errno("send");
+  }
+}
+
+void write_all(int fd, std::span<const std::uint8_t> buf) {
+  std::size_t at = 0;
+  while (at < buf.size()) {
+    const ssize_t n =
+        ::send(fd, buf.data() + at, buf.size() - at, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("send");
+    }
+    at += static_cast<std::size_t>(n);
+  }
+}
+
+bool read_exact(int fd, std::span<std::uint8_t> buf) {
+  std::size_t at = 0;
+  while (at < buf.size()) {
+    const ssize_t n = ::read(fd, buf.data() + at, buf.size() - at);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("read");
+    }
+    if (n == 0) {
+      if (at == 0) return false;
+      throw IoError("socket: EOF mid-message (" + std::to_string(at) + "/" +
+                    std::to_string(buf.size()) + " bytes)");
+    }
+    at += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace icn::util

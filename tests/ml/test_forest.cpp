@@ -159,5 +159,39 @@ TEST(RandomForestTest, InputValidation) {
   EXPECT_THROW(forest.feature_importance(), icn::util::PreconditionError);
 }
 
+TEST(RandomForestTest, ArenaAndHeapScratchGrowIdenticalForests) {
+  Matrix x(60, 3);
+  std::vector<int> y;
+  icn::util::Rng rng(5);
+  for (std::size_t i = 0; i < 60; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) x(i, j) = rng.uniform(0.0, 1.0);
+    y.push_back(x(i, 0) + x(i, 1) > 1.0 ? 1 : 0);
+  }
+  RandomForest::Params params;
+  params.num_trees = 8;
+  params.seed = 11;
+  params.scratch = DecisionTree::Scratch::kArena;
+  RandomForest arena_forest;
+  arena_forest.fit(x, y, 2, params);
+  params.scratch = DecisionTree::Scratch::kHeap;
+  RandomForest heap_forest;
+  heap_forest.fit(x, y, 2, params);
+
+  ASSERT_EQ(arena_forest.trees().size(), heap_forest.trees().size());
+  for (std::size_t t = 0; t < arena_forest.trees().size(); ++t) {
+    const auto& a = arena_forest.trees()[t].nodes();
+    const auto& h = heap_forest.trees()[t].nodes();
+    ASSERT_EQ(a.size(), h.size()) << "tree " << t;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].feature, h[i].feature);
+      EXPECT_EQ(a[i].threshold, h[i].threshold);
+      EXPECT_EQ(a[i].value, h[i].value);
+    }
+  }
+  EXPECT_EQ(arena_forest.oob_accuracy(), heap_forest.oob_accuracy());
+  EXPECT_EQ(arena_forest.feature_importance(),
+            heap_forest.feature_importance());
+}
+
 }  // namespace
 }  // namespace icn::ml

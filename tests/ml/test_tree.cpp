@@ -177,5 +177,34 @@ TEST(DecisionTreeTest, FeatureSubsamplingStillLearns) {
   EXPECT_GT(accuracy(pred, y), 0.95);
 }
 
+TEST(DecisionTreeTest, ArenaAndHeapScratchAreBitIdentical) {
+  // The arena path must not change a single output bit relative to the
+  // original heap-vector path: same splits, same thresholds, same rng draws.
+  std::vector<int> y;
+  const Matrix x = quadrant_data(300, 7, &y);
+  for (const std::size_t max_features : {std::size_t{0}, std::size_t{1}}) {
+    DecisionTree::Params params;
+    params.max_features = max_features;
+    params.scratch = DecisionTree::Scratch::kArena;
+    const auto arena_tree = fit_tree(x, y, 4, params, 99);
+    params.scratch = DecisionTree::Scratch::kHeap;
+    const auto heap_tree = fit_tree(x, y, 4, params, 99);
+
+    ASSERT_EQ(arena_tree.nodes().size(), heap_tree.nodes().size());
+    for (std::size_t i = 0; i < arena_tree.nodes().size(); ++i) {
+      const TreeNode& a = arena_tree.nodes()[i];
+      const TreeNode& h = heap_tree.nodes()[i];
+      EXPECT_EQ(a.feature, h.feature) << "node " << i;
+      EXPECT_EQ(a.threshold, h.threshold) << "node " << i;
+      EXPECT_EQ(a.left, h.left) << "node " << i;
+      EXPECT_EQ(a.right, h.right) << "node " << i;
+      EXPECT_EQ(a.cover, h.cover) << "node " << i;
+      EXPECT_EQ(a.value, h.value) << "node " << i;
+    }
+    EXPECT_EQ(arena_tree.impurity_importance(),
+              heap_tree.impurity_importance());
+  }
+}
+
 }  // namespace
 }  // namespace icn::ml

@@ -426,5 +426,71 @@ TEST(SnapshotRecoveryTest, UnusableHeaderThrows) {
   EXPECT_THROW((void)recover_snapshot(file.path()), SnapshotError);
 }
 
+TEST(SnapshotSectionIndexTest, FindSectionLocatesFirstOfEachType) {
+  TempFile file("find_section.snap");
+  {
+    SnapshotWriter writer(file.path());
+    const ml::Matrix m = random_matrix(3, 2, 1);
+    writer.append_matrix(m);
+    const std::vector<std::uint32_t> ids{10, 11, 12};
+    writer.append_stream_meta(ids, 2, 4);
+    const std::vector<double> cells(6, 1.0);
+    writer.append_window(0, cells);
+    writer.append_window(1, cells);
+    writer.sync();
+  }
+  MappedSnapshot snap(file.path());
+  ASSERT_EQ(snap.sections().size(), 4u);
+
+  const SectionView* matrix = snap.find_section(SectionType::kMatrix);
+  ASSERT_NE(matrix, nullptr);
+  EXPECT_EQ(matrix, &snap.sections()[0]);
+  const SectionView* meta = snap.find_section(SectionType::kStreamMeta);
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta, &snap.sections()[1]);
+  // Two kWindow sections: find_section returns the *first*.
+  const SectionView* window = snap.find_section(SectionType::kWindow);
+  ASSERT_NE(window, nullptr);
+  EXPECT_EQ(window, &snap.sections()[2]);
+  EXPECT_EQ(snap.find_section(SectionType::kCoverage), nullptr);
+  EXPECT_EQ(snap.find_section(SectionType::kQuarantine), nullptr);
+
+  // The typed accessors route through the same index.
+  EXPECT_TRUE(snap.matrix().has_value());
+  EXPECT_TRUE(snap.stream_meta().has_value());
+  EXPECT_FALSE(snap.coverage().has_value());
+}
+
+TEST(SnapshotSealHookTest, HookFiresPerBarrierWithSectionCounts) {
+  TempFile file("seal_hook.snap");
+  SnapshotWriter writer(file.path());
+  std::vector<SealEvent> events;
+  writer.set_seal_hook([&](const SealEvent& e) { events.push_back(e); });
+
+  const std::vector<std::uint32_t> ids{1};
+  writer.append_stream_meta(ids, 2, 4);
+  writer.sync();
+  const std::vector<double> cells(2, 3.0);
+  writer.append_window(0, cells);
+  writer.append_window(1, cells);
+  writer.sync();
+  writer.sync();  // Barrier with nothing new still fires (0 sections).
+
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].path, file.path());
+  EXPECT_EQ(events[0].seals, 1u);
+  EXPECT_EQ(events[0].sections_sealed, 1u);
+  EXPECT_EQ(events[1].seals, 2u);
+  EXPECT_EQ(events[1].sections_sealed, 2u);
+  EXPECT_EQ(events[2].seals, 3u);
+  EXPECT_EQ(events[2].sections_sealed, 0u);
+
+  // Removing the hook stops the callbacks.
+  writer.set_seal_hook(nullptr);
+  writer.append_window(2, cells);
+  writer.sync();
+  EXPECT_EQ(events.size(), 3u);
+}
+
 }  // namespace
 }  // namespace icn::store
