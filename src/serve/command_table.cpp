@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
+#include <limits>
 
 namespace icn::serve {
 namespace {
@@ -51,17 +52,25 @@ Status run_slice(const ServedSnapshot& snap, BodyReader& in,
 
   if (*hour_first == kTotalsHours && *hour_last == kTotalsHours) {
     // Totals mode: one row of the kMatrix tensor, straight off the mapping.
+    // Bounds come from the matrix's *own* header dims, not the kStreamMeta
+    // shape the row/service arguments were validated against: each section
+    // is only self-validated, so a snapshot can carry a smaller matrix than
+    // its meta claims. Cells outside the matrix read as 0.0, mirroring the
+    // short-window fallback below.
     if (!snap.matrix()) return Status::kNoSection;
     const auto& m = *snap.matrix();
     put_u32(body, 0);  // count_hours == 0 marks a totals reply.
     put_u32(body, static_cast<std::uint32_t>(services));
-    const double* src = m.values.data() + *row * m.cols;
     const auto at = body.size();
-    body.resize(at + services * 8);
-    if (*service == kAllServices) {
-      std::memcpy(body.data() + at, src, services * 8);
-    } else {
-      std::memcpy(body.data() + at, src + *service, 8);
+    body.resize(at + services * 8);  // Value-initialized: zero fill.
+    if (*row < m.rows) {
+      const double* src = m.values.data() + *row * m.cols;
+      if (*service == kAllServices) {
+        std::memcpy(body.data() + at, src,
+                    std::min<std::size_t>(services, m.cols) * 8);
+      } else if (*service < m.cols) {
+        std::memcpy(body.data() + at, src + *service, 8);
+      }
     }
     return Status::kOk;
   }
@@ -161,6 +170,9 @@ Status run_coverage(const ServedSnapshot& snap, BodyReader& in,
         // Probe-level bitmap: every antenna shares the hour coverage.
         covered *= rows;
       }
+      // A section carrying more hours than the meta claims could otherwise
+      // report covered > total.
+      covered = std::min(covered, total_cells);
     }
     put_u32(body, static_cast<std::uint32_t>(rows));
     put_i64(body, hours);
@@ -175,12 +187,18 @@ Status run_coverage(const ServedSnapshot& snap, BodyReader& in,
   if (snap.coverage() && hours > 0) {
     const auto& cov = *snap.coverage();
     const std::size_t cov_row = cov.rows == 1 ? 0 : *row;
-    if (cov_row < cov.rows) {
+    if (cov_row < cov.rows && cov.num_hours > 0) {
+      // Stride and scan bound come from the section's own header, not the
+      // kStreamMeta hour count: the two are each only self-validated and can
+      // disagree, and a meta-derived stride would walk past the bitmap.
+      // Meta hours beyond the bitmap read as uncovered.
       const std::uint8_t* bits =
-          cov.covered.data() + cov_row * static_cast<std::size_t>(hours);
+          cov.covered.data() +
+          cov_row * static_cast<std::size_t>(cov.num_hours);
+      const std::int64_t scan = std::min<std::int64_t>(cov.num_hours, hours);
       std::int64_t covered = 0;
       std::int64_t gap_start = -1;
-      for (std::int64_t h = 0; h < hours; ++h) {
+      for (std::int64_t h = 0; h < scan; ++h) {
         if (bits[h] != 0) {
           covered += 1;
           if (gap_start >= 0) {
@@ -191,6 +209,7 @@ Status run_coverage(const ServedSnapshot& snap, BodyReader& in,
           gap_start = h;
         }
       }
+      if (gap_start < 0 && scan < hours) gap_start = scan;
       if (gap_start >= 0) gaps.emplace_back(gap_start, hours);
       fraction = static_cast<double>(covered) / static_cast<double>(hours);
     }
@@ -265,12 +284,28 @@ std::size_t reply_body_bound(const ServedSnapshot& snap, Opcode opcode,
       if (!in.done()) return 0;  // Will fail kBadBody anyway.
       const std::size_t services =
           (service && *service == kAllServices) ? snap.num_services() : 1;
+      // Only a non-negative, ordered range sizes a multi-hour body; that
+      // keeps the subtraction away from signed overflow on wire-controlled
+      // extremes (e.g. hour_first == INT64_MIN). Everything else — totals
+      // mode, reversed or negative ranges the handler rejects — bounds to
+      // one hour's worth.
       std::size_t hours = 1;
-      if (hour_first && hour_last && *hour_last >= *hour_first) {
-        hours = static_cast<std::size_t>(*hour_last - *hour_first);
+      if (hour_first && hour_last && *hour_first >= 0 &&
+          *hour_last >= *hour_first) {
+        hours = static_cast<std::size_t>(*hour_last) -
+                static_cast<std::size_t>(*hour_first);
         if (hours == 0) hours = 1;
       }
-      return 8 + hours * services * 8;
+      // Saturating product: a wrapped size would sneak a huge reply past
+      // the oversized pre-check.
+      constexpr std::size_t kSaturated =
+          std::numeric_limits<std::size_t>::max();
+      std::size_t bytes = hours;
+      for (const std::size_t factor : {services, std::size_t{8}}) {
+        if (factor != 0 && bytes > kSaturated / factor) return kSaturated;
+        bytes *= factor;
+      }
+      return bytes >= kSaturated - 8 ? kSaturated : 8 + bytes;
     }
     case Opcode::kQuarantine:
       return 20 + (snap.quarantine()
@@ -279,8 +314,9 @@ std::size_t reply_body_bound(const ServedSnapshot& snap, Opcode opcode,
                              8
                        : 0);
     case Opcode::kCoverage:
-      // fraction + gap count + worst case one gap per two hours.
-      return 12 + static_cast<std::size_t>(std::max<std::int64_t>(
+      // fraction + gap count + worst case ceil(hours / 2) gaps of 16 bytes
+      // (an alternating bitmap): 12 + 8 * hours + 8, rounded up.
+      return 20 + static_cast<std::size_t>(std::max<std::int64_t>(
                       0, snap.num_hours())) *
                       8;
     case Opcode::kShap: {
@@ -336,8 +372,9 @@ void dispatch_request(const ServedSnapshot* snap,
     return;
   }
 
-  if (reply_body_bound(*snap, req.opcode, req.body) + kReplyHeaderSize >
-      max_reply_frame) {
+  // Subtract, never add: a saturated bound plus the header would wrap.
+  if (reply_body_bound(*snap, req.opcode, req.body) >
+      max_reply_frame - std::min(kReplyHeaderSize, max_reply_frame)) {
     append_error_reply(out, req.request_id, req.opcode, Status::kOversized,
                        generation,
                        std::string(handler.name) +

@@ -182,9 +182,19 @@ int Server::step(int timeout_ms) {
     if (session.state() != SessionState::kClosed &&
         (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
       session.on_readable(tick);
-      // Greedy flush: most replies fit the kernel buffer, so answering in
-      // the same round avoids a second epoll round-trip per request.
-      if (session.state() != SessionState::kClosed) session.on_writable();
+    }
+    // Greedy flush + backpressure replay. Flushing in the same round avoids
+    // a second epoll round-trip per request, and every drain below the
+    // high-water mark must re-parse the frames that were already buffered
+    // when backpressure tripped: a pipelining client waiting on those
+    // replies sends no new bytes, so level-triggered EPOLLIN alone would
+    // strand them in read_buf_ forever.
+    while (session.state() != SessionState::kClosed) {
+      session.on_writable();
+      if (session.state() == SessionState::kClosed ||
+          !session.serve_buffered(tick)) {
+        break;
+      }
     }
     stats_.frames_served += session.frames_served() - frames_before;
     if (session.state() == SessionState::kClosed) {

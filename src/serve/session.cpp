@@ -80,31 +80,36 @@ void Session::on_readable(std::uint64_t tick) {
     }
     read_buf_.shrink_tail(span.size() - static_cast<std::size_t>(n));
     if (n == 0) break;  // EAGAIN: socket drained.
-
-    while (true) {
-      const FrameResult frame =
-          try_parse_frame(read_buf_.data(), limits_.max_frame);
-      if (frame.kind == FrameResult::Kind::kNeedMore) break;
-      if (frame.kind == FrameResult::Kind::kOversized) {
-        // Typed reject, then drain-and-close: the stream position after an
-        // unread over-long payload is unknowable, so the connection cannot
-        // be resynchronized.
-        reply_scratch_.clear();
-        append_error_reply(
-            reply_scratch_, 0, Opcode::kPing, Status::kOversized,
-            pinned_generation(),
-            "frame of " + std::to_string(frame.declared_len) +
-                " bytes exceeds the server max of " +
-                std::to_string(limits_.max_frame));
-        write_buf_.append(reply_scratch_);
-        state_ = SessionState::kDraining;
-        return;
-      }
-      serve_frame(frame.payload, tick);
-      read_buf_.consume(frame.consumed);
-      if (!wants_read()) break;  // Backpressure tripped mid-burst.
-    }
+    serve_buffered(tick);
   }
+}
+
+bool Session::serve_buffered(std::uint64_t tick) {
+  bool served = false;
+  while (wants_read()) {
+    const FrameResult frame =
+        try_parse_frame(read_buf_.data(), limits_.max_frame);
+    if (frame.kind == FrameResult::Kind::kNeedMore) break;
+    if (frame.kind == FrameResult::Kind::kOversized) {
+      // Typed reject, then drain-and-close: the stream position after an
+      // unread over-long payload is unknowable, so the connection cannot
+      // be resynchronized.
+      reply_scratch_.clear();
+      append_error_reply(
+          reply_scratch_, 0, Opcode::kPing, Status::kOversized,
+          pinned_generation(),
+          "frame of " + std::to_string(frame.declared_len) +
+              " bytes exceeds the server max of " +
+              std::to_string(limits_.max_frame));
+      write_buf_.append(reply_scratch_);
+      state_ = SessionState::kDraining;
+      return true;
+    }
+    serve_frame(frame.payload, tick);
+    read_buf_.consume(frame.consumed);
+    served = true;
+  }
+  return served;
 }
 
 void Session::on_writable() {

@@ -18,6 +18,7 @@
 // itself, not the server.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 
@@ -34,8 +35,14 @@ namespace icn::serve {
 /// reproducible). tokens_per_tick == 0 disables limiting.
 class TokenBucket {
  public:
+  // A non-zero rate with burst below the rate could never refill a full
+  // tick's worth (refill is capped at burst; burst == 0 rejects forever), so
+  // the burst is normalized to at least the per-tick rate.
   TokenBucket(std::uint32_t tokens_per_tick, std::uint32_t burst)
-      : rate_(tokens_per_tick), burst_(burst), tokens_(burst) {}
+      : rate_(tokens_per_tick),
+        burst_(tokens_per_tick > 0 ? std::max(burst, tokens_per_tick)
+                                   : burst),
+        tokens_(burst_) {}
 
   /// Advances the clock to `tick`, refilling rate_ tokens per elapsed tick
   /// up to the burst cap.
@@ -92,6 +99,15 @@ class Session {
   /// Flushes queued reply bytes. Transitions kDraining -> kClosed when the
   /// queue empties.
   void on_writable();
+
+  /// Parses and serves every complete frame already buffered in the read
+  /// queue, stopping when backpressure trips. Returns true when at least one
+  /// frame was served. The reactor must call this after the write queue
+  /// drains below the high-water mark: frames buffered when backpressure
+  /// tripped would otherwise never be revisited — level-triggered EPOLLIN
+  /// stays silent while a pipelining client waits for replies to requests it
+  /// already sent.
+  bool serve_buffered(std::uint64_t tick);
 
   /// Generation currently pinned (0 = none).
   [[nodiscard]] std::uint64_t pinned_generation() const {

@@ -12,9 +12,11 @@
 #include <sys/socket.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -110,6 +112,17 @@ TEST(TokenBucketTest, RefillsPerTickUpToBurst) {
   EXPECT_FALSE(bucket.try_take());  // Only rate=2 refilled.
   bucket.advance(1000000);          // Long idle: clamped to burst.
   EXPECT_EQ(bucket.tokens(), 4u);
+}
+
+TEST(TokenBucketTest, ZeroBurstWithNonZeroRateNormalizesToRate) {
+  // burst == 0 with a non-zero rate would otherwise start empty and never
+  // refill (the refill is capped at burst): every request rejected forever.
+  TokenBucket bucket(3, 0);
+  EXPECT_EQ(bucket.tokens(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(bucket.try_take());
+  EXPECT_FALSE(bucket.try_take());
+  bucket.advance(1);
+  EXPECT_TRUE(bucket.try_take());  // The bucket is live, not dead on arrival.
 }
 
 // --- Step-driven (deterministic single-threaded mode) --------------------
@@ -274,6 +287,55 @@ TEST(ServeServerTest, RateLimitIsDeterministicOnVirtualTicks) {
   EXPECT_EQ(third->status, Status::kOk);
 }
 
+TEST(ServeServerTest, PipelinedBurstBehindBackpressureFullyServed) {
+  SnapshotRegistry registry;
+  ServeConfig config;
+  // A high-water mark that a handful of ping replies overruns: backpressure
+  // trips mid-burst with complete frames still buffered in the session's
+  // read queue.
+  config.write_high_water = 256;
+  Server server(config, registry);
+  icn::util::Fd client = icn::util::connect_loopback(server.port());
+
+  // One pipelined segment, then silence: the client sends nothing further
+  // while it waits for replies to requests it already wrote, so
+  // level-triggered EPOLLIN alone will never revisit the buffered frames —
+  // the reactor must replay them as the write queue drains.
+  constexpr std::uint32_t kPings = 50;
+  std::vector<std::uint8_t> burst;
+  for (std::uint32_t i = 0; i < kPings; ++i) {
+    const auto frame = build_request(i, Opcode::kPing);
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  icn::util::write_all(client.get(), burst);
+
+  icn::util::ByteQueue stream;
+  std::uint32_t replies = 0;
+  for (int round = 0; round < 400 && replies < kPings; ++round) {
+    server.step(10);
+    auto span = stream.grow_tail(4096);
+    const ssize_t n =
+        ::recv(client.get(), span.data(), span.size(), MSG_DONTWAIT);
+    stream.shrink_tail(span.size() -
+                       static_cast<std::size_t>(std::max<ssize_t>(0, n)));
+    while (true) {
+      const FrameResult frame =
+          try_parse_frame(stream.data(), kDefaultMaxFrame);
+      if (frame.kind != FrameResult::Kind::kFrame) break;
+      const auto reply = decode_reply(frame.payload);
+      ASSERT_TRUE(reply.has_value());
+      EXPECT_EQ(reply->request_id, replies);  // In order, none dropped.
+      EXPECT_EQ(reply->status, Status::kOk);
+      stream.consume(frame.consumed);
+      ++replies;
+    }
+  }
+  EXPECT_EQ(replies, kPings) << "frames buffered behind backpressure were "
+                                "never replayed after the write queue "
+                                "drained";
+  EXPECT_EQ(server.num_sessions(), 1u);
+}
+
 TEST(ServeServerTest, EnvConfigRejectsGarbage) {
   ::setenv("ICN_SERVE_MAX_CONNS", "not-a-number", 1);
   EXPECT_THROW(ServeConfig::from_env(), icn::util::EnvConfigError);
@@ -286,6 +348,131 @@ TEST(ServeServerTest, EnvConfigRejectsGarbage) {
   EXPECT_EQ(config.rate_tokens_per_tick, 7u);
   EXPECT_EQ(config.rate_burst, 7u);  // Defaults to the rate when unset.
   ::unsetenv("ICN_SERVE_RATE");
+}
+
+// --- Mismatched-section hardening ----------------------------------------
+
+/// Writes a snapshot whose kMatrix and kCoverage shapes deliberately
+/// disagree with kStreamMeta. Every section is only self-validated, so the
+/// command table must bound each access with the section's own dims, never
+/// the meta-derived shape the request arguments were range-checked against.
+void write_skewed_snapshot(const std::string& path) {
+  store::SnapshotWriter writer(path);
+  const std::vector<std::uint32_t> ids{101, 102, 103, 104, 105};
+  writer.append_stream_meta(ids, 3, 8);
+  ml::Matrix totals(2, 2);  // Smaller than the meta's 5 x 3.
+  totals(0, 0) = 1.0;
+  totals(0, 1) = 2.0;
+  totals(1, 0) = 3.0;
+  totals(1, 1) = 4.0;
+  writer.append_matrix(totals);
+  // Per-antenna coverage over 4 hours against the meta's 8.
+  std::vector<std::uint8_t> covered(5 * 4, 1);
+  covered[4 * 4 + 1] = 0;  // Row 4, hour 1: the only in-bitmap gap.
+  writer.append_coverage(5, 4, covered);
+  writer.sync();
+}
+
+/// One deterministic-mode round trip: returns the decoded reply plus the
+/// frame that owns its body span.
+std::pair<std::vector<std::uint8_t>, std::optional<Reply>> table_call(
+    const ServedSnapshot& snap, std::uint32_t id, Opcode opcode,
+    std::span<const std::uint8_t> body) {
+  const auto frame = build_request(id, opcode, body);
+  auto out = deterministic_reply(&snap,
+                                 {frame.data() + 4, frame.size() - 4});
+  const auto reply = decode_reply({out.data() + 4, out.size() - 4});
+  return {std::move(out), reply};
+}
+
+TEST(ServeCommandTableTest, SliceTotalsBoundsAgainstMatrixOwnDims) {
+  TempFile file("skewed_matrix.snap");
+  write_skewed_snapshot(file.path());
+  const auto snap = ServedSnapshot::load(file.path());
+  ASSERT_EQ(snap->num_antennas(), 5u);  // Meta shape...
+  ASSERT_EQ(snap->matrix()->rows, 2u);  // ...the matrix disagrees with.
+
+  // A row valid per the meta but past the matrix reads as zeros, not as an
+  // out-of-bounds walk off the mapping.
+  auto [raw1, reply1] =
+      table_call(*snap, 1, Opcode::kSlice,
+                 make_slice_body(4, kAllServices, kTotalsHours, kTotalsHours));
+  ASSERT_TRUE(reply1.has_value());
+  ASSERT_EQ(reply1->status, Status::kOk);
+  ASSERT_EQ(reply1->body.size(), 8u + 3 * 8u);
+  std::array<double, 3> values{};
+  std::memcpy(values.data(), reply1->body.data() + 8, 3 * 8);
+  EXPECT_EQ(values, (std::array<double, 3>{0.0, 0.0, 0.0}));
+
+  // A row inside the matrix serves its cells; meta services past the
+  // matrix's columns read as zeros.
+  auto [raw2, reply2] =
+      table_call(*snap, 2, Opcode::kSlice,
+                 make_slice_body(1, kAllServices, kTotalsHours, kTotalsHours));
+  ASSERT_TRUE(reply2.has_value());
+  ASSERT_EQ(reply2->status, Status::kOk);
+  ASSERT_EQ(reply2->body.size(), 8u + 3 * 8u);
+  std::memcpy(values.data(), reply2->body.data() + 8, 3 * 8);
+  EXPECT_EQ(values, (std::array<double, 3>{3.0, 4.0, 0.0}));
+
+  // A single requested service past the matrix's columns reads as zero.
+  auto [raw3, reply3] =
+      table_call(*snap, 3, Opcode::kSlice,
+                 make_slice_body(0, 2, kTotalsHours, kTotalsHours));
+  ASSERT_TRUE(reply3.has_value());
+  ASSERT_EQ(reply3->status, Status::kOk);
+  ASSERT_EQ(reply3->body.size(), 8u + 8u);
+  double one = -1.0;
+  std::memcpy(&one, reply3->body.data() + 8, 8);
+  EXPECT_EQ(one, 0.0);
+}
+
+TEST(ServeCommandTableTest, CoverageUsesSectionOwnHourStride) {
+  TempFile file("skewed_cov.snap");
+  write_skewed_snapshot(file.path());
+  const auto snap = ServedSnapshot::load(file.path());
+  ASSERT_EQ(snap->num_hours(), 8);
+  ASSERT_EQ(snap->coverage()->num_hours, 4);
+
+  const auto [raw, reply] =
+      table_call(*snap, 1, Opcode::kCoverage, make_coverage_body(4));
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->status, Status::kOk);
+  ASSERT_GE(reply->body.size(), 12u);
+  double fraction = 0.0;
+  std::memcpy(&fraction, reply->body.data(), 8);
+  std::uint32_t gap_count = 0;
+  std::memcpy(&gap_count, reply->body.data() + 8, 4);
+  // With the section's own 4-hour stride, row 4's bitmap covers hours
+  // {0, 2, 3}; meta hours 4..8 have no bitmap and read as uncovered. A
+  // meta-derived stride would have scanned rows 8..9, which do not exist.
+  EXPECT_EQ(fraction, 3.0 / 8.0);
+  ASSERT_EQ(gap_count, 2u);
+  std::array<std::int64_t, 4> bounds{};
+  std::memcpy(bounds.data(), reply->body.data() + 12, 4 * 8);
+  EXPECT_EQ(bounds, (std::array<std::int64_t, 4>{1, 2, 4, 8}));
+}
+
+TEST(ServeCommandTableTest, SliceHourExtremesGetTypedRejects) {
+  TempFile file("hour_extremes.snap");
+  write_flavored_snapshot(file.path(), 0);
+  const auto snap = ServedSnapshot::load(file.path());
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+  // hour_first == INT64_MIN once hit signed overflow (UB) in the reply-size
+  // bound before the handler's negative-range check could reject it.
+  const auto [raw1, reply1] = table_call(
+      *snap, 1, Opcode::kSlice, make_slice_body(0, kAllServices, kMin, 1));
+  ASSERT_TRUE(reply1.has_value());
+  EXPECT_EQ(reply1->status, Status::kBadBody);
+
+  // A huge non-negative range saturates the bound instead of wrapping it,
+  // so the oversized pre-check stays conservative.
+  const auto [raw2, reply2] = table_call(
+      *snap, 2, Opcode::kSlice, make_slice_body(0, kAllServices, 0, kMax));
+  ASSERT_TRUE(reply2.has_value());
+  EXPECT_EQ(reply2->status, Status::kOversized);
 }
 
 // --- Snapshot hand-off ---------------------------------------------------
