@@ -15,6 +15,7 @@
 
 #include "serve/client.h"
 #include "serve/command_table.h"
+#include "serve/fault.h"
 #include "serve/registry.h"
 #include "serve/server.h"
 #include "store/snapshot.h"
@@ -131,6 +132,54 @@ void BM_ServeHotSwap(benchmark::State& state) {
   std::remove(b.c_str());
 }
 BENCHMARK(BM_ServeHotSwap)->Unit(benchmark::kMicrosecond);
+
+void BM_ServeFaultyThroughput(benchmark::State& state) {
+  // Query round trips with a seeded FaultyTransport under every session:
+  // per-tick rx/tx byte budgets (partial reads + short writes) but no
+  // corruption or resets, so every call completes. The gap to
+  // BM_ServeQueryThroughput is the cost of riding out a degraded link —
+  // retried reads across ticks, fragmented reply flushes — with a resilient
+  // client on the other end.
+  serve::SnapshotRegistry registry;
+  registry.publish_file(bench_snapshot());
+  serve::Server server(serve::ServeConfig{}, registry);
+  serve::ServeFaultPlanParams params;
+  params.seed = 42;
+  params.partial_read_rate = 0.25;
+  params.partial_read_max = 64;
+  params.short_write_rate = 0.25;
+  params.short_write_max = 256;
+  const serve::ServeFaultPlan plan(params);
+  server.set_transport_factory(
+      [&plan](std::unique_ptr<serve::Transport> inner, std::uint64_t conn) {
+        // Null ledger: bench mode, no audit trail to grow unbounded.
+        return std::make_unique<serve::FaultyTransport>(std::move(inner),
+                                                        &plan, conn, nullptr);
+      });
+  std::thread reactor([&server] { server.run(); });
+  {
+    serve::ClientOptions options;
+    options.max_attempts = 3;
+    options.backoff_base_ms = 1;
+    options.backoff_max_ms = 8;
+    serve::QueryClient client(server.port(), options);
+    const std::vector<std::uint8_t> body = serve::make_slice_body(
+        7, serve::kAllServices, serve::kTotalsHours, serve::kTotalsHours);
+    std::uint32_t id = 1;
+    std::size_t reply_bytes = 0;
+    for (auto _ : state) {
+      const serve::Reply reply =
+          client.call_idempotent(serve::Opcode::kSlice, body, id++);
+      benchmark::DoNotOptimize(reply.generation);
+      reply_bytes += serve::kReplyHeaderSize + reply.body.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetBytesProcessed(static_cast<std::int64_t>(reply_bytes));
+  }
+  server.begin_drain();
+  reactor.join();
+}
+BENCHMARK(BM_ServeFaultyThroughput)->Unit(benchmark::kMicrosecond);
 
 void BM_ServeDispatchOnly(benchmark::State& state) {
   // The deterministic core without sockets: one dispatch of an hourly

@@ -259,7 +259,19 @@ Status run_repin(const ServedSnapshot&, BodyReader&,
   return Status::kOk;
 }
 
-constexpr std::array<CommandHandler, 8> kCommandTable{{
+// --- kHealth -------------------------------------------------------------
+
+Status run_health(const ServedSnapshot&, BodyReader&,
+                  std::vector<std::uint8_t>& body) {
+  // Dispatch is a pure function of (snapshot, request); live reactor
+  // counters are session state, so the deterministic path answers with a
+  // zeroed HealthInfo and Session::serve_frame overrides it with the real
+  // numbers. kHealth is therefore excluded from the byte-exactness oracle.
+  append_health_body(body, HealthInfo{});
+  return Status::kOk;
+}
+
+constexpr std::array<CommandHandler, 9> kCommandTable{{
     {Opcode::kPing, "ping", 0, run_ping},
     {Opcode::kInfo, "info", 0, run_info},
     {Opcode::kSlice, "slice", 24, run_slice},
@@ -268,6 +280,7 @@ constexpr std::array<CommandHandler, 8> kCommandTable{{
     {Opcode::kCoverage, "coverage", 4, run_coverage},
     {Opcode::kQuarantine, "quarantine", 0, run_quarantine},
     {Opcode::kRepin, "repin", 0, run_repin},
+    {Opcode::kHealth, "health", 0, run_health},
 }};
 
 /// Worst-case kOk body bytes a handler may append, so the dispatcher can
@@ -328,6 +341,8 @@ std::size_t reply_body_bound(const ServedSnapshot& snap, Opcode opcode,
       }
       return 4 + max_rank * 28;
     }
+    case Opcode::kHealth:
+      return kHealthBodySize;
     default:
       return 64;  // Fixed-size replies.
   }
@@ -361,9 +376,11 @@ void dispatch_request(const ServedSnapshot* snap,
     return;
   }
   if (snap == nullptr) {
-    if (req.opcode == Opcode::kPing || req.opcode == Opcode::kRepin) {
+    if (req.opcode == Opcode::kPing || req.opcode == Opcode::kRepin ||
+        req.opcode == Opcode::kHealth) {
       std::vector<std::uint8_t> body;
       if (req.opcode == Opcode::kPing) put_u32(body, kProtocolVersion);
+      if (req.opcode == Opcode::kHealth) append_health_body(body, HealthInfo{});
       append_reply(out, req.request_id, req.opcode, Status::kOk, 0, body);
     } else {
       append_error_reply(out, req.request_id, req.opcode, Status::kNoSnapshot,

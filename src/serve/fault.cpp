@@ -1,0 +1,232 @@
+#include "serve/fault.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace icn::serve {
+namespace {
+
+// Substream tags keep the per-purpose decision streams independent: the rx
+// budget of a cell never shifts because the stall rate changed.
+constexpr std::uint64_t kTagRx = 1;
+constexpr std::uint64_t kTagTx = 2;
+constexpr std::uint64_t kTagStall = 3;
+constexpr std::uint64_t kTagCorrupt = 4;
+constexpr std::uint64_t kTagReset = 5;
+
+}  // namespace
+
+std::string to_string(ServeFaultKind kind) {
+  switch (kind) {
+    case ServeFaultKind::kPartialRead:
+      return "partial_read";
+    case ServeFaultKind::kShortWrite:
+      return "short_write";
+    case ServeFaultKind::kStall:
+      return "stall";
+    case ServeFaultKind::kCorrupt:
+      return "corrupt";
+    case ServeFaultKind::kReset:
+      return "reset";
+  }
+  return "?";
+}
+
+std::string to_string(const ServeFaultEvent& event) {
+  return "conn=" + std::to_string(event.conn) +
+         " tick=" + std::to_string(event.tick) + " " + to_string(event.kind) +
+         " a=" + std::to_string(event.a) + " b=" + std::to_string(event.b);
+}
+
+std::string to_text(const ServeFaultLedger& ledger) {
+  std::string out;
+  for (const ServeFaultEvent& event : ledger) {
+    out += to_string(event);
+    out += '\n';
+  }
+  return out;
+}
+
+ServeFaultPlan::ServeFaultPlan(const ServeFaultPlanParams& params)
+    : params_(params) {
+  ICN_REQUIRE(params_.partial_read_max >= 1,
+              "serve fault plan: partial_read_max >= 1");
+  ICN_REQUIRE(params_.short_write_max >= 1,
+              "serve fault plan: short_write_max >= 1");
+  ICN_REQUIRE(params_.stall_max_ticks >= 1,
+              "serve fault plan: stall_max_ticks >= 1");
+  ICN_REQUIRE(params_.reset_min_ticks >= 1 &&
+                  params_.reset_min_ticks <= params_.reset_max_ticks,
+              "serve fault plan: 1 <= reset_min_ticks <= reset_max_ticks");
+}
+
+std::size_t ServeFaultPlan::rx_budget(std::uint64_t conn,
+                                      std::uint64_t tick) const {
+  if (stalled(conn, tick)) return 0;
+  icn::util::Rng rng(
+      icn::util::derive_seed(params_.seed, conn, tick, kTagRx));
+  if (!rng.bernoulli(params_.partial_read_rate)) return kUnlimited;
+  return 1 + static_cast<std::size_t>(
+                 rng.uniform_index(params_.partial_read_max));
+}
+
+std::size_t ServeFaultPlan::tx_budget(std::uint64_t conn,
+                                      std::uint64_t tick) const {
+  if (stalled(conn, tick)) return 0;
+  icn::util::Rng rng(
+      icn::util::derive_seed(params_.seed, conn, tick, kTagTx));
+  if (!rng.bernoulli(params_.short_write_rate)) return kUnlimited;
+  return 1 + static_cast<std::size_t>(
+                 rng.uniform_index(params_.short_write_max));
+}
+
+std::uint64_t ServeFaultPlan::stall_starting_at(std::uint64_t conn,
+                                                std::uint64_t tick) const {
+  if (params_.stall_rate <= 0.0) return 0;
+  icn::util::Rng rng(
+      icn::util::derive_seed(params_.seed, conn, tick, kTagStall));
+  if (!rng.bernoulli(params_.stall_rate)) return 0;
+  return 1 + rng.uniform_index(params_.stall_max_ticks);
+}
+
+bool ServeFaultPlan::stalled(std::uint64_t conn, std::uint64_t tick) const {
+  if (params_.stall_rate <= 0.0) return false;
+  // A window of length L starting at t covers [t, t + L); scan every start
+  // that could still cover `tick`.
+  for (std::uint64_t back = 0; back < params_.stall_max_ticks; ++back) {
+    if (back > tick) break;
+    if (stall_starting_at(conn, tick - back) > back) return true;
+  }
+  return false;
+}
+
+std::optional<std::uint8_t> ServeFaultPlan::corrupt_mask(
+    std::uint64_t conn, std::uint64_t offset) const {
+  if (params_.corrupt_rate <= 0.0) return std::nullopt;
+  icn::util::Rng rng(
+      icn::util::derive_seed(params_.seed, conn, offset, kTagCorrupt));
+  if (!rng.bernoulli(params_.corrupt_rate)) return std::nullopt;
+  return static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+}
+
+std::optional<std::uint64_t> ServeFaultPlan::reset_after(
+    std::uint64_t conn) const {
+  if (params_.reset_rate <= 0.0) return std::nullopt;
+  icn::util::Rng rng(icn::util::derive_seed(params_.seed, conn, kTagReset));
+  if (!rng.bernoulli(params_.reset_rate)) return std::nullopt;
+  return params_.reset_min_ticks +
+         rng.uniform_index(params_.reset_max_ticks - params_.reset_min_ticks +
+                           1);
+}
+
+FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner,
+                                 const ServeFaultPlan* plan,
+                                 std::uint64_t conn, ServeFaultLedger* ledger)
+    : inner_(std::move(inner)), plan_(plan), conn_(conn), ledger_(ledger) {
+  ICN_REQUIRE(inner_ != nullptr && plan_ != nullptr,
+              "faulty transport: inner transport and plan required");
+}
+
+void FaultyTransport::log(ServeFaultKind kind, std::uint64_t tick,
+                          std::uint64_t a, std::uint64_t b) {
+  if (ledger_ != nullptr) {
+    ledger_->push_back(ServeFaultEvent{conn_, tick, kind, a, b});
+  }
+}
+
+bool FaultyTransport::check_reset(std::uint64_t tick) {
+  if (reset_fired_) return true;
+  if (!birth_tick_.has_value()) birth_tick_ = tick;
+  const std::optional<std::uint64_t> lifetime = plan_->reset_after(conn_);
+  if (lifetime.has_value() && tick - *birth_tick_ >= *lifetime) {
+    log(ServeFaultKind::kReset, tick, *lifetime, 0);
+    inner_->close();
+    reset_fired_ = true;
+    return true;
+  }
+  return false;
+}
+
+void FaultyTransport::roll_tick(std::uint64_t tick) {
+  if (!tick_seen_ || tick != cur_tick_) {
+    cur_tick_ = tick;
+    tick_seen_ = true;
+    rx_used_ = 0;
+    tx_used_ = 0;
+    stall_logged_ = false;
+    partial_logged_ = false;
+    short_logged_ = false;
+  }
+}
+
+std::ptrdiff_t FaultyTransport::read_some(std::span<std::uint8_t> buf,
+                                          std::uint64_t tick) {
+  if (check_reset(tick)) return -1;
+  roll_tick(tick);
+  if (plan_->stalled(conn_, tick)) {
+    if (!stall_logged_) {
+      log(ServeFaultKind::kStall, tick, 0, 0);
+      stall_logged_ = true;
+    }
+    return 0;
+  }
+  const std::size_t budget = plan_->rx_budget(conn_, tick);
+  std::size_t allowed = buf.size();
+  if (budget != ServeFaultPlan::kUnlimited) {
+    if (rx_used_ >= budget) return 0;
+    allowed = std::min(allowed, budget - rx_used_);
+  }
+  const std::ptrdiff_t n = inner_->read_some(buf.first(allowed), tick);
+  if (n <= 0) return n;
+  if (budget != ServeFaultPlan::kUnlimited) {
+    rx_used_ += static_cast<std::size_t>(n);
+    if (!partial_logged_) {
+      log(ServeFaultKind::kPartialRead, tick, budget,
+          static_cast<std::uint64_t>(n));
+      partial_logged_ = true;
+    }
+  }
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::uint64_t offset = rx_offset_ + static_cast<std::uint64_t>(i);
+    if (const auto mask = plan_->corrupt_mask(conn_, offset)) {
+      buf[static_cast<std::size_t>(i)] ^= *mask;
+      log(ServeFaultKind::kCorrupt, tick, offset, *mask);
+    }
+  }
+  rx_offset_ += static_cast<std::uint64_t>(n);
+  return n;
+}
+
+std::ptrdiff_t FaultyTransport::write_some(std::span<const std::uint8_t> buf,
+                                           std::uint64_t tick) {
+  if (check_reset(tick)) return -1;
+  roll_tick(tick);
+  if (plan_->stalled(conn_, tick)) {
+    if (!stall_logged_) {
+      log(ServeFaultKind::kStall, tick, 0, 0);
+      stall_logged_ = true;
+    }
+    return 0;
+  }
+  const std::size_t budget = plan_->tx_budget(conn_, tick);
+  std::size_t allowed = buf.size();
+  if (budget != ServeFaultPlan::kUnlimited) {
+    if (tx_used_ >= budget) return 0;
+    allowed = std::min(allowed, budget - tx_used_);
+  }
+  const std::ptrdiff_t n = inner_->write_some(buf.first(allowed), tick);
+  if (n <= 0) return n;
+  if (budget != ServeFaultPlan::kUnlimited) {
+    tx_used_ += static_cast<std::size_t>(n);
+    if (!short_logged_) {
+      log(ServeFaultKind::kShortWrite, tick, budget,
+          static_cast<std::uint64_t>(n));
+      short_logged_ = true;
+    }
+  }
+  return n;
+}
+
+}  // namespace icn::serve

@@ -26,7 +26,7 @@ std::uint64_t get_u64(const std::uint8_t* p) {
 
 bool known_opcode(std::uint8_t op) {
   return op >= static_cast<std::uint8_t>(Opcode::kPing) &&
-         op <= static_cast<std::uint8_t>(Opcode::kRepin);
+         op <= static_cast<std::uint8_t>(Opcode::kHealth);
 }
 
 }  // namespace
@@ -53,8 +53,32 @@ const char* to_string(Status status) {
       return "server full";
     case Status::kNoSnapshot:
       return "no snapshot published";
+    case Status::kDeadline:
+      return "deadline exceeded";
+    case Status::kShuttingDown:
+      return "server shutting down";
   }
   return "?";
+}
+
+void append_health_body(std::vector<std::uint8_t>& out,
+                        const HealthInfo& info) {
+  put_u32(out, kProtocolVersion);
+  put_u32(out, info.open_sessions);
+  put_u64(out, info.latest_generation);
+  put_u64(out, info.degraded_publishes);
+  put_u64(out, info.connections_accepted);
+  put_u64(out, info.connections_refused);
+  put_u64(out, info.connections_closed);
+  put_u64(out, info.frames_served);
+  put_u64(out, info.ticks);
+  put_u64(out, info.evicted_idle);
+  put_u64(out, info.evicted_deadline);
+  put_u64(out, info.shutdown_rejects);
+  put_u8(out, info.draining);
+  put_u8(out, 0);
+  put_u8(out, 0);
+  put_u8(out, 0);
 }
 
 void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {

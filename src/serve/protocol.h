@@ -55,6 +55,11 @@ enum class Opcode : std::uint8_t {
   kQuarantine = 7,  ///< body: empty. reply: per-hour rejected/repaired.
   kRepin = 8,       ///< body: empty. Session re-pins to the latest
                     ///< generation; reply body empty.
+  kHealth = 9,      ///< body: empty. reply: HealthInfo wire layout (see
+                    ///< append_health_body). Served with *live* reactor
+                    ///< stats by the session; the pure dispatch path
+                    ///< answers with zeroed counters, so kHealth is the one
+                    ///< opcode excluded from the byte-exactness oracle.
 };
 
 /// Wildcard row/service selector in kSlice/kCoverage bodies.
@@ -78,9 +83,38 @@ enum class Status : std::uint8_t {
   kRateLimited = 7,     ///< Token bucket empty; retry later.
   kServerFull = 8,      ///< Admission control: connection limit reached.
   kNoSnapshot = 9,      ///< Nothing published yet.
+  kDeadline = 10,       ///< Idle or request deadline exceeded; the session
+                        ///< is evicted after this typed reply flushes.
+  kShuttingDown = 11,   ///< Server draining: queued replies still flush,
+                        ///< new requests and connections are refused.
 };
 
 [[nodiscard]] const char* to_string(Status status);
+
+/// Live reactor health served by Opcode::kHealth. The session fills it from
+/// the reactor's counters; dispatch_request (no reactor behind it) answers
+/// with a zeroed instance so the wire layout is total over callers.
+struct HealthInfo {
+  std::uint32_t open_sessions = 0;
+  std::uint64_t latest_generation = 0;   ///< Registry head, not the pin.
+  std::uint64_t degraded_publishes = 0;  ///< Publishes quarantined by CRC.
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_refused = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t frames_served = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t evicted_idle = 0;      ///< Idle-deadline evictions.
+  std::uint64_t evicted_deadline = 0;  ///< Request-deadline (slow loris).
+  std::uint64_t shutdown_rejects = 0;  ///< Frames refused while draining.
+  std::uint8_t draining = 0;
+};
+
+/// Exact byte size of the kHealth kOk reply body.
+inline constexpr std::size_t kHealthBodySize = 4 + 4 + 10 * 8 + 4;
+
+/// Appends the fixed little-endian kHealth body (version, then HealthInfo).
+void append_health_body(std::vector<std::uint8_t>& out,
+                        const HealthInfo& info);
 
 /// Decoded request header + body view (into the caller's frame buffer).
 struct Request {

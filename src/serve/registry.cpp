@@ -73,6 +73,22 @@ std::ptrdiff_t ServedSnapshot::window_for_hour(std::int64_t hour) const {
   return hour_index_[static_cast<std::size_t>(hour)];
 }
 
+std::uint64_t SnapshotRegistry::try_publish_file(
+    const std::string& path, std::optional<ServedAnalytics> analytics) {
+  try {
+    return publish(ServedSnapshot::load(path, std::move(analytics)));
+  } catch (const store::SnapshotError& e) {
+    degraded_.fetch_add(1, std::memory_order_acq_rel);
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    last_error_ = e.what();
+  } catch (const icn::util::IoError& e) {
+    degraded_.fetch_add(1, std::memory_order_acq_rel);
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    last_error_ = e.what();
+  }
+  return 0;
+}
+
 std::uint64_t SnapshotRegistry::publish(std::shared_ptr<ServedSnapshot> snap) {
   ICN_REQUIRE(snap != nullptr, "publish requires a snapshot");
   const std::uint64_t gen =

@@ -144,6 +144,27 @@ class SnapshotRegistry {
     return publish(ServedSnapshot::load(path, std::move(analytics)));
   }
 
+  /// Quarantined publish: like publish_file, but a sealed file that fails
+  /// validation (section CRC mismatch, truncation, unreadable mapping) keeps
+  /// the previous generation serving, bumps degraded_publishes(), records
+  /// the error, and returns 0 — the reactor never crashes on a torn publish.
+  /// Precondition failures (analytics shape bugs) still throw: those are
+  /// publisher programming errors, not wire-vulnerable corruption.
+  std::uint64_t try_publish_file(
+      const std::string& path,
+      std::optional<ServedAnalytics> analytics = std::nullopt);
+
+  /// Publishes quarantined by try_publish_file since construction.
+  [[nodiscard]] std::uint64_t degraded_publishes() const {
+    return degraded_.load(std::memory_order_acquire);
+  }
+
+  /// Diagnostic from the most recent quarantined publish ("" = none yet).
+  [[nodiscard]] std::string last_publish_error() const {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    return last_error_;
+  }
+
   /// Pins the current head (nullptr before the first publish). A pointer
   /// copy under a mutex held for the copy only; called at accept and repin,
   /// never per query.
@@ -161,6 +182,9 @@ class SnapshotRegistry {
   mutable std::mutex head_mutex_;
   std::shared_ptr<const ServedSnapshot> head_;
   std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  mutable std::mutex error_mutex_;
+  std::string last_error_;
 };
 
 }  // namespace icn::serve

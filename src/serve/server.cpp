@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "util/error.h"
 
@@ -73,6 +74,18 @@ ServeConfig ServeConfig::from_env() {
   if (config.rate_tokens_per_tick > 0 && config.rate_burst == 0) {
     config.rate_burst = config.rate_tokens_per_tick;
   }
+  if (const char* v = std::getenv("ICN_SERVE_IDLE_TICKS")) {
+    config.idle_deadline_ticks =
+        parse_env_u64("ICN_SERVE_IDLE_TICKS", v, 0, 1u << 30);
+  }
+  if (const char* v = std::getenv("ICN_SERVE_REQUEST_TICKS")) {
+    config.request_deadline_ticks =
+        parse_env_u64("ICN_SERVE_REQUEST_TICKS", v, 0, 1u << 30);
+  }
+  if (const char* v = std::getenv("ICN_SERVE_DRAIN_TICKS")) {
+    config.drain_deadline_ticks =
+        parse_env_u64("ICN_SERVE_DRAIN_TICKS", v, 1, 1u << 30);
+  }
   return config;
 }
 
@@ -97,19 +110,22 @@ Server::Server(const ServeConfig& config, const SnapshotRegistry& registry)
 
 Server::~Server() = default;
 
-void Server::accept_pending() {
+void Server::accept_pending(std::uint64_t tick) {
   while (true) {
     icn::util::Fd fd = listener_.accept_nonblocking();
     if (!fd.valid()) return;
-    if (sessions_.size() >= config_.max_connections) {
-      // Admission control: a typed reject, best-effort (the socket buffer
-      // of a fresh connection always fits one small frame), then close.
+    if (draining_ || sessions_.size() >= config_.max_connections) {
+      // Typed refusal, best-effort (the socket buffer of a fresh connection
+      // always fits one small frame), then close.
+      const Status status =
+          draining_ ? Status::kShuttingDown : Status::kServerFull;
       std::vector<std::uint8_t> reject;
-      append_error_reply(reject, 0, Opcode::kPing, Status::kServerFull,
-                         registry_.generation(),
-                         "connection limit of " +
-                             std::to_string(config_.max_connections) +
-                             " reached");
+      append_error_reply(
+          reject, 0, Opcode::kPing, status, registry_.generation(),
+          draining_ ? std::string("server draining")
+                    : "connection limit of " +
+                          std::to_string(config_.max_connections) +
+                          " reached");
       (void)icn::util::write_some(fd.get(), reject);
       stats_.connections_refused += 1;
       continue;  // Fd closes on scope exit.
@@ -119,10 +135,18 @@ void Server::accept_pending() {
     limits.write_high_water = config_.write_high_water;
     limits.rate_tokens_per_tick = config_.rate_tokens_per_tick;
     limits.rate_burst = config_.rate_burst;
-    const int raw = fd.get();
-    auto session = std::make_unique<Session>(std::move(fd),
+    limits.idle_deadline_ticks = config_.idle_deadline_ticks;
+    limits.request_deadline_ticks = config_.request_deadline_ticks;
+    std::unique_ptr<Transport> transport =
+        std::make_unique<SocketTransport>(std::move(fd));
+    if (transport_factory_) {
+      transport = transport_factory_(std::move(transport),
+                                     stats_.connections_accepted);
+    }
+    const int raw = transport->fd();
+    auto session = std::make_unique<Session>(std::move(transport),
                                              registry_.acquire(), &registry_,
-                                             limits);
+                                             limits, tick, &health_);
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = raw;
@@ -144,11 +168,73 @@ void Server::update_interest(Session& session) {
   }
 }
 
+void Server::absorb_counters(Session& session) {
+  stats_.frames_served += session.take_frames_delta();
+  stats_.shutdown_rejects += session.take_shutdown_rejects_delta();
+}
+
 void Server::drop_closed(int fd) {
   // The Session already closed its descriptor, which removed it from the
   // epoll set implicitly.
   sessions_.erase(fd);
   stats_.connections_closed += 1;
+}
+
+void Server::refresh_health() {
+  health_.open_sessions = static_cast<std::uint32_t>(sessions_.size());
+  health_.latest_generation = registry_.generation();
+  health_.degraded_publishes = registry_.degraded_publishes();
+  health_.connections_accepted = stats_.connections_accepted;
+  health_.connections_refused = stats_.connections_refused;
+  health_.connections_closed = stats_.connections_closed;
+  health_.frames_served = stats_.frames_served;
+  health_.ticks = stats_.ticks;
+  health_.evicted_idle = stats_.sessions_evicted_idle;
+  health_.evicted_deadline = stats_.sessions_evicted_deadline;
+  health_.shutdown_rejects = stats_.shutdown_rejects;
+  health_.draining = draining_ ? 1 : 0;
+}
+
+void Server::sweep_sessions(std::uint64_t tick) {
+  const bool drain_expired =
+      draining_ && tick >= drain_started_tick_ &&
+      tick - drain_started_tick_ >= config_.drain_deadline_ticks;
+  // Collect first: evictions and drops mutate sessions_.
+  std::vector<int> fds;
+  fds.reserve(sessions_.size());
+  for (const auto& [fd, session] : sessions_) fds.push_back(fd);
+  for (const int fd : fds) {
+    const auto it = sessions_.find(fd);
+    if (it == sessions_.end()) continue;
+    Session& session = *it->second;
+    if (drain_expired) {
+      session.force_close();
+    } else if (draining_ && session.drain_idle() &&
+               tick > drain_started_tick_) {
+      // Graceful drain exit: replies flushed, nothing left to answer. The
+      // one-tick grace lets in-flight pipelined bytes arrive and collect
+      // their typed kShuttingDown rejects instead of a bare EOF.
+      session.force_close();
+    } else if (session.state() == SessionState::kOpen) {
+      const TickEvent event = session.on_tick(tick);
+      if (event == TickEvent::kEvictedIdle) {
+        stats_.sessions_evicted_idle += 1;
+      } else if (event == TickEvent::kEvictedDeadline) {
+        stats_.sessions_evicted_deadline += 1;
+      }
+    }
+    // Evictions and drain rejects queue reply bytes outside the event
+    // loop; flush them now so a quiet socket still sees the typed close.
+    if (session.state() != SessionState::kClosed && session.wants_write()) {
+      session.on_writable(tick);
+    }
+    absorb_counters(session);
+    if (session.state() == SessionState::kClosed) {
+      drop_closed(fd);
+    } else {
+      update_interest(session);
+    }
+  }
 }
 
 int Server::step(int timeout_ms) {
@@ -162,10 +248,17 @@ int Server::step(int timeout_ms) {
   stats_.ticks += 1;
   const std::uint64_t tick = stats_.ticks;
 
+  if (!draining_ && drain_requested_.load(std::memory_order_acquire)) {
+    draining_ = true;
+    drain_started_tick_ = tick;
+    for (auto& [fd, session] : sessions_) session->begin_drain(tick);
+  }
+  refresh_health();
+
   for (int i = 0; i < n; ++i) {
     const int fd = events[i].data.fd;
     if (fd == listener_.fd()) {
-      accept_pending();
+      accept_pending(tick);
       continue;
     }
     if (fd == wakeup_.get()) {
@@ -177,8 +270,7 @@ int Server::step(int timeout_ms) {
     const auto it = sessions_.find(fd);
     if (it == sessions_.end()) continue;  // Closed earlier this round.
     Session& session = *it->second;
-    const std::uint64_t frames_before = session.frames_served();
-    if ((events[i].events & (EPOLLOUT)) != 0) session.on_writable();
+    if ((events[i].events & (EPOLLOUT)) != 0) session.on_writable(tick);
     if (session.state() != SessionState::kClosed &&
         (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
       session.on_readable(tick);
@@ -190,18 +282,26 @@ int Server::step(int timeout_ms) {
     // replies sends no new bytes, so level-triggered EPOLLIN alone would
     // strand them in read_buf_ forever.
     while (session.state() != SessionState::kClosed) {
-      session.on_writable();
+      session.on_writable(tick);
       if (session.state() == SessionState::kClosed ||
           !session.serve_buffered(tick)) {
         break;
       }
     }
-    stats_.frames_served += session.frames_served() - frames_before;
+    absorb_counters(session);
     if (session.state() == SessionState::kClosed) {
       drop_closed(fd);
     } else {
       update_interest(session);
     }
+  }
+
+  // Deadline / drain enforcement walks every session, not just the ones
+  // with events — a slow loris's whole point is to stay silent. Skipped
+  // when nothing could fire, so the happy path stays O(events).
+  if (draining_ || config_.idle_deadline_ticks > 0 ||
+      config_.request_deadline_ticks > 0) {
+    sweep_sessions(tick);
   }
   return n;
 }
@@ -209,11 +309,18 @@ int Server::step(int timeout_ms) {
 void Server::run() {
   while (!stop_.load(std::memory_order_acquire)) {
     step(50);
+    if (draining_ && sessions_.empty()) break;
   }
 }
 
 void Server::stop() {
   stop_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  (void)::write(wakeup_.get(), &one, sizeof(one));
+}
+
+void Server::begin_drain() {
+  drain_requested_.store(true, std::memory_order_release);
   const std::uint64_t one = 1;
   (void)::write(wakeup_.get(), &one, sizeof(one));
 }

@@ -1,0 +1,15 @@
+#include "serve/transport.h"
+
+namespace icn::serve {
+
+std::ptrdiff_t SocketTransport::read_some(std::span<std::uint8_t> buf,
+                                          std::uint64_t /*tick*/) {
+  return icn::util::read_some(fd_.get(), buf);
+}
+
+std::ptrdiff_t SocketTransport::write_some(std::span<const std::uint8_t> buf,
+                                           std::uint64_t /*tick*/) {
+  return icn::util::write_some(fd_.get(), buf);
+}
+
+}  // namespace icn::serve

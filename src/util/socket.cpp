@@ -4,10 +4,12 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "util/error.h"
@@ -106,16 +108,71 @@ Fd TcpListener::accept_nonblocking() {
   return out;
 }
 
-Fd connect_loopback(std::uint16_t port) {
-  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+short poll_fd(int fd, short events, int timeout_ms) {
+  // Recompute the remaining budget across EINTR so a signal storm cannot
+  // stretch the deadline.
+  const auto started = std::chrono::steady_clock::now();
+  int remaining = timeout_ms;
+  while (true) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int n = ::poll(&pfd, 1, remaining);
+    if (n > 0) return pfd.revents;
+    if (n == 0) return 0;  // Timeout.
+    if (errno != EINTR) fail_errno("poll");
+    if (timeout_ms >= 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started);
+      remaining = timeout_ms - static_cast<int>(elapsed.count());
+      if (remaining <= 0) return 0;
+    }
+  }
+}
+
+Fd try_connect_loopback(std::uint16_t port, int timeout_ms, int* error_out) {
+  if (error_out != nullptr) *error_out = 0;
+  // Non-blocking connect + poll: retrying a blocking connect() after EINTR
+  // is wrong (the handshake continues asynchronously, so the retry reports
+  // EALREADY), and a blocking connect has no deadline at all.
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0));
   if (!fd.valid()) fail_errno("socket");
   const sockaddr_in addr = loopback_addr(port);
-  while (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
-                   sizeof(addr)) != 0) {
-    if (errno == EINTR) continue;
-    fail_errno("connect");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS && errno != EINTR) {
+      if (error_out != nullptr) *error_out = errno;
+      return Fd();
+    }
+    const short revents = poll_fd(fd.get(), POLLOUT, timeout_ms);
+    if (revents == 0) return Fd();  // Timeout; *error_out stays 0.
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      fail_errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      if (error_out != nullptr) *error_out = err;
+      return Fd();
+    }
+  }
+  // Restore blocking mode for the synchronous client helpers.
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0) fail_errno("fcntl(F_GETFL)");
+  if (::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) < 0) {
+    fail_errno("fcntl(F_SETFL)");
   }
   set_tcp_nodelay(fd.get());
+  return fd;
+}
+
+Fd connect_loopback(std::uint16_t port) {
+  int err = 0;
+  Fd fd = try_connect_loopback(port, -1, &err);
+  if (!fd.valid()) {
+    errno = err;
+    fail_errno("connect");
+  }
   return fd;
 }
 

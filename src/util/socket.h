@@ -65,6 +65,20 @@ class TcpListener {
 /// Blocking loopback connect, for clients (tools, tests, benches).
 [[nodiscard]] Fd connect_loopback(std::uint16_t port);
 
+/// Loopback connect with a deadline. Returns an invalid Fd on timeout or
+/// connection failure, with the failing errno in *error_out (0 = timeout);
+/// throws IoError only on local setup failures (socket/fcntl). The returned
+/// descriptor is in blocking mode with TCP_NODELAY set. timeout_ms < 0
+/// means wait indefinitely.
+[[nodiscard]] Fd try_connect_loopback(std::uint16_t port, int timeout_ms,
+                                      int* error_out);
+
+/// EINTR-safe poll() on one descriptor: waits up to timeout_ms for any of
+/// `events`, recomputing the remaining time across signal interruptions.
+/// Returns the ready revents mask, or 0 on timeout. timeout_ms < 0 waits
+/// indefinitely. Throws IoError on hard poll failures.
+short poll_fd(int fd, short events, int timeout_ms);
+
 /// One non-blocking read. Returns the byte count (> 0), 0 on EAGAIN, and -1
 /// on orderly EOF. Throws IoError on hard errors (connection reset is
 /// reported as EOF, not an error: a vanished client is normal server load).

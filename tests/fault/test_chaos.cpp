@@ -9,6 +9,8 @@
 // Registered under the `chaos` ctest label (see tests/CMakeLists.txt).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -35,7 +37,8 @@ constexpr std::int64_t kHours = 48;
 class TempFile {
  public:
   explicit TempFile(const std::string& name)
-      : path_(::testing::TempDir() + "icn_chaos_" + name) {
+      : path_(::testing::TempDir() + "icn_chaos_" +
+              std::to_string(::getpid()) + "_" + name) {
     std::remove(path_.c_str());
   }
   ~TempFile() { std::remove(path_.c_str()); }

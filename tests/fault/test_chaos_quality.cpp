@@ -13,6 +13,8 @@
 // Registered under the `chaos` ctest label (see tests/CMakeLists.txt).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -41,7 +43,8 @@ constexpr std::int64_t kHours = 48;
 class TempFile {
  public:
   explicit TempFile(const std::string& name)
-      : path_(::testing::TempDir() + "icn_chaosq_" + name) {
+      : path_(::testing::TempDir() + "icn_chaosq_" +
+              std::to_string(::getpid()) + "_" + name) {
     std::remove(path_.c_str());
   }
   ~TempFile() { std::remove(path_.c_str()); }

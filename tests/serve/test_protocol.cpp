@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -25,7 +27,8 @@ namespace {
 class TempFile {
  public:
   explicit TempFile(const std::string& name)
-      : path_(::testing::TempDir() + "icn_serve_" + name) {
+      : path_(::testing::TempDir() + "icn_serve_" +
+              std::to_string(::getpid()) + "_" + name) {
     std::remove(path_.c_str());
   }
   ~TempFile() { std::remove(path_.c_str()); }
@@ -292,7 +295,7 @@ TEST(ServeProtocolFuzzTest, EverySingleByteMutationGetsAWellFormedReply) {
           const std::uint8_t op = mutated[at];
           const bool valid =
               op >= static_cast<std::uint8_t>(Opcode::kPing) &&
-              op <= static_cast<std::uint8_t>(Opcode::kRepin);
+              op <= static_cast<std::uint8_t>(Opcode::kHealth);
           if (!valid) EXPECT_EQ(reply.status, Status::kBadOpcode);
         }
         if (at >= 5 && at < 8) {

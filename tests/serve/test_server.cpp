@@ -9,10 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <sys/socket.h>
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -35,7 +38,8 @@ namespace {
 class TempFile {
  public:
   explicit TempFile(const std::string& name)
-      : path_(::testing::TempDir() + "icn_serve_" + name) {
+      : path_(::testing::TempDir() + "icn_serve_" +
+              std::to_string(::getpid()) + "_" + name) {
     std::remove(path_.c_str());
   }
   ~TempFile() { std::remove(path_.c_str()); }
@@ -338,9 +342,9 @@ TEST(ServeServerTest, PipelinedBurstBehindBackpressureFullyServed) {
 
 TEST(ServeServerTest, EnvConfigRejectsGarbage) {
   ::setenv("ICN_SERVE_MAX_CONNS", "not-a-number", 1);
-  EXPECT_THROW(ServeConfig::from_env(), icn::util::EnvConfigError);
+  EXPECT_THROW((void)ServeConfig::from_env(), icn::util::EnvConfigError);
   ::setenv("ICN_SERVE_MAX_CONNS", "0", 1);  // Below the floor of 1.
-  EXPECT_THROW(ServeConfig::from_env(), icn::util::EnvConfigError);
+  EXPECT_THROW((void)ServeConfig::from_env(), icn::util::EnvConfigError);
   ::unsetenv("ICN_SERVE_MAX_CONNS");
 
   ::setenv("ICN_SERVE_RATE", "7", 1);
@@ -559,10 +563,16 @@ TEST(ServeIntegrationTest, ConcurrentClientsStayByteExactAcrossHotSwaps) {
   std::thread reactor([&server] { server.run(); });
 
   std::vector<std::vector<Exchange>> per_client(kClients);
+  // The publisher must not swap before every client has completed one
+  // exchange: sessions pin at accept, so under heavy load a too-early swap
+  // would mean no reply was ever served from generation 1 and the
+  // generation_seen[1] assertion below would race.
+  std::atomic<std::size_t> first_replies{0};
   std::vector<std::thread> clients;
   clients.reserve(kClients);
   for (std::size_t t = 0; t < kClients; ++t) {
-    clients.emplace_back([t, port = server.port(), &per_client] {
+    clients.emplace_back([t, port = server.port(), &per_client,
+                          &first_replies] {
       QueryClient client(port);
       for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
         const auto id = static_cast<std::uint32_t>(t * 1000 + i);
@@ -620,11 +630,16 @@ TEST(ServeIntegrationTest, ConcurrentClientsStayByteExactAcrossHotSwaps) {
         ex.request.assign(frame.begin() + 4, frame.end());
         ex.reply = client.call_raw(frame);
         per_client[t].push_back(std::move(ex));
+        if (i == 0) first_replies.fetch_add(1, std::memory_order_release);
       }
     });
   }
 
-  // >= 3 hot swaps while the clients hammer the server.
+  // >= 3 hot swaps while the clients hammer the server — but only after
+  // every client holds a generation-1 reply (see first_replies above).
+  while (first_replies.load(std::memory_order_acquire) < kClients) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   for (std::size_t g = 1; g < kGenerations; ++g) {
     std::this_thread::sleep_for(std::chrono::milliseconds(15));
     registry.publish(generations[g]);

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -31,7 +33,8 @@ const std::vector<std::uint32_t> kIds = {2, 5, 11, 17, 23, 42};
 class TempFile {
  public:
   explicit TempFile(const std::string& name)
-      : path_(::testing::TempDir() + "icn_ingest_" + name) {
+      : path_(::testing::TempDir() + "icn_ingest_" +
+              std::to_string(::getpid()) + "_" + name) {
     std::remove(path_.c_str());
   }
   ~TempFile() { std::remove(path_.c_str()); }

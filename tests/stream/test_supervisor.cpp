@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <iterator>
@@ -26,7 +28,8 @@ constexpr std::int64_t kHours = 16;
 class TempFile {
  public:
   explicit TempFile(const std::string& name)
-      : path_(::testing::TempDir() + "icn_supervisor_" + name) {
+      : path_(::testing::TempDir() + "icn_supervisor_" +
+              std::to_string(::getpid()) + "_" + name) {
     std::remove(path_.c_str());
   }
   ~TempFile() { std::remove(path_.c_str()); }

@@ -1,6 +1,9 @@
 // icn_query — one-shot CLI client for the snapshot query server.
 //
 // Usage:
+//   icn_query [--retries <n>] [--timeout-ms <ms>] <port> <command> [args...]
+//
+// Commands:
 //   icn_query <port> ping
 //   icn_query <port> info
 //   icn_query <port> slice <row> <service|all> [<hour_first> <hour_last>]
@@ -8,12 +11,16 @@
 //   icn_query <port> shap <cluster> [<max_services>]
 //   icn_query <port> coverage [<row>]
 //   icn_query <port> quarantine
+//   icn_query <port> health
 //   icn_query <port> repin
 //
 // Connects to 127.0.0.1:<port>, issues exactly one query, prints the reply
 // in a human-readable form, and exits 0 on a kOk reply, 1 on a typed error
-// reply, 2 on usage/transport problems.
+// reply, 2 on usage/transport problems. --retries enables the resilient
+// client path (reconnect + capped jittered backoff) for the idempotent
+// queries; --timeout-ms bounds both connect and each read.
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -31,7 +38,8 @@ using icn::serve::Status;
 
 void usage() {
   std::fprintf(stderr,
-               "usage: icn_query <port> <command> [args...]\n"
+               "usage: icn_query [--retries <n>] [--timeout-ms <ms>] "
+               "<port> <command> [args...]\n"
                "  ping\n"
                "  info\n"
                "  slice <row> <service|all> [<hour_first> <hour_last>]\n"
@@ -39,6 +47,7 @@ void usage() {
                "  shap <cluster> [<max_services>]\n"
                "  coverage [<row>]\n"
                "  quarantine\n"
+               "  health\n"
                "  repin\n");
 }
 
@@ -188,6 +197,35 @@ int print_reply(Opcode opcode, const icn::serve::Reply& reply) {
                   hours, rejected, repaired);
       break;
     }
+    case Opcode::kHealth: {
+      const auto version = body.take<std::uint32_t>();
+      const auto open_sessions = body.take<std::uint32_t>();
+      const auto latest_generation = body.take<std::uint64_t>();
+      const auto degraded_publishes = body.take<std::uint64_t>();
+      const auto accepted = body.take<std::uint64_t>();
+      const auto refused = body.take<std::uint64_t>();
+      const auto closed = body.take<std::uint64_t>();
+      const auto frames_served = body.take<std::uint64_t>();
+      const auto ticks = body.take<std::uint64_t>();
+      const auto evicted_idle = body.take<std::uint64_t>();
+      const auto evicted_deadline = body.take<std::uint64_t>();
+      const auto shutdown_rejects = body.take<std::uint64_t>();
+      const auto draining = body.take<std::uint8_t>();
+      std::printf("protocol v%u, %s\n", version,
+                  draining ? "draining" : "serving");
+      std::printf("sessions %u open, latest generation %" PRIu64
+                  ", degraded publishes %" PRIu64 "\n",
+                  open_sessions, latest_generation, degraded_publishes);
+      std::printf("connections: %" PRIu64 " accepted, %" PRIu64
+                  " refused, %" PRIu64 " closed\n",
+                  accepted, refused, closed);
+      std::printf("frames served %" PRIu64 " over %" PRIu64 " tick(s)\n",
+                  frames_served, ticks);
+      std::printf("evictions: %" PRIu64 " idle, %" PRIu64
+                  " deadline; shutdown rejects %" PRIu64 "\n",
+                  evicted_idle, evicted_deadline, shutdown_rejects);
+      break;
+    }
     case Opcode::kRepin: {
       std::printf("repinned\n");
       break;
@@ -202,6 +240,26 @@ int print_reply(Opcode opcode, const icn::serve::Reply& reply) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  icn::serve::ClientOptions options;
+  int arg = 1;
+  while (arg < argc && argv[arg][0] == '-') {
+    const std::string flag = argv[arg];
+    if (flag == "--retries" && arg + 1 < argc) {
+      options.max_attempts =
+          std::max(1u, parse_u32(argv[arg + 1]));
+      arg += 2;
+    } else if (flag == "--timeout-ms" && arg + 1 < argc) {
+      const int ms = static_cast<int>(std::strtol(argv[arg + 1], nullptr, 10));
+      options.connect_timeout_ms = ms;
+      options.read_timeout_ms = ms;
+      arg += 2;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  argv += arg - 1;
+  argc -= arg - 1;
   if (argc < 3) {
     usage();
     return 2;
@@ -236,6 +294,8 @@ int main(int argc, char** argv) {
         argc == 4 ? parse_u32(argv[3]) : icn::serve::kAllRows);
   } else if (command == "quarantine") {
     opcode = Opcode::kQuarantine;
+  } else if (command == "health") {
+    opcode = Opcode::kHealth;
   } else if (command == "repin") {
     opcode = Opcode::kRepin;
   } else {
@@ -244,8 +304,14 @@ int main(int argc, char** argv) {
   }
 
   try {
-    icn::serve::QueryClient client(port);
-    const icn::serve::Reply reply = client.call(opcode, request_body, 1);
+    icn::serve::QueryClient client(port, options);
+    // Every query here is an idempotent read (repin only refreshes the
+    // session's generation pin), so the retrying path is safe whenever the
+    // user asked for more than one attempt.
+    const icn::serve::Reply reply =
+        options.max_attempts > 1
+            ? client.call_idempotent(opcode, request_body, 1)
+            : client.call(opcode, request_body, 1);
     return print_reply(opcode, reply);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "icn_query: %s\n", e.what());
