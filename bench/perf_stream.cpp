@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/scenario.h"
+#include "fault/disk.h"
 #include "fault/feed.h"
 #include "fault/plan.h"
 #include "probe/probe.h"
@@ -110,6 +111,33 @@ void BM_StreamIngestCheckpointed(benchmark::State& state) {
   state.SetItemsProcessed(records);
 }
 BENCHMARK(BM_StreamIngestCheckpointed)->Unit(benchmark::kMillisecond);
+
+void BM_IngestFaultyVfs(benchmark::State& state) {
+  // Checkpointed ingest with every byte routed through the FaultyVfs shim
+  // under a seeded short-write plan (short writes are retried, not errors).
+  // The gap to BM_StreamIngestCheckpointed is the chaos-harness overhead:
+  // per-op bookkeeping, ledger appends, and the extra write() round trips.
+  static const auto batches = hourly_batches(4096);
+  const std::string path = "bench_stream_faulty.snap";
+  std::int64_t records = 0;
+  for (auto _ : state) {
+    fault::DiskFaultPlanParams plan;
+    plan.seed = 42;
+    plan.short_write_rate = 0.10;
+    fault::FaultyVfs vfs{fault::DiskFaultPlan(plan)};
+    auto writer = stream::begin_checkpoint(path, ingest_params(4), &vfs);
+    stream::StreamIngestor ingest(ingest_params(4), &writer);
+    for (const auto& batch : batches) {
+      ingest.push(batch);
+      records += static_cast<std::int64_t>(batch.size());
+    }
+    ingest.finish();
+    writer.close();
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(records);
+}
+BENCHMARK(BM_IngestFaultyVfs)->Unit(benchmark::kMillisecond);
 
 std::vector<stream::FeedBatch> feed_script(std::size_t records_per_hour,
                                            std::uint64_t seed) {
@@ -235,9 +263,10 @@ BENCHMARK(BM_SnapshotRegenerate)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Smoke preset: skip the fsync-heavy checkpoint bench and the scenario
-  // regeneration; the remaining benches cover ingest, supervision (clean and
-  // faulty), and the snapshot load path.
+  // Smoke preset: skip the fsync-heavy clean checkpoint bench and the
+  // scenario regeneration; the remaining benches cover ingest, the
+  // faulty-vfs checkpoint path, supervision (clean and faulty), and the
+  // snapshot load path.
   return icn::bench::trajectory_main(
       "perf_stream", "-(Checkpointed|Regenerate)", argc, argv);
 }

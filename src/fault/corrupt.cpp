@@ -1,31 +1,22 @@
 #include "fault/corrupt.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
+#include <algorithm>
 #include <vector>
 
 #include "store/snapshot.h"
+#include "store/vfs.h"
 #include "util/error.h"
 
 namespace icn::fault {
-namespace {
-
-[[noreturn]] void fail_errno(const std::string& what, const std::string& path) {
-  throw icn::util::IoError(what + " '" + path + "': " + std::strerror(errno));
-}
-
-}  // namespace
 
 bool corrupt_snapshot(const std::string& path, std::size_t probe,
-                      const FaultPlan& plan, FaultLedger& ledger) {
+                      const FaultPlan& plan, FaultLedger& ledger,
+                      store::Vfs* vfs) {
   const auto spec = plan.bitflip(probe);
   if (!spec) return false;
 
   std::vector<store::SectionInfo> windows;
-  for (const auto& info : store::scan_section_index(path)) {
+  for (const auto& info : store::scan_section_index(path, vfs)) {
     if (info.type == store::SectionType::kWindow && info.payload_size > 0) {
       windows.push_back(info);
     }
@@ -40,24 +31,43 @@ bool corrupt_snapshot(const std::string& path, std::size_t probe,
   byte = std::min(byte, target.payload_size - 1);
   const std::uint64_t offset = target.payload_offset + byte;
 
-  const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
-  if (fd < 0) fail_errno("cannot open snapshot for corruption", path);
+  store::Vfs& v = store::vfs_or_default(vfs);
+  store::VfsFile file = v.open(path, store::Vfs::OpenMode::kReadWrite);
   std::int64_t hour = 0;
   std::uint8_t value = 0;
-  if (::pread(fd, &hour, sizeof(hour),
-              static_cast<off_t>(target.payload_offset)) !=
-          static_cast<ssize_t>(sizeof(hour)) ||
-      ::pread(fd, &value, 1, static_cast<off_t>(offset)) != 1) {
-    ::close(fd);
-    fail_errno("cannot read snapshot byte", path);
+  try {
+    std::uint8_t hour_bytes[sizeof(hour)];
+    std::size_t got = 0;
+    while (got < sizeof(hour)) {
+      const std::size_t n =
+          v.pread(file, {hour_bytes + got, sizeof(hour) - got},
+                  target.payload_offset + got);
+      if (n == 0) {
+        throw icn::util::IoError(path +
+                                 ": unexpected end of file reading window "
+                                 "hour");
+      }
+      got += n;
+    }
+    std::copy(hour_bytes, hour_bytes + sizeof(hour),
+              reinterpret_cast<std::uint8_t*>(&hour));
+    if (v.pread(file, {&value, 1}, offset) != 1) {
+      throw icn::util::IoError(path + ": unexpected end of file reading "
+                               "target byte");
+    }
+    value ^= spec->mask;
+    if (v.pwrite(file, {&value, 1}, offset) != 1) {
+      throw icn::util::IoError(path + ": short pwrite flipping target byte");
+    }
+    v.fsync(file);
+  } catch (...) {
+    try {
+      v.close(file);
+    } catch (...) {
+    }
+    throw;
   }
-  value ^= spec->mask;
-  if (::pwrite(fd, &value, 1, static_cast<off_t>(offset)) != 1 ||
-      ::fsync(fd) != 0) {
-    ::close(fd);
-    fail_errno("cannot write snapshot byte", path);
-  }
-  ::close(fd);
+  v.close(file);
 
   ledger.push_back({probe, hour, FaultKind::kBitFlip,
                     static_cast<std::int64_t>(offset),

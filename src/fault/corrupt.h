@@ -8,6 +8,7 @@
 #include <string>
 
 #include "fault/plan.h"
+#include "store/vfs.h"
 
 namespace icn::fault {
 
@@ -17,8 +18,10 @@ namespace icn::fault {
 /// (hour = the window's event hour, a = absolute file offset, b = XOR mask)
 /// to `ledger` and returns true when a flip happened; returns false without
 /// touching the file when the plan has no flip for this probe or the file
-/// has no window sections. Throws icn::util::IoError on I/O failure.
+/// has no window sections. Throws icn::util::IoError on I/O failure. I/O
+/// flows through `vfs` (nullptr = store::posix_vfs()).
 bool corrupt_snapshot(const std::string& path, std::size_t probe,
-                      const FaultPlan& plan, FaultLedger& ledger);
+                      const FaultPlan& plan, FaultLedger& ledger,
+                      store::Vfs* vfs = nullptr);
 
 }  // namespace icn::fault

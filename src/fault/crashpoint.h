@@ -1,0 +1,81 @@
+// ALICE-style systematic crash-point enumeration over the durability layer.
+//
+// Sampled chaos (a random kill here, a random bit flip there) can miss the
+// one write ordering that loses data. This harness instead *enumerates* every
+// write/fsync boundary of a workload as a crash point: it first runs the
+// workload clean to capture the converged artifact bytes and count the
+// operations, then for each operation index k re-runs the workload under a
+// FaultyVfs armed to throw SimulatedCrash just before op k, applies the
+// seeded buffer-cache loss model (unsynced blocks dropped or torn), runs the
+// caller's recovery procedure, and compares every artifact byte-for-byte
+// with the clean run. A durability bug — a missing fsync, a non-atomic
+// publish, a recovery path that trusts a torn tail — shows up as a diverged
+// crash point naming the op it hides behind.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/disk.h"
+
+namespace icn::fault {
+
+/// A crash-sweep workload. Both callbacks receive a path prefix; every
+/// artifact they create must live at `prefix + name` for a name listed in
+/// `artifacts`, and every byte they persist must flow through the given Vfs
+/// (that is the instrumented boundary — I/O around it is invisible to the
+/// sweep).
+struct CrashSweep {
+  /// Runs the full workload (e.g. checkpointed multi-probe ingest + merge +
+  /// publish) against `vfs` with artifacts under `prefix`. Must be
+  /// deterministic: two clean runs produce identical artifact bytes.
+  std::function<void(icn::store::Vfs& vfs, const std::string& prefix)>
+      workload;
+
+  /// Crash recovery: brings the artifacts under `prefix` back to
+  /// convergence (e.g. recover_checkpoint + FeedSupervisor::resume + run +
+  /// re-publish). Runs fault-free.
+  std::function<void(icn::store::Vfs& vfs, const std::string& prefix)>
+      recover;
+
+  /// Artifact names (appended to the prefix) whose bytes must converge.
+  std::vector<std::string> artifacts;
+
+  /// Crash model (block size, drop/tear rates) applied at each crash point.
+  /// The op-fault rates (short writes etc.) are ignored here: the sweep
+  /// isolates the crash dimension so a divergence is attributable.
+  DiskFaultPlanParams crash_model;
+};
+
+/// Outcome of one enumerated crash point.
+struct CrashPointOutcome {
+  std::uint64_t op = 0;     ///< Global write/fsync index the crash preceded.
+  bool crashed = false;     ///< Workload actually reached the crash point.
+  bool converged = false;   ///< All artifacts bit-identical to the clean run.
+  std::string detail;       ///< First divergence ("<artifact>: ...") if any.
+};
+
+struct CrashSweepReport {
+  std::uint64_t total_ops = 0;  ///< Crash points enumerated.
+  std::vector<CrashPointOutcome> outcomes;
+
+  [[nodiscard]] bool all_converged() const;
+  /// Ops whose recovery diverged (empty on a fully passing sweep).
+  [[nodiscard]] std::vector<std::uint64_t> diverged() const;
+};
+
+/// Runs the sweep. `base_prefix` roots all temporary artifact paths (the
+/// caller owns cleanup of `base_prefix`-prefixed files). Requires workload,
+/// recover, and at least one artifact.
+[[nodiscard]] CrashSweepReport run_crash_sweep(const CrashSweep& sweep,
+                                               const std::string& base_prefix);
+
+/// Reads a whole file through a Vfs; returns false when the file does not
+/// exist (distinguishing "absent" from "empty"). Exposed for tests that
+/// compare artifacts the same way the sweep does.
+bool read_file_bytes(icn::store::Vfs& vfs, const std::string& path,
+                     std::vector<std::uint8_t>& out);
+
+}  // namespace icn::fault

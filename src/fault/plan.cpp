@@ -45,6 +45,13 @@ std::string to_string(FaultKind kind) {
     case FaultKind::kFieldFuzz: return "fieldfuzz";
     case FaultKind::kSiteOutage: return "siteoutage";
     case FaultKind::kRestart: return "restart";
+    case FaultKind::kShortWrite: return "shortwrite";
+    case FaultKind::kWriteError: return "writeerror";
+    case FaultKind::kNoSpace: return "enospc";
+    case FaultKind::kFsyncFail: return "fsyncfail";
+    case FaultKind::kPowerCut: return "powercut";
+    case FaultKind::kCrashDrop: return "crashdrop";
+    case FaultKind::kCrashTear: return "crashtear";
   }
   return "unknown";
 }

@@ -48,6 +48,22 @@ enum class FaultKind : std::uint8_t {
                ///< (logged by the lowest-indexed affected probe).
   kRestart,    ///< Supervisor kill/restart: epoch a ended after b ticks;
                ///< the next epoch resumes from the durable checkpoints.
+
+  // Disk faults (injected by fault::FaultyVfs; see fault/disk.h). For these
+  // `probe` carries the Vfs file id (files numbered in first-open order) and
+  // `hour` the per-file operation index the fault struck at.
+  kShortWrite,  ///< write() delivered only a of the requested b bytes.
+  kWriteError,  ///< write() failed with an injected I/O error (EIO model).
+  kNoSpace,     ///< write() failed with an injected ENOSPC; a = ops left in
+                ///< the full-disk run including this one.
+  kFsyncFail,   ///< fsync() failed; nothing since the last successful sync
+                ///< may be assumed durable.
+  kPowerCut,    ///< Simulated power cut landed on this file: a = unsynced
+                ///< bytes at risk, b = bytes that survived.
+  kCrashDrop,   ///< Crash model dropped the unsynced block at offset a
+                ///< (b bytes zeroed or truncated away).
+  kCrashTear,   ///< Crash model tore the unsynced block at offset a, keeping
+                ///< only b bytes of it.
 };
 
 [[nodiscard]] std::string to_string(FaultKind kind);

@@ -75,6 +75,7 @@ void append_health_body(std::vector<std::uint8_t>& out,
   put_u64(out, info.evicted_idle);
   put_u64(out, info.evicted_deadline);
   put_u64(out, info.shutdown_rejects);
+  put_u64(out, info.checkpoint_failures);
   put_u8(out, info.draining);
   put_u8(out, 0);
   put_u8(out, 0);

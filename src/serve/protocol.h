@@ -106,11 +106,15 @@ struct HealthInfo {
   std::uint64_t evicted_idle = 0;      ///< Idle-deadline evictions.
   std::uint64_t evicted_deadline = 0;  ///< Request-deadline (slow loris).
   std::uint64_t shutdown_rejects = 0;  ///< Frames refused while draining.
+  std::uint64_t checkpoint_failures = 0;  ///< Durability-layer checkpoint
+                                          ///< append/fsync failures (ENOSPC
+                                          ///< degradation) upstream of the
+                                          ///< snapshots this server publishes.
   std::uint8_t draining = 0;
 };
 
 /// Exact byte size of the kHealth kOk reply body.
-inline constexpr std::size_t kHealthBodySize = 4 + 4 + 10 * 8 + 4;
+inline constexpr std::size_t kHealthBodySize = 4 + 4 + 11 * 8 + 4;
 
 /// Appends the fixed little-endian kHealth body (version, then HealthInfo).
 void append_health_body(std::vector<std::uint8_t>& out,

@@ -192,6 +192,8 @@ void Server::refresh_health() {
   health_.evicted_idle = stats_.sessions_evicted_idle;
   health_.evicted_deadline = stats_.sessions_evicted_deadline;
   health_.shutdown_rejects = stats_.shutdown_rejects;
+  health_.checkpoint_failures =
+      checkpoint_failures_source_ ? checkpoint_failures_source_() : 0;
   health_.draining = draining_ ? 1 : 0;
 }
 

@@ -96,6 +96,14 @@ class Server {
     transport_factory_ = std::move(factory);
   }
 
+  /// Installs the source of HealthInfo::checkpoint_failures (e.g. summed
+  /// FeedSupervisor stats). Sampled from the reactor thread at the top of
+  /// each step; the callable must be safe to invoke from there. Call before
+  /// the reactor runs (not thread safe against a running reactor).
+  void set_checkpoint_failures_source(std::function<std::uint64_t()> source) {
+    checkpoint_failures_source_ = std::move(source);
+  }
+
   /// One poll round: waits up to timeout_ms for events, serves them, and
   /// advances the virtual tick. Returns the number of epoll events handled.
   int step(int timeout_ms);
@@ -128,6 +136,7 @@ class Server {
   ServeStats stats_;
   HealthInfo health_;
   TransportFactory transport_factory_;
+  std::function<std::uint64_t()> checkpoint_failures_source_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> drain_requested_{false};
   bool draining_ = false;  ///< Reactor-thread latch of drain_requested_.

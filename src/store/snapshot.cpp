@@ -1,15 +1,10 @@
 #include "store/snapshot.h"
 
-#include <fcntl.h>
-#include <sys/mman.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <bit>
-#include <cerrno>
 #include <cstring>
 
 #include "store/crc32c.h"
+#include "store/vfs.h"
 #include "util/error.h"
 
 // The format is defined little-endian and the read path is zero-copy
@@ -53,11 +48,6 @@ std::uint64_t get_u64(const std::uint8_t* p) {
 
 [[noreturn]] void fail(const std::string& path, const std::string& what) {
   throw SnapshotError("snapshot " + path + ": " + what);
-}
-
-[[noreturn]] void fail_errno(const std::string& path, const char* op) {
-  throw icn::util::IoError("snapshot " + path + ": " + op +
-                           " failed: " + std::strerror(errno));
 }
 
 void check_header(const std::string& path, const std::uint8_t* data,
@@ -128,49 +118,29 @@ Scan scan_sections(const std::uint8_t* data, std::size_t size) {
   return scan;
 }
 
-/// Minimal RAII read-only mapping used by both readers.
+/// Minimal RAII read-only mapping used by both readers, owned by a Vfs.
 struct Mapping {
-  void* map = MAP_FAILED;
-  std::size_t size = 0;
+  Vfs* vfs = nullptr;
+  Vfs::MappedRegion region;
 
-  explicit Mapping(const std::string& path) {
-    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-    if (fd < 0) fail_errno(path, "open");
-    struct stat st {};
-    if (::fstat(fd, &st) != 0) {
-      ::close(fd);
-      fail_errno(path, "fstat");
-    }
-    size = static_cast<std::size_t>(st.st_size);
-    if (size == 0) {
-      ::close(fd);
+  explicit Mapping(const std::string& path, Vfs& v) : vfs(&v) {
+    region = vfs->map_readonly(path);
+    if (region.size == 0) {
       throw icn::util::IoError("snapshot " + path + ": file is empty");
     }
-    if (size > 0) {
-      map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-      if (map == MAP_FAILED) {
-        ::close(fd);
-        fail_errno(path, "mmap");
-      }
-      // Both readers CRC-walk every section front to back immediately after
-      // mapping, so ask the kernel to fault the whole file in ahead of the
-      // scan instead of one 4K page per miss. Purely advisory — failure
-      // (e.g. an unsupported filesystem) costs nothing but the readahead.
-      (void)::posix_madvise(map, size, POSIX_MADV_WILLNEED);
-    }
-    ::close(fd);
   }
   ~Mapping() {
-    if (map != MAP_FAILED && size > 0) ::munmap(map, size);
+    if (region.data != nullptr) vfs->unmap(region);
   }
   Mapping(const Mapping&) = delete;
   Mapping& operator=(const Mapping&) = delete;
 
   [[nodiscard]] const std::uint8_t* data() const {
-    return static_cast<const std::uint8_t*>(map);
+    return static_cast<const std::uint8_t*>(region.data);
   }
-  /// Releases ownership (caller munmaps).
-  void release() { map = MAP_FAILED; }
+  [[nodiscard]] std::size_t size() const { return region.size; }
+  /// Releases ownership (caller unmaps via the same vfs).
+  void release() { region = {}; }
 };
 
 template <typename T>
@@ -209,75 +179,96 @@ ml::Matrix MatrixView::to_matrix() const {
 // ---------------------------------------------------------------------------
 // SnapshotWriter
 
-SnapshotWriter::SnapshotWriter(const std::string& path) : path_(path) {
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  if (fd_ < 0) fail_errno(path_, "open");
+SnapshotWriter::SnapshotWriter(const std::string& path, Vfs* vfs)
+    : path_(path), vfs_(&vfs_or_default(vfs)) {
+  file_ = vfs_->open(path, Vfs::OpenMode::kCreateTruncate);
   std::vector<std::uint8_t> header(kMagic, kMagic + sizeof(kMagic));
   put_u32(header, kSnapshotVersion);
   put_u32(header, 0);  // reserved
   write_all(header);
+  end_offset_ = kFileHeaderSize;
 }
 
-SnapshotWriter SnapshotWriter::append_to(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDWR | O_APPEND | O_CLOEXEC);
-  if (fd < 0) fail_errno(path, "open for append");
-  std::uint8_t header[kFileHeaderSize];
-  const ssize_t got = ::pread(fd, header, kFileHeaderSize, 0);
-  if (got == 0) {
-    ::close(fd);
-    throw icn::util::IoError("snapshot " + path + ": file is empty");
-  }
-  if (got != static_cast<ssize_t>(kFileHeaderSize)) {
-    ::close(fd);
-    fail(path, "truncated file header");
-  }
+SnapshotWriter SnapshotWriter::append_to(const std::string& path, Vfs* vfs) {
+  Vfs& v = vfs_or_default(vfs);
+  VfsFile file = v.open(path, Vfs::OpenMode::kAppend);
   try {
+    std::uint8_t header[kFileHeaderSize];
+    std::size_t got = 0;
+    while (got < kFileHeaderSize) {
+      const std::size_t n = v.pread(
+          file, {header + got, kFileHeaderSize - got}, got);
+      if (n == 0) break;  // End of file.
+      got += n;
+    }
+    if (got == 0) {
+      throw icn::util::IoError("snapshot " + path + ": file is empty");
+    }
+    if (got != kFileHeaderSize) fail(path, "truncated file header");
     check_header(path, header, kFileHeaderSize);
+    const std::uint64_t end = v.size(file);
+    return SnapshotWriter(path, std::move(file), v, end);
   } catch (...) {
-    ::close(fd);
+    try {
+      v.close(file);
+    } catch (...) {
+      // The original error is the one worth reporting.
+    }
     throw;
   }
-  return SnapshotWriter(path, fd);
 }
 
 SnapshotWriter::~SnapshotWriter() {
-  if (fd_ >= 0) ::close(fd_);
+  if (file_.is_open()) {
+    try {
+      vfs_->close(file_);
+    } catch (...) {
+      // Destructors must not throw; a deferred-writeback error here is
+      // reported only when the caller closes/syncs explicitly.
+    }
+  }
 }
 
 SnapshotWriter::SnapshotWriter(SnapshotWriter&& other) noexcept
     : path_(std::move(other.path_)),
-      fd_(other.fd_),
+      vfs_(other.vfs_),
+      file_(std::move(other.file_)),
+      end_offset_(other.end_offset_),
+      dir_synced_(other.dir_synced_),
       seals_(other.seals_),
       sections_since_sync_(other.sections_since_sync_),
       seal_hook_(std::move(other.seal_hook_)) {
-  other.fd_ = -1;
+  other.file_.fd = -1;
 }
 
 SnapshotWriter& SnapshotWriter::operator=(SnapshotWriter&& other) noexcept {
   if (this != &other) {
-    if (fd_ >= 0) ::close(fd_);
+    if (file_.is_open()) {
+      try {
+        vfs_->close(file_);
+      } catch (...) {
+      }
+    }
     path_ = std::move(other.path_);
-    fd_ = other.fd_;
+    vfs_ = other.vfs_;
+    file_ = std::move(other.file_);
+    end_offset_ = other.end_offset_;
+    dir_synced_ = other.dir_synced_;
     seals_ = other.seals_;
     sections_since_sync_ = other.sections_since_sync_;
     seal_hook_ = std::move(other.seal_hook_);
-    other.fd_ = -1;
+    other.file_.fd = -1;
   }
   return *this;
 }
 
 void SnapshotWriter::write_all(std::span<const std::uint8_t> bytes) {
-  ICN_REQUIRE(fd_ >= 0, "snapshot writer is closed");
-  const std::uint8_t* p = bytes.data();
-  std::size_t left = bytes.size();
-  while (left > 0) {
-    const ssize_t n = ::write(fd_, p, left);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      fail_errno(path_, "write");
-    }
-    p += n;
-    left -= static_cast<std::size_t>(n);
+  ICN_REQUIRE(file_.is_open(), "snapshot writer is closed");
+  std::size_t at = 0;
+  while (at < bytes.size()) {
+    // The Vfs may legitimately return short counts (and the fault shim
+    // exploits exactly that seam); loop until the span is on its way down.
+    at += vfs_->write(file_, bytes.subspan(at));
   }
 }
 
@@ -290,13 +281,28 @@ void SnapshotWriter::append_section(SectionType type,
   put_u64(header, payload.size());
   put_u32(header, crc32c(payload));
   put_u32(header, crc32c(header));
-  write_all(header);
-  write_all(payload);
-  const std::size_t pad = padded(payload.size()) - payload.size();
-  if (pad > 0) {
-    const std::uint8_t zeros[8] = {};
-    write_all({zeros, pad});
+  const std::uint64_t rollback = end_offset_;
+  try {
+    write_all(header);
+    write_all(payload);
+    const std::size_t pad = padded(payload.size()) - payload.size();
+    if (pad > 0) {
+      const std::uint8_t zeros[8] = {};
+      write_all({zeros, pad});
+    }
+  } catch (const icn::util::IoError&) {
+    // Drop the partial section so the file stays a valid prefix and the
+    // append can be retried verbatim once the disk recovers (the retry
+    // degradation path of FeedSupervisor). A failed rollback leaves the
+    // torn tail for recover_snapshot to drop; the original error is the
+    // actionable one either way.
+    try {
+      vfs_->ftruncate(file_, rollback);
+    } catch (...) {
+    }
+    throw;
   }
+  end_offset_ = rollback + kSectionHeaderSize + padded(payload.size());
   ++sections_since_sync_;
 }
 
@@ -370,8 +376,16 @@ void SnapshotWriter::append_quarantine(std::int64_t num_hours,
 }
 
 void SnapshotWriter::sync() {
-  ICN_REQUIRE(fd_ >= 0, "snapshot writer is closed");
-  if (::fsync(fd_) != 0) fail_errno(path_, "fsync");
+  ICN_REQUIRE(file_.is_open(), "snapshot writer is closed");
+  vfs_->fsync(file_);
+  if (!dir_synced_) {
+    // The data is durable but the directory entry may not be: a freshly
+    // created file can vanish on power loss until its parent directory is
+    // fsync'd. One barrier per writer suffices — the dirent never changes
+    // again after creation.
+    vfs_->fsync_parent_dir(path_);
+    dir_synced_ = true;
+  }
   ++seals_;
   const std::size_t sealed = sections_since_sync_;
   sections_since_sync_ = 0;
@@ -379,23 +393,22 @@ void SnapshotWriter::sync() {
 }
 
 void SnapshotWriter::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  if (file_.is_open()) vfs_->close(file_);
 }
 
 // ---------------------------------------------------------------------------
 // MappedSnapshot
 
-MappedSnapshot::MappedSnapshot(const std::string& path) {
-  Mapping mapping(path);
-  check_header(path, mapping.data(), mapping.size);
-  Scan scan = scan_sections(mapping.data(), mapping.size);
+MappedSnapshot::MappedSnapshot(const std::string& path, Vfs* vfs) {
+  Vfs& v = vfs_or_default(vfs);
+  Mapping mapping(path, v);
+  check_header(path, mapping.data(), mapping.size());
+  Scan scan = scan_sections(mapping.data(), mapping.size());
   if (!scan.clean) fail(path, scan.error);
   sections_ = std::move(scan.sections);
-  map_ = mapping.map;
-  size_ = mapping.size;
+  vfs_ = &v;
+  map_ = mapping.region.data;
+  size_ = mapping.region.size;
   mapping.release();
   build_section_index();
 }
@@ -423,13 +436,14 @@ const SectionView* MappedSnapshot::find_section(SectionType type) const {
 }
 
 MappedSnapshot::~MappedSnapshot() {
-  if (map_ != nullptr && map_ != MAP_FAILED && size_ > 0) {
-    ::munmap(map_, size_);
+  if (vfs_ != nullptr && map_ != nullptr && size_ > 0) {
+    vfs_->unmap({map_, size_});
   }
 }
 
 MappedSnapshot::MappedSnapshot(MappedSnapshot&& other) noexcept
-    : map_(other.map_),
+    : vfs_(other.vfs_),
+      map_(other.map_),
       size_(other.size_),
       sections_(std::move(other.sections_)),
       first_of_type_(std::move(other.first_of_type_)) {
@@ -441,9 +455,10 @@ MappedSnapshot::MappedSnapshot(MappedSnapshot&& other) noexcept
 
 MappedSnapshot& MappedSnapshot::operator=(MappedSnapshot&& other) noexcept {
   if (this != &other) {
-    if (map_ != nullptr && map_ != MAP_FAILED && size_ > 0) {
-      ::munmap(map_, size_);
+    if (vfs_ != nullptr && map_ != nullptr && size_ > 0) {
+      vfs_->unmap({map_, size_});
     }
+    vfs_ = other.vfs_;
     map_ = other.map_;
     size_ = other.size_;
     sections_ = std::move(other.sections_);
@@ -542,12 +557,13 @@ std::optional<QuarantineSectionView> MappedSnapshot::quarantine() const {
 // ---------------------------------------------------------------------------
 // Recovery
 
-RecoveryResult recover_snapshot(const std::string& path) {
+RecoveryResult recover_snapshot(const std::string& path, Vfs* vfs) {
+  Vfs& v = vfs_or_default(vfs);
   RecoveryResult result;
   {
-    Mapping mapping(path);
-    check_header(path, mapping.data(), mapping.size);
-    const Scan scan = scan_sections(mapping.data(), mapping.size);
+    Mapping mapping(path, v);
+    check_header(path, mapping.data(), mapping.size());
+    const Scan scan = scan_sections(mapping.data(), mapping.size());
     result.valid_bytes = scan.valid_bytes;
     result.valid_sections = scan.sections.size();
     result.truncated = !scan.clean;
@@ -558,19 +574,49 @@ RecoveryResult recover_snapshot(const std::string& path) {
     }
   }
   if (result.truncated) {
-    if (::truncate(path.c_str(), static_cast<off_t>(result.valid_bytes)) !=
-        0) {
-      fail_errno(path, "truncate");
-    }
+    v.truncate(path, result.valid_bytes);
   }
   return result;
 }
 
-std::vector<SectionInfo> scan_section_index(const std::string& path) {
-  Mapping mapping(path);
-  check_header(path, mapping.data(), mapping.size);
-  Scan scan = scan_sections(mapping.data(), mapping.size);
+std::vector<SectionInfo> scan_section_index(const std::string& path,
+                                            Vfs* vfs) {
+  Mapping mapping(path, vfs_or_default(vfs));
+  check_header(path, mapping.data(), mapping.size());
+  Scan scan = scan_sections(mapping.data(), mapping.size());
   return std::move(scan.index);
+}
+
+ScanReport scan_snapshot(const std::string& path, Vfs* vfs) {
+  Mapping mapping(path, vfs_or_default(vfs));
+  check_header(path, mapping.data(), mapping.size());
+  Scan scan = scan_sections(mapping.data(), mapping.size());
+  ScanReport report;
+  report.sections = std::move(scan.index);
+  report.file_size = mapping.size();
+  report.valid_bytes = scan.valid_bytes;
+  report.clean = scan.clean;
+  report.error = std::move(scan.error);
+  return report;
+}
+
+void write_snapshot_atomic(const std::string& path,
+                           const std::function<void(SnapshotWriter&)>& fill,
+                           Vfs* vfs) {
+  Vfs& v = vfs_or_default(vfs);
+  const std::string tmp = path + ".tmp";
+  {
+    SnapshotWriter writer(tmp, &v);
+    fill(writer);
+    writer.sync();
+    writer.close();
+  }
+  // rename is the atomic commit point; the parent-directory fsync makes the
+  // new dirent durable. A crash before the rename leaves `path` untouched
+  // (the stale .tmp is truncated away by the next publish), a crash after it
+  // exposes the complete new file — never a torn intermediate.
+  v.rename(tmp, path);
+  v.fsync_parent_dir(path);
 }
 
 }  // namespace icn::store

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "ml/matrix.h"
+#include "store/vfs.h"
 
 namespace icn::store {
 
@@ -122,15 +123,20 @@ struct SealEvent {
   std::size_t sections_sealed = 0;  ///< Sections appended since the last sync.
 };
 
-/// Appends sections to a snapshot file. All write errors throw SnapshotError.
+/// Appends sections to a snapshot file. Structural misuse throws
+/// SnapshotError; operating-system failures throw icn::util::IoError naming
+/// the file and the operation. All I/O flows through the given Vfs (nullptr
+/// = posix_vfs()), the fault seam of the chaos suite; the default path is
+/// bit-identical to direct syscalls.
 class SnapshotWriter {
  public:
   /// Creates (or truncates) `path` and writes the file header.
-  explicit SnapshotWriter(const std::string& path);
+  explicit SnapshotWriter(const std::string& path, Vfs* vfs = nullptr);
 
   /// Opens an existing snapshot for append (after recover_snapshot), keeping
   /// its contents. The header must be valid.
-  static SnapshotWriter append_to(const std::string& path);
+  static SnapshotWriter append_to(const std::string& path,
+                                  Vfs* vfs = nullptr);
 
   ~SnapshotWriter();
   SnapshotWriter(SnapshotWriter&& other) noexcept;
@@ -139,6 +145,10 @@ class SnapshotWriter {
   SnapshotWriter& operator=(const SnapshotWriter&) = delete;
 
   /// Appends one section (header + payload + zero padding to 8 bytes).
+  /// On an I/O failure mid-append the file is rolled back (truncated) to the
+  /// pre-append boundary before the typed IoError propagates, so the
+  /// snapshot stays recoverable to its last sealed prefix and the append can
+  /// be retried after the condition clears (ENOSPC degradation).
   void append_section(SectionType type, std::span<const std::uint8_t> payload);
 
   /// Appends a kMatrix section.
@@ -164,8 +174,13 @@ class SnapshotWriter {
 
   /// Durability barrier: flushes the file to stable storage (fsync). A
   /// snapshot is recoverable up to its last sync even if the process dies
-  /// mid-append afterwards. When a seal hook is installed it fires after the
-  /// fsync returns, i.e. only for data that is actually durable.
+  /// mid-append afterwards. The first successful sync of a writer also
+  /// fsyncs the parent directory, so the file's directory entry (not just
+  /// its bytes) survives power loss. When a seal hook is installed it fires
+  /// after the fsync returns, i.e. only for data that is actually durable.
+  /// Throws icn::util::IoError when the fsync fails; the writer stays usable
+  /// (the barrier can be retried) but nothing appended since the last
+  /// successful sync may be assumed durable.
   void sync();
 
   /// Installs a callback invoked after every successful sync() with what the
@@ -177,17 +192,33 @@ class SnapshotWriter {
     seal_hook_ = std::move(hook);
   }
 
-  /// Closes the file (idempotent; also called by the destructor).
+  /// Closes the file (idempotent; also called by the destructor). A close
+  /// can surface deferred writeback errors (EIO), so failure throws a typed
+  /// icn::util::IoError — the handle is released either way. The destructor
+  /// swallows the error (destructors must not throw); call close() or
+  /// sync() explicitly when the outcome matters.
   void close();
 
   [[nodiscard]] const std::string& path() const { return path_; }
 
+  /// Bytes appended so far (header + completed sections) — the rollback
+  /// boundary of a failed append.
+  [[nodiscard]] std::uint64_t end_offset() const { return end_offset_; }
+
  private:
-  SnapshotWriter(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+  SnapshotWriter(std::string path, VfsFile file, Vfs& vfs,
+                 std::uint64_t end_offset)
+      : path_(std::move(path)),
+        vfs_(&vfs),
+        file_(std::move(file)),
+        end_offset_(end_offset) {}
   void write_all(std::span<const std::uint8_t> bytes);
 
   std::string path_;
-  int fd_ = -1;
+  Vfs* vfs_ = nullptr;
+  VfsFile file_;
+  std::uint64_t end_offset_ = 0;
+  bool dir_synced_ = false;
   std::uint64_t seals_ = 0;
   std::size_t sections_since_sync_ = 0;
   std::function<void(const SealEvent&)> seal_hook_;
@@ -199,7 +230,7 @@ class SnapshotWriter {
 /// (valid for the lifetime of this object).
 class MappedSnapshot {
  public:
-  explicit MappedSnapshot(const std::string& path);
+  explicit MappedSnapshot(const std::string& path, Vfs* vfs = nullptr);
   ~MappedSnapshot();
   MappedSnapshot(MappedSnapshot&& other) noexcept;
   MappedSnapshot& operator=(MappedSnapshot&& other) noexcept;
@@ -237,6 +268,7 @@ class MappedSnapshot {
  private:
   void build_section_index();
 
+  Vfs* vfs_ = nullptr;  ///< Owner of the mapping below.
   void* map_ = nullptr;
   std::size_t size_ = 0;
   std::vector<SectionView> sections_;
@@ -260,7 +292,7 @@ struct RecoveryResult {
 /// and truncates the file to it, dropping a torn tail left by a crash
 /// mid-append. Throws SnapshotError when even the file header is unusable and
 /// icn::util::IoError when the file is missing or empty.
-RecoveryResult recover_snapshot(const std::string& path);
+RecoveryResult recover_snapshot(const std::string& path, Vfs* vfs = nullptr);
 
 /// File-offset index entry for one valid section (see scan_section_index).
 struct SectionInfo {
@@ -275,6 +307,37 @@ struct SectionInfo {
 /// (e.g. fault injection flipping a bit inside a chosen section); regular
 /// readers should use MappedSnapshot.
 [[nodiscard]] std::vector<SectionInfo> scan_section_index(
-    const std::string& path);
+    const std::string& path, Vfs* vfs = nullptr);
+
+/// Non-destructive integrity report over a snapshot file (tools/icn_fsck).
+/// Unlike recover_snapshot it never modifies the file; unlike MappedSnapshot
+/// it does not throw on a torn tail — the report carries the damage.
+struct ScanReport {
+  /// Valid-prefix sections in file order (all CRCs verified).
+  std::vector<SectionInfo> sections;
+  std::uint64_t file_size = 0;
+  /// Length of the longest valid prefix — where recover_snapshot would
+  /// truncate.
+  std::uint64_t valid_bytes = 0;
+  bool clean = false;    ///< Whole file is header + valid sections.
+  std::string error;     ///< First structural problem when !clean.
+};
+
+/// Scans `path` without modifying it. Throws SnapshotError when the file
+/// header itself is unusable, icn::util::IoError when the file is missing or
+/// empty.
+[[nodiscard]] ScanReport scan_snapshot(const std::string& path,
+                                       Vfs* vfs = nullptr);
+
+/// Crash-atomic snapshot publication: runs `fill` on a writer bound to
+/// `<path>.tmp`, then fsync + close + rename onto `path` + parent-directory
+/// fsync. A reader (e.g. serve::SnapshotRegistry::try_publish_file) can
+/// observe only the old file or the complete new one, never a torn
+/// intermediate — a crash at any point leaves `path` untouched (the torn
+/// temporary is overwritten by the next publish). `fill` must not close the
+/// writer; a final sync() is issued here after it returns.
+void write_snapshot_atomic(const std::string& path,
+                           const std::function<void(SnapshotWriter&)>& fill,
+                           Vfs* vfs = nullptr);
 
 }  // namespace icn::store

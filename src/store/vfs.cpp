@@ -1,0 +1,208 @@
+#include "store/vfs.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace icn::store {
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& path, const char* op,
+                             int err) {
+  throw icn::util::IoError(path + ": " + op +
+                           " failed: " + std::strerror(err));
+}
+
+}  // namespace
+
+std::string parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+VfsFile PosixVfs::open(const std::string& path, OpenMode mode) {
+  int flags = O_CLOEXEC;
+  switch (mode) {
+    case OpenMode::kCreateTruncate:
+      // O_APPEND keeps the mode honest after an append_section rollback:
+      // ftruncate() shrinks the file but does not move the fd's write
+      // position, so without it a retried append would land past a
+      // zero-filled hole at the stale offset and corrupt the log.
+      flags |= O_WRONLY | O_CREAT | O_TRUNC | O_APPEND;
+      break;
+    case OpenMode::kAppend:
+      flags |= O_RDWR | O_APPEND;
+      break;
+    case OpenMode::kReadWrite:
+      flags |= O_RDWR;
+      break;
+    case OpenMode::kReadOnly:
+      flags |= O_RDONLY;
+      break;
+  }
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), flags, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) fail_errno(path, "open", errno);
+  return VfsFile{fd, path};
+}
+
+std::size_t PosixVfs::write(VfsFile& file,
+                            std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return 0;
+  ssize_t n = 0;
+  do {
+    n = ::write(file.fd, bytes.data(), bytes.size());
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) fail_errno(file.path, "write", errno);
+  return static_cast<std::size_t>(n);
+}
+
+std::size_t PosixVfs::pread(VfsFile& file, std::span<std::uint8_t> out,
+                            std::uint64_t offset) {
+  if (out.empty()) return 0;
+  ssize_t n = 0;
+  do {
+    n = ::pread(file.fd, out.data(), out.size(),
+                static_cast<off_t>(offset));
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) fail_errno(file.path, "pread", errno);
+  return static_cast<std::size_t>(n);
+}
+
+std::size_t PosixVfs::pwrite(VfsFile& file,
+                             std::span<const std::uint8_t> bytes,
+                             std::uint64_t offset) {
+  if (bytes.empty()) return 0;
+  ssize_t n = 0;
+  do {
+    n = ::pwrite(file.fd, bytes.data(), bytes.size(),
+                 static_cast<off_t>(offset));
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) fail_errno(file.path, "pwrite", errno);
+  return static_cast<std::size_t>(n);
+}
+
+void PosixVfs::fsync(VfsFile& file) {
+  int rc = 0;
+  do {
+    rc = ::fsync(file.fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) fail_errno(file.path, "fsync", errno);
+}
+
+void PosixVfs::ftruncate(VfsFile& file, std::uint64_t size) {
+  int rc = 0;
+  do {
+    rc = ::ftruncate(file.fd, static_cast<off_t>(size));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) fail_errno(file.path, "ftruncate", errno);
+}
+
+void PosixVfs::truncate(const std::string& path, std::uint64_t size) {
+  int rc = 0;
+  do {
+    rc = ::truncate(path.c_str(), static_cast<off_t>(size));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) fail_errno(path, "truncate", errno);
+}
+
+void PosixVfs::rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    fail_errno(from + " -> " + to, "rename", errno);
+  }
+}
+
+void PosixVfs::remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    fail_errno(path, "unlink", errno);
+  }
+}
+
+std::uint64_t PosixVfs::size(VfsFile& file) {
+  struct stat st {};
+  if (::fstat(file.fd, &st) != 0) fail_errno(file.path, "fstat", errno);
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void PosixVfs::close(VfsFile& file) {
+  if (file.fd < 0) return;
+  const int fd = file.fd;
+  // The handle dies either way: retrying ::close on the same fd after any
+  // failure (even EINTR, per POSIX) risks closing a recycled descriptor.
+  file.fd = -1;
+  if (::close(fd) != 0 && errno != EINTR) {
+    fail_errno(file.path, "close", errno);
+  }
+}
+
+void PosixVfs::fsync_parent_dir(const std::string& path) {
+  const std::string dir = parent_dir(path);
+  int fd = -1;
+  do {
+    fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) fail_errno(dir, "open directory", errno);
+  int rc = 0;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const int err = errno;
+    ::close(fd);
+    fail_errno(dir, "fsync directory", err);
+  }
+  ::close(fd);
+}
+
+Vfs::MappedRegion PosixVfs::map_readonly(const std::string& path) {
+  VfsFile file = open(path, OpenMode::kReadOnly);
+  std::uint64_t file_size = 0;
+  try {
+    file_size = size(file);
+  } catch (...) {
+    ::close(file.fd);
+    throw;
+  }
+  if (file_size == 0) {
+    ::close(file.fd);
+    return {};
+  }
+  void* map = ::mmap(nullptr, static_cast<std::size_t>(file_size), PROT_READ,
+                     MAP_PRIVATE, file.fd, 0);
+  if (map == MAP_FAILED) {
+    const int err = errno;
+    ::close(file.fd);
+    fail_errno(path, "mmap", err);
+  }
+  // Readers CRC-walk every section front to back immediately after mapping,
+  // so ask the kernel to fault the whole file in ahead of the scan. Purely
+  // advisory — failure costs nothing but the readahead.
+  (void)::posix_madvise(map, static_cast<std::size_t>(file_size),
+                        POSIX_MADV_WILLNEED);
+  ::close(file.fd);
+  return {map, static_cast<std::size_t>(file_size)};
+}
+
+void PosixVfs::unmap(MappedRegion region) noexcept {
+  if (region.data != nullptr && region.size > 0) {
+    ::munmap(region.data, region.size);
+  }
+}
+
+Vfs& posix_vfs() {
+  static PosixVfs instance;
+  return instance;
+}
+
+}  // namespace icn::store

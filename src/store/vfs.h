@@ -1,0 +1,156 @@
+// Virtual filesystem seam under the durability layer.
+//
+// Every byte the store writes or reads ultimately crosses a handful of POSIX
+// calls; Vfs names that boundary so the chaos suite can stand a fault
+// injector between the snapshot machinery and the disk. SnapshotWriter,
+// MappedSnapshot, recover_snapshot, the stream checkpoint paths, and
+// fault::corrupt_snapshot all route their I/O through a Vfs; the default
+// PosixVfs is a thin EINTR-hardened passthrough, so the no-injection path
+// produces bit-identical files to direct syscalls.
+//
+// Error model: operations throw icn::util::IoError naming the file and the
+// operation ("<path>: write failed: ..."). write()/pwrite() may return a
+// short count (fewer bytes than requested) without error — callers loop —
+// which is exactly the seam a short-write fault injector needs. close()
+// reports errors (a close can surface deferred writeback EIO on NFS-like
+// filesystems); destructor-context callers catch and drop it.
+//
+// Durability contract (DESIGN.md §10): fsync(file) makes the file's *data
+// and size* durable; it does NOT make the file's directory entry durable.
+// A file created (or renamed) and fsync'd can still vanish on power loss
+// until its parent directory is fsync'd too — fsync_parent_dir() is that
+// barrier, and the writer/publish paths call it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace icn::store {
+
+/// File handle issued by a Vfs. Carries the path so every error and every
+/// fault-injection decision can name the file it concerns.
+struct VfsFile {
+  int fd = -1;
+  std::string path;
+
+  [[nodiscard]] bool is_open() const { return fd >= 0; }
+};
+
+class Vfs {
+ public:
+  enum class OpenMode : std::uint8_t {
+    /// Create or truncate for writing (0644). Append-log semantics: every
+    /// write() lands at end-of-file, including after an ftruncate() rollback
+    /// (O_APPEND — without it a retried append would land past a zero-filled
+    /// hole at the stale fd offset). Use kReadWrite for in-place pwrite();
+    /// under O_APPEND Linux pwrite ignores the offset.
+    kCreateTruncate,
+    kAppend,     ///< Read/write, writes append at end-of-file.
+    kReadWrite,  ///< Read/write in place (pread/pwrite).
+    kReadOnly,
+  };
+
+  /// Zero-copy read-only mapping (see map_readonly). size == 0 means the
+  /// file is empty and data is null — mapping an empty file is not an error
+  /// at this layer so readers can report it with their own context.
+  struct MappedRegion {
+    void* data = nullptr;
+    std::size_t size = 0;
+  };
+
+  virtual ~Vfs() = default;
+
+  /// Opens `path`; throws icn::util::IoError on failure.
+  [[nodiscard]] virtual VfsFile open(const std::string& path,
+                                     OpenMode mode) = 0;
+
+  /// Writes at the file position (end-of-file under kAppend). May write
+  /// fewer bytes than requested (short write); returns the count actually
+  /// written (>= 1 for a non-empty span). Throws IoError on hard failure.
+  virtual std::size_t write(VfsFile& file,
+                            std::span<const std::uint8_t> bytes) = 0;
+
+  /// Positional read; returns the count read (0 at end-of-file), which may
+  /// be short. Throws IoError on failure.
+  virtual std::size_t pread(VfsFile& file, std::span<std::uint8_t> out,
+                            std::uint64_t offset) = 0;
+
+  /// Positional write; may be short like write(). Throws IoError on failure.
+  virtual std::size_t pwrite(VfsFile& file,
+                             std::span<const std::uint8_t> bytes,
+                             std::uint64_t offset) = 0;
+
+  /// Durability barrier for the file's data and size (not its dirent).
+  virtual void fsync(VfsFile& file) = 0;
+
+  /// Truncates (or extends with zeros) the open file to `size` bytes.
+  virtual void ftruncate(VfsFile& file, std::uint64_t size) = 0;
+
+  /// Path-level truncate (crash-recovery drops a torn tail through this).
+  virtual void truncate(const std::string& path, std::uint64_t size) = 0;
+
+  /// Atomically replaces `to` with `from` (rename(2) semantics). The
+  /// replacement is durable only after fsync_parent_dir(to).
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+
+  /// Removes `path` (best effort cleanup of temporaries).
+  virtual void remove(const std::string& path) = 0;
+
+  /// Current size of the open file.
+  [[nodiscard]] virtual std::uint64_t size(VfsFile& file) = 0;
+
+  /// Closes the file. Throws IoError when the close itself fails (deferred
+  /// writeback errors surface here); the handle is invalidated either way.
+  virtual void close(VfsFile& file) = 0;
+
+  /// Makes the directory entry of `path` durable: opens the parent
+  /// directory, fsyncs it, closes it. Required after creating or renaming a
+  /// file for the file to survive power loss.
+  virtual void fsync_parent_dir(const std::string& path) = 0;
+
+  /// Maps `path` read-only for the zero-copy readers. An empty file returns
+  /// {nullptr, 0}. Throws IoError on open/stat/map failure.
+  [[nodiscard]] virtual MappedRegion map_readonly(const std::string& path) = 0;
+
+  /// Releases a mapping from map_readonly. Never throws.
+  virtual void unmap(MappedRegion region) noexcept = 0;
+};
+
+/// The production Vfs: direct POSIX calls with EINTR retry on every
+/// interruptible operation. Stateless and thread-safe.
+class PosixVfs : public Vfs {
+ public:
+  [[nodiscard]] VfsFile open(const std::string& path, OpenMode mode) override;
+  std::size_t write(VfsFile& file,
+                    std::span<const std::uint8_t> bytes) override;
+  std::size_t pread(VfsFile& file, std::span<std::uint8_t> out,
+                    std::uint64_t offset) override;
+  std::size_t pwrite(VfsFile& file, std::span<const std::uint8_t> bytes,
+                     std::uint64_t offset) override;
+  void fsync(VfsFile& file) override;
+  void ftruncate(VfsFile& file, std::uint64_t size) override;
+  void truncate(const std::string& path, std::uint64_t size) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& path) override;
+  [[nodiscard]] std::uint64_t size(VfsFile& file) override;
+  void close(VfsFile& file) override;
+  void fsync_parent_dir(const std::string& path) override;
+  [[nodiscard]] MappedRegion map_readonly(const std::string& path) override;
+  void unmap(MappedRegion region) noexcept override;
+};
+
+/// Process-wide default Vfs (a shared PosixVfs). Store entry points taking a
+/// `Vfs*` treat nullptr as this instance.
+[[nodiscard]] Vfs& posix_vfs();
+
+/// Resolves the caller-facing "nullptr means default" convention.
+[[nodiscard]] inline Vfs& vfs_or_default(Vfs* vfs) {
+  return vfs != nullptr ? *vfs : posix_vfs();
+}
+
+/// Parent directory of `path` ("." when the path has no slash).
+[[nodiscard]] std::string parent_dir(const std::string& path);
+
+}  // namespace icn::store

@@ -15,6 +15,7 @@ StreamIngestor::StreamIngestor(IngestParams params,
       num_hours_(params.num_hours),
       num_shards_(params.num_shards),
       allowed_lateness_(params.allowed_lateness),
+      defer_checkpoint_errors_(params.defer_checkpoint_errors),
       checkpoint_(checkpoint),
       totals_(ids_.empty() ? ml::Matrix{}
                            : ml::Matrix(ids_.size(), params.num_services)) {
@@ -117,16 +118,48 @@ void StreamIngestor::push(std::span<const probe::ServiceSession> batch) {
 }
 
 void StreamIngestor::close_windows_before(std::int64_t bound) {
+  bool queued = false;
   while (!open_.empty() && open_.begin()->first < bound) {
     auto node = open_.extract(open_.begin());
     HourlyWindow window{node.key(), std::move(node.mapped())};
     add_window_cells(totals_, window.cells);
     if (checkpoint_ != nullptr) {
-      checkpoint_->append_window(window.hour, window.cells);
-      checkpoint_->sync();
+      if (defer_checkpoint_errors_) {
+        pending_checkpoint_.push_back({window, false});
+        queued = true;
+      } else {
+        checkpoint_->append_window(window.hour, window.cells);
+        checkpoint_->sync();
+      }
     }
     closed_.push_back(std::move(window));
   }
+  // Drain the queue immediately: on a healthy disk this produces the exact
+  // append/sync sequence of the direct path, so a no-fault run's checkpoint
+  // stays bit-identical; on a failing one the windows stay parked and the
+  // caller retries via flush_checkpoint().
+  if (queued) flush_checkpoint();
+}
+
+bool StreamIngestor::flush_checkpoint() {
+  if (checkpoint_ == nullptr) return true;
+  while (!pending_checkpoint_.empty()) {
+    auto& pending = pending_checkpoint_.front();
+    try {
+      if (!pending.appended) {
+        // append_section rolls a failed append back to the pre-append
+        // boundary, so a retry never duplicates a partial section.
+        checkpoint_->append_window(pending.window.hour, pending.window.cells);
+        pending.appended = true;
+      }
+      checkpoint_->sync();
+    } catch (const icn::util::IoError&) {
+      ++checkpoint_failures_;
+      return false;
+    }
+    pending_checkpoint_.pop_front();
+  }
+  return true;
 }
 
 void StreamIngestor::finish() {
@@ -152,17 +185,18 @@ void add_window_cells(ml::Matrix& totals, std::span<const double> cells) {
 }
 
 store::SnapshotWriter begin_checkpoint(const std::string& path,
-                                       const IngestParams& params) {
-  store::SnapshotWriter writer(path);
+                                       const IngestParams& params,
+                                       store::Vfs* vfs) {
+  store::SnapshotWriter writer(path, vfs);
   writer.append_stream_meta(params.antenna_ids, params.num_services,
                             params.num_hours);
   writer.sync();
   return writer;
 }
 
-ResumeInfo recover_checkpoint(const std::string& path) {
+ResumeInfo recover_checkpoint(const std::string& path, store::Vfs* vfs) {
   ResumeInfo info;
-  info.recovery = store::recover_snapshot(path);
+  info.recovery = store::recover_snapshot(path, vfs);
   info.first_open_hour = info.recovery.last_window_hour
                              ? *info.recovery.last_window_hour + 1
                              : 0;

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <span>
 #include <string>
@@ -56,6 +57,15 @@ struct IngestParams {
   /// Hours a window stays open past the watermark (0 = close as soon as a
   /// later hour is seen).
   std::int64_t allowed_lateness = 0;
+  /// Opt-in graceful degradation of the checkpoint path (the ENOSPC model):
+  /// when true, an icn::util::IoError from the checkpoint append/sync of a
+  /// closing window no longer propagates out of push()/finish() — the window
+  /// is parked in a pending queue in memory (its data still reaches
+  /// take_closed() and the totals) and flush_checkpoint() retries the
+  /// durable append later, with every failed attempt counted in
+  /// checkpoint_failures(). When false (the default) checkpoint I/O errors
+  /// propagate, preserving the pre-degradation behavior bit-for-bit.
+  bool defer_checkpoint_errors = false;
 };
 
 /// One closed hourly window: dense (antenna x service) MB cells, rows in
@@ -118,6 +128,25 @@ class StreamIngestor {
   /// Records accumulated into a window.
   [[nodiscard]] std::size_t accepted() const { return accepted_; }
 
+  /// Retries the checkpoint append of every pending window, in closing
+  /// order. Returns true when the queue drained (or was empty / there is no
+  /// checkpoint). On an IoError the remaining windows stay queued, the
+  /// failure is counted, and false is returned — the caller retries later
+  /// (FeedSupervisor does so with capped backoff). A window whose section
+  /// was appended but whose fsync failed is retried with a bare sync so the
+  /// section is never duplicated.
+  bool flush_checkpoint();
+
+  /// Failed checkpoint append/sync attempts (defer_checkpoint_errors mode).
+  [[nodiscard]] std::size_t checkpoint_failures() const {
+    return checkpoint_failures_;
+  }
+
+  /// Windows closed but not yet durable in the checkpoint.
+  [[nodiscard]] std::size_t pending_checkpoint_windows() const {
+    return pending_checkpoint_.size();
+  }
+
   [[nodiscard]] std::size_t num_antennas() const { return ids_.size(); }
   [[nodiscard]] std::size_t num_services() const { return num_services_; }
   [[nodiscard]] std::size_t num_shards() const { return num_shards_; }
@@ -132,6 +161,7 @@ class StreamIngestor {
   std::int64_t num_hours_ = 0;
   std::size_t num_shards_ = 1;
   std::int64_t allowed_lateness_ = 0;
+  bool defer_checkpoint_errors_ = false;
   store::SnapshotWriter* checkpoint_ = nullptr;
 
   std::int64_t watermark_ = -1;
@@ -143,6 +173,16 @@ class StreamIngestor {
   std::map<std::int64_t, std::vector<double>> open_;  ///< hour -> cells.
   std::vector<HourlyWindow> closed_;
   ml::Matrix totals_;
+
+  /// Closed windows awaiting a durable checkpoint append (see
+  /// IngestParams::defer_checkpoint_errors). `appended` marks a window whose
+  /// section hit the file but whose sync has not yet succeeded.
+  struct PendingCheckpoint {
+    HourlyWindow window;
+    bool appended = false;
+  };
+  std::deque<PendingCheckpoint> pending_checkpoint_;
+  std::size_t checkpoint_failures_ = 0;
 
   std::size_t late_dropped_ = 0;
   std::size_t already_durable_ = 0;
@@ -156,9 +196,10 @@ void add_window_cells(ml::Matrix& totals, std::span<const double> cells);
 
 /// Creates a fresh checkpoint snapshot at `path`: writes the kStreamMeta
 /// section describing the ingest and returns the writer to hand to a
-/// StreamIngestor.
-[[nodiscard]] store::SnapshotWriter begin_checkpoint(const std::string& path,
-                                                     const IngestParams& params);
+/// StreamIngestor. I/O flows through `vfs` (nullptr = posix_vfs()).
+[[nodiscard]] store::SnapshotWriter begin_checkpoint(
+    const std::string& path, const IngestParams& params,
+    store::Vfs* vfs = nullptr);
 
 /// Crash recovery for a checkpoint snapshot: truncates any torn tail and
 /// reports where to resume.
@@ -167,7 +208,8 @@ struct ResumeInfo {
   /// First hour that is NOT durable: pass to StreamIngestor::resume_before().
   std::int64_t first_open_hour = 0;
 };
-[[nodiscard]] ResumeInfo recover_checkpoint(const std::string& path);
+[[nodiscard]] ResumeInfo recover_checkpoint(const std::string& path,
+                                            store::Vfs* vfs = nullptr);
 
 /// Rebuilds the (antenna x service) totals matrix from a checkpoint
 /// snapshot's windows — bit-identical to the live ingest totals. Requires a

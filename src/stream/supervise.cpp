@@ -1,7 +1,5 @@
 #include "stream/supervise.h"
 
-#include <unistd.h>
-
 #include <algorithm>
 #include <cstring>
 #include <iterator>
@@ -41,6 +39,12 @@ struct FeedSupervisor::Runtime {
   std::size_t dups = 0;
   std::size_t corrupts = 0;
 
+  // ENOSPC degradation (defer_checkpoint_errors): retry schedule for the
+  // feed's pending checkpoint windows and seal-time failure count.
+  std::size_t ckpt_attempts = 0;
+  std::int64_t ckpt_retry_at = -1;  ///< -1 = no retry scheduled.
+  std::size_t seal_failures = 0;
+
   [[nodiscard]] bool terminal() const {
     return state == FeedState::kDone || state == FeedState::kQuarantined;
   }
@@ -51,10 +55,10 @@ namespace {
 /// Drops seal-time sections (kCoverage/kQuarantine) from a recovered
 /// checkpoint so a resumed run can regenerate them: replay rebuilds the same
 /// coverage and quarantine state and seal() re-appends identical bytes.
-void truncate_seal_sections(const std::string& path) {
+void truncate_seal_sections(const std::string& path, store::Vfs* vfs) {
   std::uint64_t seal_at = 0;
   bool found = false;
-  for (const auto& section : store::scan_section_index(path)) {
+  for (const auto& section : store::scan_section_index(path, vfs)) {
     if (section.type == store::SectionType::kCoverage ||
         section.type == store::SectionType::kQuarantine) {
       seal_at = section.header_offset;
@@ -63,9 +67,7 @@ void truncate_seal_sections(const std::string& path) {
     }
   }
   if (!found) return;
-  if (::truncate(path.c_str(), static_cast<off_t>(seal_at)) != 0) {
-    throw icn::util::IoError(path + ": truncate failed");
-  }
+  store::vfs_or_default(vfs).truncate(path, seal_at);
 }
 
 }  // namespace
@@ -110,25 +112,54 @@ FeedSupervisor::FeedSupervisor(SupervisorParams params,
     ingest.num_hours = params_.num_hours;
     ingest.num_shards = params_.num_shards;
     ingest.allowed_lateness = params_.allowed_lateness;
+    ingest.defer_checkpoint_errors = params_.defer_checkpoint_errors;
     std::int64_t first_open_hour = 0;
     if (!rt->spec.checkpoint_path.empty()) {
+      bool fresh_start = mode != Mode::kResume;
       if (mode == Mode::kResume) {
-        const ResumeInfo info = recover_checkpoint(rt->spec.checkpoint_path);
-        first_open_hour = info.first_open_hour;
-        truncate_seal_sections(rt->spec.checkpoint_path);
-        {
-          // Preload the durable windows so windows()/merge() see the full
-          // study; the resumed ingestor only re-emits what was lost.
-          const store::MappedSnapshot snap(rt->spec.checkpoint_path);
-          for (const auto& w : snap.windows()) {
-            rt->windows.push_back(HourlyWindow{
-                w.hour, std::vector<double>(w.cells.begin(), w.cells.end())});
+        try {
+          const ResumeInfo info =
+              recover_checkpoint(rt->spec.checkpoint_path, params_.vfs);
+          first_open_hour = info.first_open_hour;
+          truncate_seal_sections(rt->spec.checkpoint_path, params_.vfs);
+          {
+            // Preload the durable windows so windows()/merge() see the full
+            // study; the resumed ingestor only re-emits what was lost.
+            const store::MappedSnapshot snap(rt->spec.checkpoint_path,
+                                             params_.vfs);
+            if (!snap.stream_meta()) {
+              // A crash can strip recovery down to the bare file header
+              // (the kStreamMeta block was never synced). Appending windows
+              // to a meta-less file would leave a checkpoint no reader can
+              // interpret — recreate it from scratch instead.
+              fresh_start = true;
+            } else {
+              for (const auto& w : snap.windows()) {
+                rt->windows.push_back(HourlyWindow{
+                    w.hour,
+                    std::vector<double>(w.cells.begin(), w.cells.end())});
+              }
+            }
           }
+          if (!fresh_start) {
+            rt->writer.emplace(store::SnapshotWriter::append_to(
+                rt->spec.checkpoint_path, params_.vfs));
+          }
+        } catch (const icn::util::IoError&) {
+          // Missing or empty file — nothing durable survived the crash.
+          fresh_start = true;
+        } catch (const store::SnapshotError&) {
+          // The header itself is unusable (torn by an unsynced-block loss).
+          fresh_start = true;
         }
+        if (fresh_start) {
+          rt->windows.clear();
+          first_open_hour = 0;
+        }
+      }
+      if (fresh_start) {
         rt->writer.emplace(
-            store::SnapshotWriter::append_to(rt->spec.checkpoint_path));
-      } else {
-        rt->writer.emplace(begin_checkpoint(rt->spec.checkpoint_path, ingest));
+            begin_checkpoint(rt->spec.checkpoint_path, ingest, params_.vfs));
       }
     }
     rt->ingestor.emplace(std::move(ingest),
@@ -164,11 +195,39 @@ bool FeedSupervisor::finished() const {
 bool FeedSupervisor::step() {
   for (std::size_t i = 0; i < feeds_.size(); ++i) {
     const auto& f = *feeds_[i];
+    if (f.ckpt_retry_at >= 0 && f.ckpt_retry_at <= tick_ && !f.terminal()) {
+      retry_checkpoint(i);
+    }
     if (f.terminal() || f.next_due > tick_) continue;
     poll(i);
   }
   ++tick_;
   return !finished();
+}
+
+void FeedSupervisor::schedule_checkpoint_retry(std::size_t feed) {
+  auto& f = *feeds_[feed];
+  ++f.ckpt_attempts;
+  // Reuse the pull-retry backoff curve, capped at its max attempt so a
+  // long-lived full disk polls at the ceiling instead of overflowing — and
+  // unlike pull retries a checkpoint retry never quarantines: the data is
+  // safe in memory, only its durability is late.
+  const std::size_t attempt =
+      std::min(f.ckpt_attempts, params_.backoff.max_retries + 1);
+  const std::int64_t delay = backoff_delay(feed, attempt);
+  f.ckpt_retry_at = tick_ + delay;
+  events_.push_back({tick_, feed, SupervisorEventKind::kCheckpointRetry,
+                     static_cast<std::int64_t>(f.ckpt_attempts), delay});
+}
+
+void FeedSupervisor::retry_checkpoint(std::size_t feed) {
+  auto& f = *feeds_[feed];
+  if (f.ingestor->flush_checkpoint()) {
+    f.ckpt_attempts = 0;
+    f.ckpt_retry_at = -1;
+    return;
+  }
+  schedule_checkpoint_retry(feed);
 }
 
 void FeedSupervisor::run() {
@@ -327,6 +386,12 @@ void FeedSupervisor::accept_batch(std::size_t feed, FeedBatch&& batch) {
 
   f.seen.insert(batch.sequence);
   f.ingestor->push(batch.records);
+  if (f.writer && f.ingestor->pending_checkpoint_windows() > 0 &&
+      f.ckpt_retry_at < 0) {
+    // The in-push flush failed (counted by the ingestor); put the feed on
+    // the capped-backoff retry schedule instead of aborting the study.
+    schedule_checkpoint_retry(feed);
+  }
   auto closed = f.ingestor->take_closed();
   f.windows.insert(f.windows.end(), std::make_move_iterator(closed.begin()),
                    std::make_move_iterator(closed.end()));
@@ -349,27 +414,51 @@ void FeedSupervisor::seal(std::size_t feed) {
   f.windows.insert(f.windows.end(), std::make_move_iterator(closed.begin()),
                    std::make_move_iterator(closed.end()));
   if (f.writer) {
-    const bool complete =
-        std::all_of(f.covered.begin(), f.covered.end(),
-                    [](std::uint8_t b) { return b != 0; });
-    if (!complete) {
-      // Written only when needed, so a fully-covered checkpoint stays
-      // bit-identical to a plain StreamIngestor checkpoint.
-      f.writer->append_coverage(1, params_.num_hours, f.covered);
+    const auto append_seal_sections_and_sync = [&] {
+      const bool complete =
+          std::all_of(f.covered.begin(), f.covered.end(),
+                      [](std::uint8_t b) { return b != 0; });
+      if (!complete) {
+        // Written only when needed, so a fully-covered checkpoint stays
+        // bit-identical to a plain StreamIngestor checkpoint.
+        f.writer->append_coverage(1, params_.num_hours, f.covered);
+      }
+      const bool quarantined_records =
+          std::any_of(f.rejected_by_hour.begin(), f.rejected_by_hour.end(),
+                      [](std::uint32_t c) { return c != 0; }) ||
+          std::any_of(f.repaired_by_hour.begin(), f.repaired_by_hour.end(),
+                      [](std::uint32_t c) { return c != 0; });
+      if (quarantined_records) {
+        // Same contract as kCoverage: a clean feed's checkpoint carries no
+        // quality section and stays byte-identical to a pre-quality one.
+        f.writer->append_quarantine(params_.num_hours, f.rejected_by_hour,
+                                    f.repaired_by_hour);
+      }
+      f.writer->sync();
+    };
+    if (params_.defer_checkpoint_errors) {
+      // Degraded seal: a disk that still refuses writes must not abort the
+      // finished study. An unflushable checkpoint is left crash-equivalent
+      // (valid prefix, no seal sections) — resume() replays it like any
+      // kill — and every shortfall lands in checkpoint_failures.
+      try {
+        if (f.ingestor->flush_checkpoint()) {
+          append_seal_sections_and_sync();
+        } else {
+          ++f.seal_failures;
+        }
+      } catch (const icn::util::IoError&) {
+        ++f.seal_failures;
+      }
+      try {
+        f.writer->close();
+      } catch (const icn::util::IoError&) {
+        ++f.seal_failures;
+      }
+    } else {
+      append_seal_sections_and_sync();
+      f.writer->close();
     }
-    const bool quarantined_records =
-        std::any_of(f.rejected_by_hour.begin(), f.rejected_by_hour.end(),
-                    [](std::uint32_t c) { return c != 0; }) ||
-        std::any_of(f.repaired_by_hour.begin(), f.repaired_by_hour.end(),
-                    [](std::uint32_t c) { return c != 0; });
-    if (quarantined_records) {
-      // Same contract as kCoverage: a clean feed's checkpoint carries no
-      // quality section and stays byte-identical to a pre-quality one.
-      f.writer->append_quarantine(params_.num_hours, f.rejected_by_hour,
-                                  f.repaired_by_hour);
-    }
-    f.writer->sync();
-    f.writer->close();
   }
 }
 
@@ -417,6 +506,9 @@ FeedStats FeedSupervisor::stats(std::size_t feed) const {
       f.rejected_by_hour.begin(), f.rejected_by_hour.end(), std::size_t{0});
   stats.covered_hours = static_cast<std::int64_t>(
       std::count(f.covered.begin(), f.covered.end(), std::uint8_t{1}));
+  stats.checkpoint_failures =
+      f.ingestor->checkpoint_failures() + f.seal_failures;
+  stats.checkpoint_pending = f.ingestor->pending_checkpoint_windows();
   return stats;
 }
 
@@ -508,6 +600,10 @@ std::string to_string(const SupervisorEvent& event) {
       out += "records_quarantined rejected=" + std::to_string(event.a) +
              " repaired=" + std::to_string(event.b);
       break;
+    case SupervisorEventKind::kCheckpointRetry:
+      out += "checkpoint_retry attempt=" + std::to_string(event.a) +
+             " delay=" + std::to_string(event.b);
+      break;
   }
   return out;
 }
@@ -526,15 +622,16 @@ bool QuarantineCounts::any() const {
   return total_rejected() != 0 || total_repaired() != 0;
 }
 
-MergedStudy merge_snapshots(std::span<const std::string> paths) {
+MergedStudy merge_snapshots(std::span<const std::string> paths,
+                            store::Vfs* vfs) {
   ICN_REQUIRE(!paths.empty(), "merge needs snapshots");
 
   std::vector<store::MappedSnapshot> snaps;
   std::vector<bool> truncated;
   snaps.reserve(paths.size());
   for (const auto& path : paths) {
-    truncated.push_back(store::recover_snapshot(path).truncated);
-    snaps.emplace_back(path);
+    truncated.push_back(store::recover_snapshot(path, vfs).truncated);
+    snaps.emplace_back(path, vfs);
   }
 
   std::size_t num_services = 0;
@@ -643,26 +740,30 @@ MergedStudy merge_snapshots(std::span<const std::string> paths) {
   return study;
 }
 
-void write_merged_snapshot(const MergedStudy& study, const std::string& path) {
+void write_merged_snapshot(const MergedStudy& study, const std::string& path,
+                           store::Vfs* vfs) {
   ICN_REQUIRE(study.traffic.rows() == study.antenna_ids.size(),
               "merged study rows");
   ICN_REQUIRE(study.coverage.rows() == study.traffic.rows(),
               "merged study coverage rows");
-  store::SnapshotWriter writer(path);
-  writer.append_stream_meta(study.antenna_ids, study.traffic.cols(),
-                            study.coverage.num_hours());
-  writer.append_matrix(study.traffic);
-  if (!study.coverage.complete()) {
-    writer.append_coverage(study.coverage.rows(), study.coverage.num_hours(),
-                           study.coverage.bits());
-  }
-  if (study.quarantine.any()) {
-    writer.append_quarantine(study.coverage.num_hours(),
-                             study.quarantine.rejected_by_hour,
-                             study.quarantine.repaired_by_hour);
-  }
-  writer.sync();
-  writer.close();
+  store::write_snapshot_atomic(
+      path,
+      [&](store::SnapshotWriter& writer) {
+        writer.append_stream_meta(study.antenna_ids, study.traffic.cols(),
+                                  study.coverage.num_hours());
+        writer.append_matrix(study.traffic);
+        if (!study.coverage.complete()) {
+          writer.append_coverage(study.coverage.rows(),
+                                 study.coverage.num_hours(),
+                                 study.coverage.bits());
+        }
+        if (study.quarantine.any()) {
+          writer.append_quarantine(study.coverage.num_hours(),
+                                   study.quarantine.rejected_by_hour,
+                                   study.quarantine.repaired_by_hour);
+        }
+      },
+      vfs);
 }
 
 }  // namespace icn::stream

@@ -79,6 +79,20 @@ struct SupervisorParams {
   /// num_hours) are overwritten per feed from the spec and these params.
   /// Disengaged (the default) keeps the pre-quality behavior bit-for-bit.
   std::optional<quality::ValidatorParams> quality;
+  /// All checkpoint I/O (create, recover, resume-append, seal) flows through
+  /// this Vfs — the disk-fault seam of the chaos suite. nullptr (the
+  /// default) is store::posix_vfs(), bit-identical to direct syscalls.
+  store::Vfs* vfs = nullptr;
+  /// Opt-in graceful degradation on checkpoint I/O errors (the ENOSPC
+  /// model): a failed checkpoint append parks the window in memory and the
+  /// supervisor retries with its capped backoff schedule
+  /// (kCheckpointRetry events); the study always completes, with failures
+  /// surfaced in FeedStats::checkpoint_failures. A seal that still cannot
+  /// flush leaves the checkpoint file crash-equivalent (a valid prefix
+  /// missing its tail) — resume() replays exactly as after a kill. When
+  /// false (the default) checkpoint IoErrors propagate and abort the study,
+  /// the pre-degradation behavior.
+  bool defer_checkpoint_errors = false;
 };
 
 /// One probe feed under supervision.
@@ -124,6 +138,11 @@ struct FeedStats {
   std::size_t records_repaired = 0;   ///< Quality layer (0 when disengaged).
   std::size_t records_rejected = 0;   ///< Quality layer (0 when disengaged).
   std::int64_t covered_hours = 0;
+  /// Failed checkpoint append/sync attempts (defer_checkpoint_errors mode;
+  /// 0 on a healthy disk). Surfaced study-wide through serve's kHealth.
+  std::size_t checkpoint_failures = 0;
+  /// Windows closed but not durable in the checkpoint (degraded mode).
+  std::size_t checkpoint_pending = 0;
 };
 
 enum class SupervisorEventKind : std::uint8_t {
@@ -134,6 +153,7 @@ enum class SupervisorEventKind : std::uint8_t {
   kQuarantined,       ///< a = QuarantineReason.
   kFeedDone,          ///< a = covered hours.
   kRecordsQuarantined,  ///< a = records rejected, b = records repaired.
+  kCheckpointRetry,   ///< a = attempt, b = delay ticks (ENOSPC degradation).
 };
 
 /// One supervision decision — the deterministic audit log two equal-seed
@@ -191,7 +211,11 @@ class FeedSupervisor {
   /// the start of the stream; coverage and quarantine accounting rebuild
   /// fully during replay, so a resumed run converges on the same merged
   /// study, ledger, and checkpoint bytes as an uninterrupted one. Feeds
-  /// without a checkpoint_path start fresh.
+  /// without a checkpoint_path start fresh. A checkpoint destroyed beyond
+  /// use (missing, empty, or an unusable header — e.g. a simulated power
+  /// cut tore the first blocks) is equivalent to no checkpoint: that feed
+  /// starts fresh and replay regenerates the file, so crash recovery never
+  /// aborts on a mangled file.
   [[nodiscard]] static FeedSupervisor resume(SupervisorParams params,
                                              std::vector<FeedSpec> specs);
 
@@ -250,6 +274,8 @@ class FeedSupervisor {
   void finish_feed(std::size_t feed);
   void quarantine(std::size_t feed, QuarantineReason reason);
   void seal(std::size_t feed);  ///< Shared tail of finish/quarantine.
+  void schedule_checkpoint_retry(std::size_t feed);
+  void retry_checkpoint(std::size_t feed);
   [[nodiscard]] std::int64_t backoff_delay(std::size_t feed,
                                            std::size_t attempt) const;
 
@@ -269,11 +295,17 @@ class FeedSupervisor {
 /// truncated snapshot that lost it contributes zeros). Requires >= 1 path,
 /// consistent services/hours across snapshots, and globally disjoint antenna
 /// ids.
-[[nodiscard]] MergedStudy merge_snapshots(std::span<const std::string> paths);
+[[nodiscard]] MergedStudy merge_snapshots(std::span<const std::string> paths,
+                                          store::Vfs* vfs = nullptr);
 
 /// Writes a merged study as one snapshot: kStreamMeta + kMatrix (+ kCoverage
 /// when incomplete, + kQuarantine when any record was quarantined).
-/// run_pipeline_from_snapshot consumes this directly.
-void write_merged_snapshot(const MergedStudy& study, const std::string& path);
+/// run_pipeline_from_snapshot consumes this directly. The write is
+/// crash-atomic (store::write_snapshot_atomic: seal to `<path>.tmp`, fsync,
+/// rename, fsync the parent directory), so a concurrent or subsequent reader
+/// — serve::SnapshotRegistry::try_publish_file in particular — can only ever
+/// observe the previous complete file or the new complete file.
+void write_merged_snapshot(const MergedStudy& study, const std::string& path,
+                           store::Vfs* vfs = nullptr);
 
 }  // namespace icn::stream

@@ -925,6 +925,67 @@ TEST(ServeChaosTest, HealthOpcodeReportsLiveCounters) {
   EXPECT_EQ(oracle_frames, 0u);
 }
 
+TEST(ServeChaosTest, HealthSurfacesCheckpointFailuresFromInstalledSource) {
+  TempFile file("health_ckpt.snap");
+  write_flavored_snapshot(file.path(), 0);
+  SnapshotRegistry registry;
+  registry.publish_file(file.path());
+  Server server(ServeConfig{}, registry);
+  // The durability layer (summed FeedSupervisor stats) plugs in here; the
+  // reactor samples it at the top of each step.
+  std::uint64_t upstream_failures = 7;
+  server.set_checkpoint_failures_source(
+      [&upstream_failures] { return upstream_failures; });
+  icn::util::Fd client = icn::util::connect_loopback(server.port());
+
+  icn::util::ByteQueue stream;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  const auto pump = [&](std::size_t want) {
+    for (int i = 0; i < 200 && payloads.size() < want; ++i) {
+      server.step(1);
+      auto span = stream.grow_tail(4096);
+      const ssize_t n = ::recv(client.get(), span.data(), span.size(),
+                               MSG_DONTWAIT);
+      stream.shrink_tail(span.size() -
+                         static_cast<std::size_t>(std::max<ssize_t>(0, n)));
+      while (true) {
+        const FrameResult frame =
+            try_parse_frame(stream.data(), kDefaultMaxFrame);
+        if (frame.kind != FrameResult::Kind::kFrame) break;
+        payloads.emplace_back(frame.payload.begin(), frame.payload.end());
+        stream.consume(frame.consumed);
+      }
+    }
+  };
+
+  icn::util::write_all(client.get(), build_request(1, Opcode::kHealth));
+  pump(1);
+  ASSERT_EQ(payloads.size(), 1u);
+  const auto health = decode_reply(payloads[0]);
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->status, Status::kOk);
+  ASSERT_EQ(health->body.size(), kHealthBodySize);
+  // Layout: u32 version, u32 open_sessions, then 11 u64 counters —
+  // checkpoint_failures is the 11th (offset 88), before the draining flag.
+  std::uint64_t checkpoint_failures = 0;
+  std::memcpy(&checkpoint_failures, health->body.data() + 88, 8);
+  EXPECT_EQ(checkpoint_failures, 7u);
+  std::uint8_t draining = 0;
+  std::memcpy(&draining, health->body.data() + 96, 1);
+  EXPECT_EQ(draining, 0);
+
+  // The counter is sampled live, not latched at accept time.
+  upstream_failures = 19;
+  icn::util::write_all(client.get(), build_request(2, Opcode::kHealth));
+  pump(2);
+  ASSERT_EQ(payloads.size(), 2u);
+  const auto refreshed = decode_reply(payloads[1]);
+  ASSERT_TRUE(refreshed.has_value());
+  ASSERT_EQ(refreshed->body.size(), kHealthBodySize);
+  std::memcpy(&checkpoint_failures, refreshed->body.data() + 88, 8);
+  EXPECT_EQ(checkpoint_failures, 19u);
+}
+
 // --- Concurrent chaos soak -----------------------------------------------
 
 TEST(ServeChaosTest, ChaosSoakByteExactRepliesUnderFaultsAndHotSwaps) {

@@ -210,6 +210,7 @@ int print_reply(Opcode opcode, const icn::serve::Reply& reply) {
       const auto evicted_idle = body.take<std::uint64_t>();
       const auto evicted_deadline = body.take<std::uint64_t>();
       const auto shutdown_rejects = body.take<std::uint64_t>();
+      const auto checkpoint_failures = body.take<std::uint64_t>();
       const auto draining = body.take<std::uint8_t>();
       std::printf("protocol v%u, %s\n", version,
                   draining ? "draining" : "serving");
@@ -224,6 +225,7 @@ int print_reply(Opcode opcode, const icn::serve::Reply& reply) {
       std::printf("evictions: %" PRIu64 " idle, %" PRIu64
                   " deadline; shutdown rejects %" PRIu64 "\n",
                   evicted_idle, evicted_deadline, shutdown_rejects);
+      std::printf("checkpoint failures %" PRIu64 "\n", checkpoint_failures);
       break;
     }
     case Opcode::kRepin: {
